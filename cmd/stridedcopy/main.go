@@ -1,0 +1,60 @@
+// Command stridedcopy explores the host↔device strided-copy strategies
+// of §4.2. Mode "model" evaluates the calibrated Summit cost model
+// (regenerating Figs 7 and 8); mode "real" measures the actual strided
+// copy machinery of this repository on host memory, demonstrating the
+// same qualitative effect — finer granularity costs more — on real
+// hardware, whatever it is.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/transpose"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "model", "model or real")
+		total = flag.Int("total", 64<<20, "total bytes to move in -mode real")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "model":
+		cost := cuda.SummitCopyCost()
+		fmt.Println("Fig 7 — time to move 216 MB with strided access (model):")
+		fmt.Printf("%-14s %14s %14s %14s\n", "chunk (KB)", "manyMemcpy(ms)", "zeroCopy(ms)", "memcpy2D(ms)")
+		for _, p := range cost.Fig7() {
+			fmt.Printf("%-14.1f %14.3f %14.3f %14.3f\n",
+				p.ChunkBytes/1e3, p.ManyMemcpy*1e3, p.ZeroCopy*1e3, p.Memcpy2D*1e3)
+		}
+		fmt.Println("\nFig 8 — zero-copy kernel bandwidth vs thread blocks (model):")
+		fmt.Printf("%-8s %12s %12s\n", "blocks", "H2D (GB/s)", "D2H (GB/s)")
+		for _, p := range cost.Fig8() {
+			fmt.Printf("%-8d %12.1f %12.1f\n", p.Blocks, p.H2DBW/1e9, p.D2HBW/1e9)
+		}
+	case "real":
+		elems := *total / 8
+		src := make([]float64, elems)
+		dst := make([]float64, elems)
+		for i := range src {
+			src[i] = float64(i)
+		}
+		fmt.Printf("real strided copies of %d MB on this host:\n", *total>>20)
+		fmt.Printf("%-14s %12s %14s\n", "chunk (KB)", "time (ms)", "rate (GB/s)")
+		for chunk := 256; chunk <= elems/4; chunk *= 4 {
+			rows := elems / (2 * chunk)
+			start := time.Now()
+			transpose.CopyStrided(dst, 2*chunk, src, 2*chunk, chunk, rows)
+			el := time.Since(start).Seconds()
+			moved := float64(rows * chunk * 8)
+			fmt.Printf("%-14.1f %12.3f %14.2f\n", float64(chunk*8)/1e3, el*1e3, moved/el/1e9)
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,680 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/transpose"
+)
+
+// Granularity selects how much data each MPI all-to-all carries.
+type Granularity int
+
+const (
+	// PerPencil posts one non-blocking all-to-all per pencil as soon
+	// as its packed D2H completes (paper configurations A and B).
+	PerPencil Granularity = iota
+	// PerSlab waits for every pencil and posts one large blocking
+	// all-to-all for the whole slab (paper configuration C).
+	PerSlab
+)
+
+// Options configures the asynchronous pipeline.
+type Options struct {
+	// NP is the number of pencils each slab is divided into (Fig 3);
+	// it must satisfy 1 ≤ NP ≤ N/2+1. Zero means 3, the Table 1 value.
+	NP int
+	// Granularity selects per-pencil (A/B) or per-slab (C) exchanges.
+	Granularity Granularity
+	// NGPU is the number of devices per MPI rank (Fig 5); each pencil
+	// is split vertically across them. Zero means 1.
+	NGPU int
+	// SingleComm stages all-to-all payloads through complex64 buffers,
+	// matching the paper's single-precision wire format (half the
+	// bytes, ~1e-7 relative rounding per transform).
+	SingleComm bool
+}
+
+// span is a half-open index range.
+type span struct{ lo, hi int }
+
+func (s span) width() int { return s.hi - s.lo }
+
+// splitRange divides [0,total) into n near-equal contiguous spans.
+func splitRange(total, n int) []span {
+	per, rem := total/n, total%n
+	out := make([]span, n)
+	lo := 0
+	for i := range out {
+		w := per
+		if i < rem {
+			w++
+		}
+		out[i] = span{lo, lo + w}
+		lo += w
+	}
+	return out
+}
+
+// gpuCtx is the per-device execution context: one compute stream and
+// one transfer stream (§3.4: a single transfer stream keeps host
+// memory traffic unidirectional), plus FFT plans keyed by width.
+type gpuCtx struct {
+	dev      *cuda.Device
+	transfer *cuda.Stream
+	compute  *cuda.Stream
+	// Triple-buffered device slots (§3.5's factor of 3 on buffers).
+	slots  [3][]complex128
+	rslots [3][]float64
+	lines  map[int]*fft.Batch     // strided line FFTs, keyed by width
+	xreal  map[int]*fft.RealBatch // c2r/r2c x transforms, keyed by z count
+}
+
+// AsyncSlabReal is the batched asynchronous transform engine of Fig 4.
+// It implements spectral.Transform. Not safe for concurrent use.
+type AsyncSlabReal struct {
+	comm *mpi.Comm
+	s    grid.Slab
+	n    int
+	nxh  int
+	np   int
+	gran Granularity
+
+	gpus []*gpuCtx
+	xr   []span // region y/z pencil x-ranges over nxh
+	zr   []span // region x pencil z-ranges over n
+
+	mid     []complex128 // [my][nz][nxh] intermediate slab
+	sendAll []complex128 // per-slab send buffer [P][·][·][nxh]
+	recvAll []complex128
+	sendP   [][]complex128 // per-pencil views into sendAll
+	recvP   [][]complex128
+
+	// Single-precision staging (Options.SingleComm).
+	single  bool
+	send32  []complex64
+	recv32  []complex64
+	sendP32 [][]complex64
+	recvP32 [][]complex64
+}
+
+// NewAsyncSlabReal constructs the pipeline for an N³ real transform
+// over the ranks of comm.
+func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("core: N must be even, got %d", n))
+	}
+	if opt.NP == 0 {
+		opt.NP = 3
+	}
+	if opt.NGPU == 0 {
+		opt.NGPU = 1
+	}
+	nxh := n/2 + 1
+	if opt.NP < 1 || opt.NP > nxh || opt.NP > n {
+		panic(fmt.Sprintf("core: invalid pencil count %d for N=%d", opt.NP, n))
+	}
+	s := grid.NewSlab(n, comm.Size(), comm.Rank())
+	a := &AsyncSlabReal{
+		comm: comm,
+		s:    s,
+		n:    n,
+		nxh:  nxh,
+		np:   opt.NP,
+		gran: opt.Granularity,
+		xr:   splitRange(nxh, opt.NP),
+		zr:   splitRange(n, opt.NP),
+	}
+	mz, my := s.MZ(), s.MY()
+
+	// Device slot sizing: the largest pencil seen by any region.
+	wmax := a.xr[0].width()
+	zmax := a.zr[0].width()
+	slotC := max(mz*n*wmax, max(my*n*wmax, my*zmax*nxh))
+	slotR := my * zmax * n
+
+	for g := 0; g < opt.NGPU; g++ {
+		dev := cuda.NewDevice(g)
+		ctx := &gpuCtx{
+			dev:      dev,
+			transfer: dev.NewStream(fmt.Sprintf("gpu%d/transfer", g)),
+			compute:  dev.NewStream(fmt.Sprintf("gpu%d/compute", g)),
+			lines:    map[int]*fft.Batch{},
+			xreal:    map[int]*fft.RealBatch{},
+		}
+		for i := range ctx.slots {
+			ctx.slots[i] = make([]complex128, slotC)
+			ctx.rslots[i] = make([]float64, slotR)
+		}
+		a.gpus = append(a.gpus, ctx)
+	}
+	// Pre-build plans for every width that can occur, including the
+	// vertical GPU sub-splits of Fig 5.
+	for _, ctx := range a.gpus {
+		for _, xs := range a.xr {
+			for _, sub := range splitRange(xs.width(), opt.NGPU) {
+				if w := sub.width(); w > 0 && ctx.lines[w] == nil {
+					ctx.lines[w] = fft.NewBatch(n, w, w, 1, w, 1)
+				}
+			}
+		}
+		for _, zs := range a.zr {
+			for _, sub := range splitRange(zs.width(), opt.NGPU) {
+				if zw := sub.width(); zw > 0 && ctx.xreal[zw] == nil {
+					ctx.xreal[zw] = fft.NewRealBatch(n, zw, 1, n, 1, nxh)
+				}
+			}
+		}
+	}
+
+	a.mid = make([]complex128, my*n*nxh)
+	a.single = opt.SingleComm
+	p := comm.Size()
+	if a.single {
+		a.send32 = make([]complex64, mz*n*nxh)
+		a.recv32 = make([]complex64, mz*n*nxh)
+		a.sendP32 = make([][]complex64, a.np)
+		a.recvP32 = make([][]complex64, a.np)
+		off := 0
+		for ip, xs := range a.xr {
+			size := p * mz * my * xs.width()
+			a.sendP32[ip] = a.send32[off : off+size]
+			a.recvP32[ip] = a.recv32[off : off+size]
+			off += size
+		}
+	} else {
+		a.sendAll = make([]complex128, mz*n*nxh)
+		a.recvAll = make([]complex128, mz*n*nxh)
+		a.sendP = make([][]complex128, a.np)
+		a.recvP = make([][]complex128, a.np)
+		off := 0
+		for ip, xs := range a.xr {
+			size := p * mz * my * xs.width()
+			a.sendP[ip] = a.sendAll[off : off+size]
+			a.recvP[ip] = a.recvAll[off : off+size]
+			off += size
+		}
+	}
+	return a
+}
+
+// Close releases the device worker goroutines.
+func (a *AsyncSlabReal) Close() {
+	for _, g := range a.gpus {
+		g.dev.Close()
+	}
+}
+
+// Slab reports the decomposition geometry.
+func (a *AsyncSlabReal) Slab() grid.Slab { return a.s }
+
+// NXH is the stored x extent of the half-spectrum.
+func (a *AsyncSlabReal) NXH() int { return a.nxh }
+
+// FourierLen is the complex element count of the local Fourier slab.
+func (a *AsyncSlabReal) FourierLen() int { return a.s.MZ() * a.n * a.nxh }
+
+// PhysicalLen is the real element count of the local physical slab.
+func (a *AsyncSlabReal) PhysicalLen() int { return a.s.MY() * a.n * a.n }
+
+// NP reports the pencil count per slab.
+func (a *AsyncSlabReal) NP() int { return a.np }
+
+// subRange returns device g's share of a pencil's range (Fig 5
+// vertical split).
+func subRange(xs span, g, ngpu int) span {
+	subs := splitRange(xs.width(), ngpu)
+	return span{xs.lo + subs[g].lo, xs.lo + subs[g].hi}
+}
+
+// FourierToPhysical runs the Fig 4 pipeline: the y region with fused
+// pack + all-to-all, then the z and x regions. four is consumed.
+func (a *AsyncSlabReal) FourierToPhysical(phys []float64, four []complex128) {
+	if len(four) != a.FourierLen() || len(phys) != a.PhysicalLen() {
+		panic(fmt.Sprintf("core: F2P wants %d/%d, got %d/%d",
+			a.FourierLen(), a.PhysicalLen(), len(four), len(phys)))
+	}
+	a.regionYTranspose(four)
+	a.regionZ(fft.Inverse)
+	a.regionXInverse(phys)
+}
+
+// PhysicalToFourier runs the reverse pipeline: the x (r2c) and z
+// regions, the reverse all-to-all fused into the z region's D2H, then
+// the y region.
+func (a *AsyncSlabReal) PhysicalToFourier(four []complex128, phys []float64) {
+	if len(four) != a.FourierLen() || len(phys) != a.PhysicalLen() {
+		panic(fmt.Sprintf("core: P2F wants %d/%d, got %d/%d",
+			a.FourierLen(), a.PhysicalLen(), len(four), len(phys)))
+	}
+	a.regionXForward(phys)
+	a.regionZTranspose(four)
+	a.regionY(four, fft.Forward)
+}
+
+// regionY streams x-split pencils of the Fourier slab [mz][ny][nxh]
+// through the devices, transforming along y in place (no transpose).
+func (a *AsyncSlabReal) regionY(four []complex128, dir fft.Direction) {
+	n, nxh, mz := a.n, a.nxh, a.s.MZ()
+	a.pipeline(func(ip, g int) pencilOps {
+		xs := subRange(a.xr[ip], g, len(a.gpus))
+		w := xs.width()
+		if w == 0 {
+			return pencilOps{}
+		}
+		ctx := a.gpus[g]
+		return pencilOps{
+			h2d: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, ctx.slots[slot], w,
+					four[xs.lo:], nxh, w, mz*n)
+			},
+			compute: a.lineFFT(ctx, w, mz, dir),
+			d2h: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, four[xs.lo:], nxh,
+					ctx.slots[slot], w, w, mz*n)
+			},
+		}
+	}, nil)
+}
+
+// regionYTranspose is the first dashed region of Fig 4: inverse y
+// transforms with the pack fused into the D2H as strided copies into
+// the send buffer, the all-to-all posted per pencil (PerPencil) or
+// once for the slab (PerSlab), and the received blocks unpacked into
+// the mid slab.
+func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
+	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
+	reqs := make([]*mpi.Request, a.np)
+	var afterD2H func(ip int)
+	if a.gran == PerPencil {
+		afterD2H = func(ip int) {
+			if a.single {
+				reqs[ip] = mpi.Ialltoall(a.comm, a.sendP32[ip], a.recvP32[ip])
+			} else {
+				reqs[ip] = mpi.Ialltoall(a.comm, a.sendP[ip], a.recvP[ip])
+			}
+		}
+	}
+	a.pipeline(func(ip, g int) pencilOps {
+		full := a.xr[ip]
+		xs := subRange(full, g, len(a.gpus))
+		w := xs.width()
+		if w == 0 {
+			return pencilOps{}
+		}
+		ctx := a.gpus[g]
+		return pencilOps{
+			h2d: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, ctx.slots[slot], w,
+					four[xs.lo:], nxh, w, mz*n)
+			},
+			compute: a.lineFFT(ctx, w, mz, fft.Inverse),
+			d2h: func(slot int) {
+				// Fused pack+D2H (§3.4): one strided copy per
+				// (destination, plane) — the call count grows with the
+				// rank count, the §5.2 effect. With SingleComm the copy
+				// also narrows to the wire precision.
+				buf := ctx.slots[slot]
+				for d := 0; d < p; d++ {
+					for iz := 0; iz < mz; iz++ {
+						src := buf[(iz*n+d*my)*w:]
+						switch {
+						case a.gran == PerPencil && a.single:
+							wp := full.width()
+							dst := a.sendP32[ip][d*mz*my*wp+iz*my*wp+(xs.lo-full.lo):]
+							narrow2DAsync(ctx.transfer, dst, wp, src, w, w, my)
+						case a.gran == PerPencil:
+							wp := full.width()
+							dst := a.sendP[ip][d*mz*my*wp+iz*my*wp+(xs.lo-full.lo):]
+							cuda.Memcpy2DAsync(ctx.transfer, dst, wp, src, w, w, my)
+						case a.single:
+							dst := a.send32[d*mz*my*nxh+iz*my*nxh+xs.lo:]
+							narrow2DAsync(ctx.transfer, dst, nxh, src, w, w, my)
+						default:
+							dst := a.sendAll[d*mz*my*nxh+iz*my*nxh+xs.lo:]
+							cuda.Memcpy2DAsync(ctx.transfer, dst, nxh, src, w, w, my)
+						}
+					}
+				}
+			},
+		}
+	}, afterD2H)
+
+	if a.gran == PerSlab {
+		if a.single {
+			mpi.Alltoall(a.comm, a.send32, a.recv32)
+		} else {
+			mpi.Alltoall(a.comm, a.sendAll, a.recvAll)
+		}
+		// Unpack [s][mz][my][nxh] blocks into mid=[my][nz][nxh].
+		for s := 0; s < p; s++ {
+			for iz := 0; iz < mz; iz++ {
+				if a.single {
+					widenStrided(a.mid[(s*mz+iz)*nxh:], n*nxh,
+						a.recv32[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
+				} else {
+					transpose.CopyStrided(a.mid[(s*mz+iz)*nxh:], n*nxh,
+						a.recvAll[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
+				}
+			}
+		}
+		return
+	}
+	mpi.WaitAll(reqs)
+	// Unpack per-pencil blocks [s][mz][my][wp] into mid (on real
+	// hardware this is the zero-copy scatter kernel of §4.2).
+	for ip, full := range a.xr {
+		wp := full.width()
+		for s := 0; s < p; s++ {
+			for iz := 0; iz < mz; iz++ {
+				if a.single {
+					widenStrided(a.mid[(s*mz+iz)*nxh+full.lo:], n*nxh,
+						a.recvP32[ip][s*mz*my*wp+iz*my*wp:], wp, wp, my)
+				} else {
+					transpose.CopyStrided(a.mid[(s*mz+iz)*nxh+full.lo:], n*nxh,
+						a.recvP[ip][s*mz*my*wp+iz*my*wp:], wp, wp, my)
+				}
+			}
+		}
+	}
+}
+
+// regionZ streams x-split pencils of the mid slab [my][nz][nxh],
+// transforming along z in place.
+func (a *AsyncSlabReal) regionZ(dir fft.Direction) {
+	n, nxh, my := a.n, a.nxh, a.s.MY()
+	a.pipeline(func(ip, g int) pencilOps {
+		xs := subRange(a.xr[ip], g, len(a.gpus))
+		w := xs.width()
+		if w == 0 {
+			return pencilOps{}
+		}
+		ctx := a.gpus[g]
+		return pencilOps{
+			h2d: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, ctx.slots[slot], w,
+					a.mid[xs.lo:], nxh, w, my*n)
+			},
+			compute: a.lineFFT(ctx, w, my, dir),
+			d2h: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, a.mid[xs.lo:], nxh,
+					ctx.slots[slot], w, w, my*n)
+			},
+		}
+	}, nil)
+}
+
+// regionZTranspose is the reverse-direction analogue of
+// regionYTranspose: forward z transforms on the mid slab with the
+// pack-by-destination-z fused into the D2H, the all-to-all, and the
+// unpack into the Fourier slab.
+func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
+	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
+	reqs := make([]*mpi.Request, a.np)
+	var afterD2H func(ip int)
+	if a.gran == PerPencil {
+		afterD2H = func(ip int) {
+			if a.single {
+				reqs[ip] = mpi.Ialltoall(a.comm, a.sendP32[ip], a.recvP32[ip])
+			} else {
+				reqs[ip] = mpi.Ialltoall(a.comm, a.sendP[ip], a.recvP[ip])
+			}
+		}
+	}
+	a.pipeline(func(ip, g int) pencilOps {
+		full := a.xr[ip]
+		xs := subRange(full, g, len(a.gpus))
+		w := xs.width()
+		if w == 0 {
+			return pencilOps{}
+		}
+		ctx := a.gpus[g]
+		return pencilOps{
+			h2d: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, ctx.slots[slot], w,
+					a.mid[xs.lo:], nxh, w, my*n)
+			},
+			compute: a.lineFFT(ctx, w, my, fft.Forward),
+			d2h: func(slot int) {
+				// Pack blocks [d][my][mz][·] by destination z range.
+				buf := ctx.slots[slot]
+				for d := 0; d < p; d++ {
+					for iy := 0; iy < my; iy++ {
+						src := buf[(iy*n+d*mz)*w:]
+						switch {
+						case a.gran == PerPencil && a.single:
+							wp := full.width()
+							dst := a.sendP32[ip][d*my*mz*wp+iy*mz*wp+(xs.lo-full.lo):]
+							narrow2DAsync(ctx.transfer, dst, wp, src, w, w, mz)
+						case a.gran == PerPencil:
+							wp := full.width()
+							dst := a.sendP[ip][d*my*mz*wp+iy*mz*wp+(xs.lo-full.lo):]
+							cuda.Memcpy2DAsync(ctx.transfer, dst, wp, src, w, w, mz)
+						case a.single:
+							dst := a.send32[d*my*mz*nxh+iy*mz*nxh+xs.lo:]
+							narrow2DAsync(ctx.transfer, dst, nxh, src, w, w, mz)
+						default:
+							dst := a.sendAll[d*my*mz*nxh+iy*mz*nxh+xs.lo:]
+							cuda.Memcpy2DAsync(ctx.transfer, dst, nxh, src, w, w, mz)
+						}
+					}
+				}
+			},
+		}
+	}, afterD2H)
+
+	if a.gran == PerSlab {
+		if a.single {
+			mpi.Alltoall(a.comm, a.send32, a.recv32)
+		} else {
+			mpi.Alltoall(a.comm, a.sendAll, a.recvAll)
+		}
+		for s := 0; s < p; s++ {
+			for iy := 0; iy < my; iy++ {
+				if a.single {
+					widenStrided(four[(s*my+iy)*nxh:], n*nxh,
+						a.recv32[s*my*mz*nxh+iy*mz*nxh:], nxh, nxh, mz)
+				} else {
+					transpose.CopyStrided(four[(s*my+iy)*nxh:], n*nxh,
+						a.recvAll[s*my*mz*nxh+iy*mz*nxh:], nxh, nxh, mz)
+				}
+			}
+		}
+		return
+	}
+	mpi.WaitAll(reqs)
+	for ip, full := range a.xr {
+		wp := full.width()
+		for s := 0; s < p; s++ {
+			for iy := 0; iy < my; iy++ {
+				if a.single {
+					widenStrided(four[(s*my+iy)*nxh+full.lo:], n*nxh,
+						a.recvP32[ip][s*my*mz*wp+iy*mz*wp:], wp, wp, mz)
+				} else {
+					transpose.CopyStrided(four[(s*my+iy)*nxh+full.lo:], n*nxh,
+						a.recvP[ip][s*my*mz*wp+iy*mz*wp:], wp, wp, mz)
+				}
+			}
+		}
+	}
+}
+
+// regionXInverse streams z-split pencils of the mid slab through c2r
+// transforms along x into the physical slab [my][nz][nx].
+func (a *AsyncSlabReal) regionXInverse(phys []float64) {
+	n, nxh, my := a.n, a.nxh, a.s.MY()
+	a.pipeline(func(ip, g int) pencilOps {
+		zs := subRange(a.zr[ip], g, len(a.gpus))
+		zw := zs.width()
+		if zw == 0 {
+			return pencilOps{}
+		}
+		ctx := a.gpus[g]
+		return pencilOps{
+			h2d: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, ctx.slots[slot], zw*nxh,
+					a.mid[zs.lo*nxh:], n*nxh, zw*nxh, my)
+			},
+			compute: func(slot int) {
+				plan := ctx.xreal[zw]
+				cbuf, rbuf := ctx.slots[slot], ctx.rslots[slot]
+				ctx.compute.Launch("fftx-c2r", func() {
+					for iy := 0; iy < my; iy++ {
+						plan.Inverse(rbuf[iy*zw*n:(iy+1)*zw*n], cbuf[iy*zw*nxh:(iy+1)*zw*nxh])
+					}
+				})
+			},
+			d2h: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, phys[zs.lo*n:], n*n,
+					ctx.rslots[slot], zw*n, zw*n, my)
+			},
+		}
+	}, nil)
+}
+
+// regionXForward streams z-split pencils of the physical slab through
+// r2c transforms along x into the mid slab.
+func (a *AsyncSlabReal) regionXForward(phys []float64) {
+	n, nxh, my := a.n, a.nxh, a.s.MY()
+	a.pipeline(func(ip, g int) pencilOps {
+		zs := subRange(a.zr[ip], g, len(a.gpus))
+		zw := zs.width()
+		if zw == 0 {
+			return pencilOps{}
+		}
+		ctx := a.gpus[g]
+		return pencilOps{
+			h2d: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, ctx.rslots[slot], zw*n,
+					phys[zs.lo*n:], n*n, zw*n, my)
+			},
+			compute: func(slot int) {
+				plan := ctx.xreal[zw]
+				cbuf, rbuf := ctx.slots[slot], ctx.rslots[slot]
+				ctx.compute.Launch("fftx-r2c", func() {
+					for iy := 0; iy < my; iy++ {
+						plan.Forward(cbuf[iy*zw*nxh:(iy+1)*zw*nxh], rbuf[iy*zw*n:(iy+1)*zw*n])
+					}
+				})
+			},
+			d2h: func(slot int) {
+				cuda.Memcpy2DAsync(ctx.transfer, a.mid[zs.lo*nxh:], n*nxh,
+					ctx.slots[slot], zw*nxh, zw*nxh, my)
+			},
+		}
+	}, nil)
+}
+
+// lineFFT returns a compute launcher running nplanes strided line
+// transforms of width w on the slot buffer.
+func (a *AsyncSlabReal) lineFFT(ctx *gpuCtx, w, nplanes int, dir fft.Direction) func(slot int) {
+	n := a.n
+	return func(slot int) {
+		plan := ctx.lines[w]
+		buf := ctx.slots[slot]
+		ctx.compute.Launch("fft-line", func() {
+			for pl := 0; pl < nplanes; pl++ {
+				plane := buf[pl*n*w : (pl+1)*n*w]
+				if dir == fft.Forward {
+					plan.Forward(plane, plane)
+				} else {
+					plan.Inverse(plane, plane)
+				}
+			}
+		})
+	}
+}
+
+// pencilOps are the three per-pencil stages a region supplies; any may
+// be nil (zero-width sub-pencil on this device).
+type pencilOps struct {
+	h2d     func(slot int)
+	compute func(slot int)
+	d2h     func(slot int)
+}
+
+// pipeline drives np pencils through every device with the Fig 4
+// launch order: D2H of the previous pencil first (prioritizing copies
+// out of the GPU so exchanges can start early), then compute of the
+// current pencil, then H2D of the next, with events ordering across
+// the two streams and three rotating device slots. afterD2H, when
+// non-nil, is invoked on the host once pencil ip's D2H has completed
+// on every device — two pencils behind the launch frontier, the
+// (ip−2) rule of Fig 4 — and is the hook that posts the per-pencil
+// MPI_IALLTOALL.
+func (a *AsyncSlabReal) pipeline(ops func(ip, g int) pencilOps, afterD2H func(ip int)) {
+	ngpu := len(a.gpus)
+	type evs struct{ h2d, comp, d2h *cuda.Event }
+	state := make([][]evs, a.np)
+	pops := make([][]pencilOps, a.np)
+	for ip := 0; ip < a.np; ip++ {
+		state[ip] = make([]evs, ngpu)
+		pops[ip] = make([]pencilOps, ngpu)
+		for g := 0; g < ngpu; g++ {
+			pops[ip][g] = ops(ip, g)
+		}
+	}
+	launchH2D := func(ip int) {
+		for g := 0; g < ngpu; g++ {
+			if pops[ip][g].h2d == nil {
+				continue
+			}
+			pops[ip][g].h2d(ip % 3)
+			state[ip][g].h2d = a.gpus[g].transfer.Record()
+		}
+	}
+	launchD2H := func(ip int) {
+		for g := 0; g < ngpu; g++ {
+			if pops[ip][g].d2h == nil {
+				continue
+			}
+			a.gpus[g].transfer.Wait(state[ip][g].comp)
+			pops[ip][g].d2h(ip % 3)
+			state[ip][g].d2h = a.gpus[g].transfer.Record()
+		}
+	}
+	waitD2H := func(ip int) {
+		for g := 0; g < ngpu; g++ {
+			if ev := state[ip][g].d2h; ev != nil {
+				ev.Synchronize()
+			}
+		}
+	}
+
+	launchH2D(0)
+	for ip := 0; ip < a.np; ip++ {
+		if ip > 0 {
+			launchD2H(ip - 1)
+		}
+		for g := 0; g < ngpu; g++ {
+			if pops[ip][g].compute == nil {
+				continue
+			}
+			a.gpus[g].compute.Wait(state[ip][g].h2d)
+			pops[ip][g].compute(ip % 3)
+			state[ip][g].comp = a.gpus[g].compute.Record()
+		}
+		if ip+1 < a.np {
+			launchH2D(ip + 1)
+		}
+		if afterD2H != nil && ip >= 2 {
+			waitD2H(ip - 2)
+			afterD2H(ip - 2)
+		}
+	}
+	launchD2H(a.np - 1)
+	for ip := max(0, a.np-2); ip < a.np; ip++ {
+		waitD2H(ip)
+		if afterD2H != nil {
+			afterD2H(ip)
+		}
+	}
+	// A region ends when both streams of every device have drained.
+	for _, g := range a.gpus {
+		g.transfer.Synchronize()
+		g.compute.Synchronize()
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/pfft"
+)
+
+// runBoth transforms the same random Fourier slab through the
+// synchronous reference and the asynchronous pipeline and returns the
+// max abs difference of the physical fields plus the round-trip error.
+func runBoth(t *testing.T, n, p int, opt Options) (maxDiff, roundTrip float64) {
+	t.Helper()
+	var mu sync.Mutex
+	var worstDiff, worstRT float64
+	mpi.Run(p, func(c *mpi.Comm) {
+		ref := pfft.NewSlabReal(c, n)
+		async := NewAsyncSlabReal(c, n, opt)
+		defer async.Close()
+
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 101))
+		phys0 := make([]float64, ref.PhysicalLen())
+		for i := range phys0 {
+			phys0[i] = rng.NormFloat64()
+		}
+		// Build a valid (conjugate-symmetric) spectrum from real data.
+		fourRef := make([]complex128, ref.FourierLen())
+		ref.PhysicalToFourier(fourRef, phys0)
+		fourAsync := make([]complex128, async.FourierLen())
+		physAsync := make([]float64, async.PhysicalLen())
+		async.PhysicalToFourier(fourAsync, phys0)
+		var d float64
+		for i := range fourRef {
+			if e := cmplx.Abs(fourAsync[i] - fourRef[i]); e > d {
+				d = e
+			}
+		}
+		// Forward direction comparison.
+		fourCopy := make([]complex128, len(fourRef))
+		copy(fourCopy, fourRef)
+		physRef := make([]float64, ref.PhysicalLen())
+		ref.FourierToPhysical(physRef, fourCopy)
+		copy(fourCopy, fourRef)
+		async.FourierToPhysical(physAsync, fourCopy)
+		for i := range physRef {
+			if e := math.Abs(physAsync[i] - physRef[i]); e > d {
+				d = e
+			}
+		}
+		// Round trip through the async engine alone.
+		copy(fourCopy, fourRef)
+		async.FourierToPhysical(physAsync, fourCopy)
+		async.PhysicalToFourier(fourCopy, physAsync)
+		var rt float64
+		for i := range fourCopy {
+			if e := cmplx.Abs(fourCopy[i] - fourRef[i]); e > rt {
+				rt = e
+			}
+		}
+		mu.Lock()
+		if d > worstDiff {
+			worstDiff = d
+		}
+		if rt > worstRT {
+			worstRT = rt
+		}
+		mu.Unlock()
+	})
+	return worstDiff, worstRT
+}
+
+func TestAsyncMatchesSyncPerSlab(t *testing.T) {
+	d, rt := runBoth(t, 16, 4, Options{NP: 3, Granularity: PerSlab})
+	if d > 1e-10 {
+		t.Errorf("async(PerSlab) differs from sync by %g", d)
+	}
+	if rt > 1e-10 {
+		t.Errorf("round trip error %g", rt)
+	}
+}
+
+func TestAsyncMatchesSyncPerPencil(t *testing.T) {
+	d, rt := runBoth(t, 16, 4, Options{NP: 4, Granularity: PerPencil})
+	if d > 1e-10 {
+		t.Errorf("async(PerPencil) differs from sync by %g", d)
+	}
+	if rt > 1e-10 {
+		t.Errorf("round trip error %g", rt)
+	}
+}
+
+func TestAsyncManyPencilCounts(t *testing.T) {
+	// nxh = 9 for n=16: exercise uneven x splits including np∤nxh.
+	for _, np := range []int{1, 2, 3, 5, 7, 9} {
+		for _, gran := range []Granularity{PerPencil, PerSlab} {
+			d, _ := runBoth(t, 16, 2, Options{NP: np, Granularity: gran})
+			if d > 1e-10 {
+				t.Errorf("np=%d gran=%d: diff %g", np, gran, d)
+			}
+		}
+	}
+}
+
+func TestAsyncMultiGPU(t *testing.T) {
+	// Fig 5: pencils split vertically across multiple devices per rank.
+	for _, ngpu := range []int{2, 3} {
+		d, rt := runBoth(t, 12, 2, Options{NP: 3, Granularity: PerPencil, NGPU: ngpu})
+		if d > 1e-10 {
+			t.Errorf("ngpu=%d: diff %g", ngpu, d)
+		}
+		if rt > 1e-10 {
+			t.Errorf("ngpu=%d: round trip %g", ngpu, rt)
+		}
+	}
+}
+
+func TestAsyncMoreGPUsThanWidth(t *testing.T) {
+	// Degenerate vertical splits (some devices get zero width).
+	d, _ := runBoth(t, 8, 2, Options{NP: 5, Granularity: PerSlab, NGPU: 4})
+	if d > 1e-10 {
+		t.Errorf("diff %g", d)
+	}
+}
+
+func TestAsyncSingleRank(t *testing.T) {
+	d, rt := runBoth(t, 16, 1, Options{NP: 3, Granularity: PerPencil})
+	if d > 1e-10 || rt > 1e-10 {
+		t.Errorf("single rank: diff %g rt %g", d, rt)
+	}
+}
+
+func TestAsyncManyRanks(t *testing.T) {
+	d, _ := runBoth(t, 16, 8, Options{NP: 3, Granularity: PerSlab})
+	if d > 1e-10 {
+		t.Errorf("8 ranks: diff %g", d)
+	}
+}
+
+func TestSyncGPUBaseline(t *testing.T) {
+	// The Fig 2 synchronous algorithm is the np=1 PerSlab special case.
+	mpi.Run(2, func(c *mpi.Comm) {
+		sg := NewSyncGPU(c, 16)
+		defer sg.Close()
+		if sg.NP() != 1 {
+			t.Errorf("sync baseline np=%d", sg.NP())
+		}
+		ref := pfft.NewSlabReal(c, 16)
+		rng := rand.New(rand.NewSource(7))
+		phys := make([]float64, ref.PhysicalLen())
+		for i := range phys {
+			phys[i] = rng.NormFloat64()
+		}
+		fr := make([]complex128, ref.FourierLen())
+		fs := make([]complex128, sg.FourierLen())
+		ref.PhysicalToFourier(fr, phys)
+		sg.PhysicalToFourier(fs, phys)
+		for i := range fr {
+			if cmplx.Abs(fr[i]-fs[i]) > 1e-10 {
+				t.Fatalf("sync GPU baseline differs at %d", i)
+			}
+		}
+	})
+}
+
+func TestRepeatedTransformsReuseBuffersSafely(t *testing.T) {
+	// Many back-to-back transforms through the same engine must not
+	// corrupt state (slot rotation, event bookkeeping).
+	mpi.Run(2, func(c *mpi.Comm) {
+		a := NewAsyncSlabReal(c, 8, Options{NP: 3, Granularity: PerPencil})
+		defer a.Close()
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		phys := make([]float64, a.PhysicalLen())
+		for i := range phys {
+			phys[i] = rng.NormFloat64()
+		}
+		orig := make([]float64, len(phys))
+		copy(orig, phys)
+		four := make([]complex128, a.FourierLen())
+		for iter := 0; iter < 5; iter++ {
+			a.PhysicalToFourier(four, phys)
+			a.FourierToPhysical(phys, four)
+			for i := range phys {
+				if math.Abs(phys[i]-orig[i]) > 1e-8 {
+					t.Fatalf("iter %d: drift %g at %d", iter, phys[i]-orig[i], i)
+				}
+			}
+		}
+	})
+}
+
+func TestSplitRangeProperties(t *testing.T) {
+	for total := 1; total <= 20; total++ {
+		for n := 1; n <= total+3; n++ {
+			spans := splitRange(total, n)
+			if len(spans) != n {
+				t.Fatalf("splitRange(%d,%d): %d spans", total, n, len(spans))
+			}
+			lo := 0
+			for _, s := range spans {
+				if s.lo != lo || s.hi < s.lo {
+					t.Fatalf("splitRange(%d,%d): bad span %+v", total, n, s)
+				}
+				lo = s.hi
+			}
+			if lo != total {
+				t.Fatalf("splitRange(%d,%d): covers %d", total, n, lo)
+			}
+			// Widths differ by at most 1.
+			minW, maxW := total, 0
+			for _, s := range spans {
+				if s.width() < minW {
+					minW = s.width()
+				}
+				if s.width() > maxW {
+					maxW = s.width()
+				}
+			}
+			if maxW-minW > 1 {
+				t.Fatalf("splitRange(%d,%d): uneven widths", total, n)
+			}
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for np > nxh")
+		}
+	}()
+	mpi.Run(1, func(c *mpi.Comm) {
+		NewAsyncSlabReal(c, 8, Options{NP: 100})
+	})
+}

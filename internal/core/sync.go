@@ -1,0 +1,12 @@
+package core
+
+import "repro/internal/mpi"
+
+// NewSyncGPU returns the basic synchronous GPU algorithm of §3.3
+// (Fig 2): the whole slab is copied to the device, transformed,
+// packed, exchanged with one blocking all-to-all, and transformed
+// again — the NP=1, PerSlab special case of the asynchronous engine,
+// valid only when a full slab fits in device memory.
+func NewSyncGPU(comm *mpi.Comm, n int) *AsyncSlabReal {
+	return NewAsyncSlabReal(comm, n, Options{NP: 1, Granularity: PerSlab})
+}

@@ -1,0 +1,132 @@
+package cuda
+
+import (
+	"fmt"
+	"math"
+)
+
+// CopyCost models the time of host↔device strided copies on Summit,
+// reproducing the comparison of §4.2 between (a) many small
+// cudaMemcpyAsync calls, (b) one cudaMemcpy2DAsync, and (c) a custom
+// zero-copy kernel (Figs 7 and 8).
+type CopyCost struct {
+	PeakBW         float64 // copy-engine bandwidth per GPU on pinned memory (B/s)
+	APIOverhead    float64 // host-side cost of one cudaMemcpyAsync call (s)
+	RowOverhead    float64 // per-row cost inside cudaMemcpy2DAsync (s)
+	LaunchOverhead float64 // one kernel launch (s)
+	ChunkOverhead  float64 // per-chunk cost inside the zero-copy kernel (s)
+	ZCPeakH2D      float64 // zero-copy kernel peak, device reading host (B/s)
+	ZCPeakD2H      float64 // zero-copy kernel peak, device writing host (B/s)
+	ZCBlockHalf    float64 // thread blocks at half of peak (saturation shape)
+}
+
+// SummitCopyCost returns the model calibrated to the V100/NVLink
+// numbers of §3.2 and the qualitative content of Figs 7 and 8.
+func SummitCopyCost() CopyCost {
+	return CopyCost{
+		PeakBW:         45e9, // 2 NVLink bricks per GPU, 50 GB/s peak
+		APIOverhead:    8e-6,
+		RowOverhead:    50e-9,
+		LaunchOverhead: 10e-6,
+		ChunkOverhead:  200e-9,
+		ZCPeakH2D:      43e9,
+		ZCPeakD2H:      39e9,
+		ZCBlockHalf:    2,
+	}
+}
+
+// ManyMemcpyTime is the time to move total bytes as total/chunk
+// separate cudaMemcpyAsync calls (the slow approach of Fig 7).
+func (c CopyCost) ManyMemcpyTime(total, chunk float64) float64 {
+	checkChunk(total, chunk)
+	n := math.Ceil(total / chunk)
+	return n*c.APIOverhead + total/c.PeakBW
+}
+
+// Memcpy2DTime is the time for one cudaMemcpy2DAsync moving total
+// bytes in rows of chunk contiguous bytes.
+func (c CopyCost) Memcpy2DTime(total, chunk float64) float64 {
+	checkChunk(total, chunk)
+	rows := math.Ceil(total / chunk)
+	return c.APIOverhead + rows*c.RowOverhead + total/c.PeakBW
+}
+
+// ZeroCopyBandwidth is the Fig 8 curve: sustained bandwidth of the
+// zero-copy kernel as a function of occupied thread blocks, for the
+// host-to-device (read) direction when h2d is true.
+func (c CopyCost) ZeroCopyBandwidth(blocks int, h2d bool) float64 {
+	if blocks < 1 {
+		panic(fmt.Sprintf("cuda: invalid block count %d", blocks))
+	}
+	peak := c.ZCPeakD2H
+	if h2d {
+		peak = c.ZCPeakH2D
+	}
+	b := float64(blocks)
+	return peak * b / (b + c.ZCBlockHalf)
+}
+
+// ZeroCopyTime is the time for the zero-copy kernel to move total
+// bytes in chunks of the given contiguous size using the given number
+// of thread blocks.
+func (c CopyCost) ZeroCopyTime(total, chunk float64, blocks int, h2d bool) float64 {
+	checkChunk(total, chunk)
+	n := math.Ceil(total / chunk)
+	return c.LaunchOverhead + n*c.ChunkOverhead + total/c.ZeroCopyBandwidth(blocks, h2d)
+}
+
+func checkChunk(total, chunk float64) {
+	if total <= 0 || chunk <= 0 || chunk > total {
+		panic(fmt.Sprintf("cuda: invalid copy total=%g chunk=%g", total, chunk))
+	}
+}
+
+// Fig7Point is one measurement of the Fig 7 sweep.
+type Fig7Point struct {
+	ChunkBytes float64
+	ManyMemcpy float64 // seconds
+	ZeroCopy   float64
+	Memcpy2D   float64
+}
+
+// Fig7 regenerates the strided-copy comparison of Fig 7: a fixed
+// 216 MB pencil moved with varying contiguous chunk sizes. The
+// zero-copy kernel uses ample blocks, as in the paper's measurement.
+func (c CopyCost) Fig7() []Fig7Point {
+	const total = 216e6
+	var out []Fig7Point
+	// Chunk sizes from 2.2 KB to 27 MB, ×2 sweep (Fig 7's x axis).
+	for chunk := 2200.0; chunk <= 28e6; chunk *= 2 {
+		out = append(out, Fig7Point{
+			ChunkBytes: chunk,
+			ManyMemcpy: c.ManyMemcpyTime(total, chunk),
+			ZeroCopy:   c.ZeroCopyTime(total, chunk, 160, true),
+			Memcpy2D:   c.Memcpy2DTime(total, chunk),
+		})
+	}
+	return out
+}
+
+// Fig8Point is one measurement of the Fig 8 sweep.
+type Fig8Point struct {
+	Blocks      int
+	H2DBW       float64 // zero-copy kernel, device reads host
+	D2HBW       float64 // zero-copy kernel, device writes host
+	Memcpy2DH2D float64 // copy-engine reference lines
+	Memcpy2DD2H float64
+}
+
+// Fig8 regenerates the zero-copy bandwidth-vs-blocks study of Fig 8.
+func (c CopyCost) Fig8() []Fig8Point {
+	var out []Fig8Point
+	for _, blocks := range []int{2, 4, 8, 16, 32, 64, 128, 160} {
+		out = append(out, Fig8Point{
+			Blocks:      blocks,
+			H2DBW:       c.ZeroCopyBandwidth(blocks, true),
+			D2HBW:       c.ZeroCopyBandwidth(blocks, false),
+			Memcpy2DH2D: c.PeakBW,
+			Memcpy2DD2H: c.PeakBW * 0.95,
+		})
+	}
+	return out
+}

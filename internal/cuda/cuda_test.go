@@ -1,0 +1,324 @@
+package cuda
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStreamExecutesInOrder(t *testing.T) {
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("compute")
+	var seq []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Launch("op", func() { seq = append(seq, i) })
+	}
+	s.Synchronize()
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("out of order: %v", seq)
+		}
+	}
+}
+
+func TestLaunchIsAsynchronousToHost(t *testing.T) {
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("transfer")
+	gate := make(chan struct{})
+	var ran atomic.Bool
+	s.Launch("blocked", func() { <-gate; ran.Store(true) })
+	// Host continues immediately even though the stream is blocked.
+	if ran.Load() {
+		t.Fatal("op ran before gate opened")
+	}
+	close(gate)
+	s.Synchronize()
+	if !ran.Load() {
+		t.Fatal("op never ran")
+	}
+}
+
+func TestEventOrdersAcrossStreams(t *testing.T) {
+	// The Fig 4 pattern: compute on stream A must complete before the
+	// D2H copy on stream B touches the buffer.
+	d := NewDevice(0)
+	defer d.Close()
+	compute := d.NewStream("compute")
+	transfer := d.NewStream("transfer")
+	for iter := 0; iter < 50; iter++ {
+		buf := make([]int, 1)
+		compute.Launch("fft", func() { buf[0] = 42 })
+		ev := compute.Record()
+		transfer.Wait(ev)
+		var got int
+		transfer.Launch("d2h", func() { got = buf[0] })
+		transfer.Synchronize()
+		if got != 42 {
+			t.Fatalf("iter %d: transfer observed %d before compute finished", iter, got)
+		}
+	}
+}
+
+func TestEventQueryAndSynchronize(t *testing.T) {
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("s")
+	gate := make(chan struct{})
+	s.Launch("slow", func() { <-gate })
+	ev := s.Record()
+	if ev.Query() {
+		t.Fatal("event complete while stream blocked")
+	}
+	close(gate)
+	ev.Synchronize()
+	if !ev.Query() {
+		t.Fatal("event not complete after synchronize")
+	}
+}
+
+func TestCompletedEvent(t *testing.T) {
+	if !CompletedEvent().Query() {
+		t.Fatal("CompletedEvent not complete")
+	}
+}
+
+func TestDeviceSynchronizeDrainsAllStreams(t *testing.T) {
+	d := NewDevice(3)
+	defer d.Close()
+	if d.ID() != 3 {
+		t.Fatal("device id")
+	}
+	var count atomic.Int32
+	for i := 0; i < 4; i++ {
+		s := d.NewStream("s")
+		for j := 0; j < 5; j++ {
+			s.Launch("inc", func() { count.Add(1) })
+		}
+	}
+	d.Synchronize()
+	if count.Load() != 20 {
+		t.Fatalf("count %d", count.Load())
+	}
+}
+
+func TestMemcpyAsync(t *testing.T) {
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("xfer")
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	MemcpyAsync(s, dst, src)
+	s.Synchronize()
+	if dst[1] != 2 {
+		t.Fatalf("dst %v", dst)
+	}
+}
+
+func TestMemcpy2DAsyncStridedPack(t *testing.T) {
+	// The §4.2 fused pack+D2H: copy a strided pencil out of a slab.
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("xfer")
+	nx, ny := 8, 4
+	slab := make([]complex128, nx*ny)
+	for i := range slab {
+		slab[i] = complex(float64(i), 0)
+	}
+	// Extract columns 2..5 of each row (rowLen 4, src stride nx).
+	pencil := make([]complex128, 4*ny)
+	Memcpy2DAsync(s, pencil, 4, slab[2:], nx, 4, ny)
+	s.Synchronize()
+	for r := 0; r < ny; r++ {
+		for j := 0; j < 4; j++ {
+			want := complex(float64(r*nx+2+j), 0)
+			if pencil[r*4+j] != want {
+				t.Fatalf("row %d col %d: %v want %v", r, j, pencil[r*4+j], want)
+			}
+		}
+	}
+}
+
+func TestZeroCopyGatherScatterRoundTrip(t *testing.T) {
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("zc")
+	src := []int{10, 20, 30, 40, 50}
+	idx := []int{4, 2, 0}
+	got := make([]int, 3)
+	ZeroCopyGather(s, got, src, idx)
+	s.Synchronize()
+	if got[0] != 50 || got[1] != 30 || got[2] != 10 {
+		t.Fatalf("gather %v", got)
+	}
+	back := make([]int, 5)
+	ZeroCopyScatter(s, back, got, idx)
+	s.Synchronize()
+	if back[4] != 50 || back[2] != 30 || back[0] != 10 {
+		t.Fatalf("scatter %v", back)
+	}
+}
+
+// --- Cost model -------------------------------------------------------
+
+func TestManyMemcpyMuchSlowerAtSmallChunks(t *testing.T) {
+	// Fig 7: below ~100 KB chunks, many cudaMemcpyAsync calls are far
+	// slower than the other two approaches.
+	c := SummitCopyCost()
+	const total = 216e6
+	chunk := 8.8e3 // the 8.8 KB point called out in §4.2
+	many := c.ManyMemcpyTime(total, chunk)
+	zc := c.ZeroCopyTime(total, chunk, 160, true)
+	m2d := c.Memcpy2DTime(total, chunk)
+	if many < 10*zc || many < 10*m2d {
+		t.Errorf("many-memcpy %g not ≫ zero-copy %g / memcpy2D %g", many, zc, m2d)
+	}
+}
+
+func TestZeroCopyAndMemcpy2DComparable(t *testing.T) {
+	// Fig 7's second conclusion: the two fast approaches give similar
+	// timings across the sweep.
+	c := SummitCopyCost()
+	for _, p := range c.Fig7() {
+		ratio := p.ZeroCopy / p.Memcpy2D
+		if ratio < 0.3 || ratio > 3.5 {
+			t.Errorf("chunk %g: zero-copy %g vs memcpy2D %g (ratio %.2f)",
+				p.ChunkBytes, p.ZeroCopy, p.Memcpy2D, ratio)
+		}
+	}
+}
+
+func TestFinerGranularityIncreasesTime(t *testing.T) {
+	// Fig 7's first conclusion: moving the same total in finer chunks
+	// costs more, for every method.
+	c := SummitCopyCost()
+	pts := c.Fig7()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ManyMemcpy > pts[i-1].ManyMemcpy ||
+			pts[i].ZeroCopy > pts[i-1].ZeroCopy ||
+			pts[i].Memcpy2D > pts[i-1].Memcpy2D {
+			t.Errorf("time not monotone in chunk size at %g bytes", pts[i].ChunkBytes)
+		}
+	}
+}
+
+func TestZeroCopySaturatesBy16Blocks(t *testing.T) {
+	// Fig 8: close to maximum throughput with only ~16 of 160 blocks.
+	c := SummitCopyCost()
+	bw16 := c.ZeroCopyBandwidth(16, true)
+	bwMax := c.ZeroCopyBandwidth(160, true)
+	if bw16 < 0.85*bwMax {
+		t.Errorf("16 blocks reaches only %.0f%% of peak", 100*bw16/bwMax)
+	}
+	// And with ample blocks it is comparable to the copy engine.
+	if bwMax < 0.85*c.PeakBW {
+		t.Errorf("zero-copy peak %.1f GB/s far below copy engine %.1f", bwMax/1e9, c.PeakBW/1e9)
+	}
+}
+
+func TestZeroCopyBandwidthMonotoneInBlocks(t *testing.T) {
+	c := SummitCopyCost()
+	prev := 0.0
+	for _, p := range c.Fig8() {
+		if p.H2DBW < prev {
+			t.Errorf("H2D bandwidth fell at %d blocks", p.Blocks)
+		}
+		prev = p.H2DBW
+		if p.D2HBW > p.H2DBW {
+			t.Errorf("D2H (write) should not exceed H2D (read) at %d blocks", p.Blocks)
+		}
+	}
+}
+
+func TestPaper18432ChunkSizeRegime(t *testing.T) {
+	// §4.2: for the 18432³ problem the contiguous extent is 18 KB and
+	// 165888 chunks must move; both fast methods stay in the tens of
+	// milliseconds while many-memcpy exceeds a second.
+	c := SummitCopyCost()
+	total := 165888.0 * 18e3
+	many := c.ManyMemcpyTime(total, 18e3)
+	m2d := c.Memcpy2DTime(total, 18e3)
+	if many < 1.0 {
+		t.Errorf("many-memcpy %g s, expected > 1 s", many)
+	}
+	if m2d > 0.2 {
+		t.Errorf("memcpy2D %g s, expected well under 0.2 s", m2d)
+	}
+}
+
+func TestCostModelPanicsOnBadChunk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SummitCopyCost().ManyMemcpyTime(100, 1000)
+}
+
+func TestFig7CoversPaperRange(t *testing.T) {
+	pts := SummitCopyCost().Fig7()
+	if len(pts) < 10 {
+		t.Fatalf("sweep too short: %d points", len(pts))
+	}
+	if pts[0].ChunkBytes > 2.3e3 || pts[len(pts)-1].ChunkBytes < 14e6 {
+		t.Errorf("sweep range [%g, %g] misses the paper's axis",
+			pts[0].ChunkBytes, pts[len(pts)-1].ChunkBytes)
+	}
+	_ = math.Pi
+}
+
+func TestDeviceErrorIsStickyAndSurfacesAtSync(t *testing.T) {
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("compute")
+	var ranAfter atomic.Bool
+	s.Launch("bad-kernel", func() { panic("illegal memory access") })
+	s.Launch("subsequent", func() { ranAfter.Store(true) })
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Error("Synchronize did not surface the device error")
+		}
+		if ranAfter.Load() {
+			t.Error("work after the failing kernel still executed")
+		}
+		if s.Err() == nil {
+			t.Error("sticky error cleared")
+		}
+	}()
+	s.Synchronize()
+}
+
+func TestDeviceErrorDoesNotHangEvents(t *testing.T) {
+	// Events recorded after a failure must still complete so that
+	// cross-stream waiters and the host never deadlock.
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("compute")
+	s.Launch("bad", func() { panic("boom") })
+	ev := s.Record()
+	done := make(chan struct{})
+	go func() { ev.Synchronize(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("event after device error never completed")
+	}
+}
+
+func TestHealthyStreamHasNoError(t *testing.T) {
+	d := NewDevice(0)
+	defer d.Close()
+	s := d.NewStream("ok")
+	s.Launch("fine", func() {})
+	s.Synchronize()
+	if s.Err() != nil {
+		t.Errorf("unexpected error %v", s.Err())
+	}
+	if s.Name() != "ok" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,224 @@
+// Package cuda is a software model of the CUDA execution constructs
+// the paper's algorithm is built from: devices, in-order streams,
+// events, asynchronous 1D/2D memory copies and kernel launches. The
+// "device" executes on host memory, but the concurrency semantics —
+// in-order execution within a stream, overlap between streams, event
+// ordering across streams, host asynchrony of every launch — are those
+// of CUDA, which is what the batched asynchronous algorithm (Fig 4)
+// actually depends on. A separate cost model (cost.go) carries the
+// performance characteristics of the real hardware for the simulator.
+package cuda
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transpose"
+)
+
+// Device owns a set of streams, mirroring one GPU.
+type Device struct {
+	id      int
+	mu      sync.Mutex
+	streams []*Stream
+}
+
+// NewDevice creates device id (the cudaSetDevice analogue is simply
+// which Device value a thread launches work on).
+func NewDevice(id int) *Device { return &Device{id: id} }
+
+// ID reports the device ordinal.
+func (d *Device) ID() int { return d.id }
+
+// NewStream creates an asynchronous in-order work queue on the device.
+func (d *Device) NewStream(name string) *Stream {
+	s := &Stream{name: name, ops: make(chan streamOp, 1024)}
+	s.wg.Add(1)
+	go s.run()
+	d.mu.Lock()
+	d.streams = append(d.streams, s)
+	d.mu.Unlock()
+	return s
+}
+
+// Synchronize blocks until every stream of the device has drained
+// (cudaDeviceSynchronize).
+func (d *Device) Synchronize() {
+	d.mu.Lock()
+	streams := append([]*Stream(nil), d.streams...)
+	d.mu.Unlock()
+	for _, s := range streams {
+		s.Synchronize()
+	}
+}
+
+// Close shuts down all stream workers. The device must not be used
+// afterwards.
+func (d *Device) Close() {
+	d.mu.Lock()
+	streams := append([]*Stream(nil), d.streams...)
+	d.streams = nil
+	d.mu.Unlock()
+	for _, s := range streams {
+		close(s.ops)
+		s.wg.Wait()
+	}
+}
+
+// streamOp is one queue entry; control ops (event records, sync
+// markers) execute even after a device error so the host never hangs.
+type streamOp struct {
+	fn      func()
+	control bool
+}
+
+// Stream is an in-order asynchronous work queue (cudaStream_t).
+type Stream struct {
+	name string
+	ops  chan streamOp
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	err any // sticky device error (a panicking kernel), as on real CUDA
+}
+
+func (s *Stream) run() {
+	defer s.wg.Done()
+	for op := range s.ops {
+		if s.failed() && !op.control {
+			// A sticky error poisons the stream: remaining data work
+			// is drained without executing, like a device in error
+			// state; control ops still fire so waiters unblock.
+			continue
+		}
+		func() {
+			defer func() {
+				if e := recover(); e != nil {
+					s.mu.Lock()
+					s.err = e
+					s.mu.Unlock()
+				}
+			}()
+			op.fn()
+		}()
+	}
+}
+
+func (s *Stream) failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil
+}
+
+// Err reports the sticky device error, if any (cudaGetLastError).
+func (s *Stream) Err() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Name reports the stream label.
+func (s *Stream) Name() string { return s.name }
+
+// Launch enqueues fn on the stream and returns immediately; fn runs
+// after all previously enqueued work (kernel-launch semantics).
+func (s *Stream) Launch(name string, fn func()) {
+	_ = name
+	s.ops <- streamOp{fn: fn}
+}
+
+// Record enqueues an event into the stream and returns it; the event
+// completes when the stream reaches it (cudaEventRecord).
+func (s *Stream) Record() *Event {
+	ev := &Event{done: make(chan struct{})}
+	s.ops <- streamOp{fn: func() { close(ev.done) }, control: true}
+	return ev
+}
+
+// Wait makes subsequent work on this stream wait until ev completes
+// (cudaStreamWaitEvent): the wait occupies the stream, not the host.
+func (s *Stream) Wait(ev *Event) {
+	s.ops <- streamOp{fn: func() { <-ev.done }, control: true}
+}
+
+// Synchronize blocks the host until all currently enqueued work has
+// executed (cudaStreamSynchronize). It panics with the sticky device
+// error if a kernel failed, so failures surface at the next host
+// synchronization point exactly as CUDA error checking does.
+func (s *Stream) Synchronize() {
+	done := make(chan struct{})
+	s.ops <- streamOp{fn: func() { close(done) }, control: true}
+	<-done
+	if e := s.Err(); e != nil {
+		panic(fmt.Sprintf("cuda: device error on stream %s: %v", s.name, e))
+	}
+}
+
+// Event marks a point in a stream (cudaEvent_t).
+type Event struct {
+	done chan struct{}
+}
+
+// Synchronize blocks the host until the event completes.
+func (e *Event) Synchronize() { <-e.done }
+
+// Query reports whether the event has completed without blocking.
+func (e *Event) Query() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// CompletedEvent returns an event that is already complete, useful as
+// the dependency of the first pipeline stage.
+func CompletedEvent() *Event {
+	e := &Event{done: make(chan struct{})}
+	close(e.done)
+	return e
+}
+
+// MemcpyAsync enqueues a contiguous copy on the stream
+// (cudaMemcpyAsync on pinned memory).
+func MemcpyAsync[T any](s *Stream, dst, src []T) {
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("cuda: memcpy dst %d < src %d", len(dst), len(src)))
+	}
+	n := len(src)
+	s.Launch("memcpy", func() { copy(dst[:n], src[:n]) })
+}
+
+// Memcpy2DAsync enqueues a strided copy on the stream: nrows rows of
+// rowLen elements, with independent destination and source strides —
+// the cudaMemcpy2DAsync call of §4.2, executed by the copy engine (no
+// SMs consumed on real hardware).
+func Memcpy2DAsync[T any](s *Stream, dst []T, dstStride int, src []T, srcStride, rowLen, nrows int) {
+	s.Launch("memcpy2d", func() {
+		transpose.CopyStrided(dst, dstStride, src, srcStride, rowLen, nrows)
+	})
+}
+
+// ZeroCopyGather enqueues a custom zero-copy kernel performing an
+// arbitrary gather: dst[i] = src[idx[i]]. On real hardware this runs
+// on SM threads reading pinned host memory directly (§4.2); here it
+// executes the same access pattern.
+func ZeroCopyGather[T any](s *Stream, dst []T, src []T, idx []int) {
+	s.Launch("zerocopy-gather", func() {
+		for i, j := range idx {
+			dst[i] = src[j]
+		}
+	})
+}
+
+// ZeroCopyScatter enqueues the inverse pattern: dst[idx[i]] = src[i],
+// used for unpacking received all-to-all blocks into non-contiguous
+// locations.
+func ZeroCopyScatter[T any](s *Stream, dst []T, src []T, idx []int) {
+	s.Launch("zerocopy-scatter", func() {
+		for i, j := range idx {
+			dst[j] = src[i]
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package fft
+
+import "fmt"
+
+// Batch executes many transforms of the same length over strided data,
+// mirroring the cufftPlanMany advanced-layout semantics the paper's GPU
+// code depends on: transform t reads element j from
+// src[t·idist + j·istride] and writes element k to
+// dst[t·odist + k·ostride].
+type Batch struct {
+	p              *Plan
+	howmany        int
+	istride, idist int
+	ostride, odist int
+	in, out        []complex128
+}
+
+// NewBatch creates a batched plan of howmany length-n transforms with
+// the given input/output strides and distances.
+func NewBatch(n, howmany, istride, idist, ostride, odist int) *Batch {
+	if howmany < 0 || istride < 1 || ostride < 1 {
+		panic(fmt.Sprintf("fft: invalid batch layout howmany=%d istride=%d ostride=%d", howmany, istride, ostride))
+	}
+	return &Batch{
+		p:       NewPlan(n),
+		howmany: howmany,
+		istride: istride, idist: idist,
+		ostride: ostride, odist: odist,
+		in:  make([]complex128, n),
+		out: make([]complex128, n),
+	}
+}
+
+// NewContiguousBatch is shorthand for howmany back-to-back unit-stride
+// transforms.
+func NewContiguousBatch(n, howmany int) *Batch {
+	return NewBatch(n, howmany, 1, n, 1, n)
+}
+
+// Len reports the transform length.
+func (b *Batch) Len() int { return b.p.Len() }
+
+// HowMany reports the number of transforms per execution.
+func (b *Batch) HowMany() int { return b.howmany }
+
+// Forward runs all forward transforms. dst and src may alias.
+func (b *Batch) Forward(dst, src []complex128) { b.exec(dst, src, Forward) }
+
+// Inverse runs all inverse transforms (each scaled by 1/n).
+func (b *Batch) Inverse(dst, src []complex128) { b.exec(dst, src, Inverse) }
+
+func (b *Batch) exec(dst, src []complex128, dir Direction) {
+	n := b.p.Len()
+	for t := 0; t < b.howmany; t++ {
+		ibase := t * b.idist
+		for j := 0; j < n; j++ {
+			b.in[j] = src[ibase+j*b.istride]
+		}
+		b.p.run(b.out, b.in, dir)
+		obase := t * b.odist
+		for k := 0; k < n; k++ {
+			dst[obase+k*b.ostride] = b.out[k]
+		}
+	}
+}
+
+// RealBatch is the real-to-complex analogue of Batch: howmany length-n
+// real transforms with strided layouts. Strides attach to the data
+// domain, not the call direction: (rstride, rdist) address the real
+// sequences and (cstride, cdist) the half-spectra, in both Forward and
+// Inverse, so one plan serves the DNS's r2c and c2r x-transforms.
+type RealBatch struct {
+	p              *RealPlan
+	howmany        int
+	rstride, rdist int
+	cstride, cdist int
+	rbuf           []float64
+	cbuf           []complex128
+}
+
+// NewRealBatch creates a batched real-transform plan.
+func NewRealBatch(n, howmany, rstride, rdist, cstride, cdist int) *RealBatch {
+	if howmany < 0 || rstride < 1 || cstride < 1 {
+		panic(fmt.Sprintf("fft: invalid real batch layout howmany=%d rstride=%d cstride=%d", howmany, rstride, cstride))
+	}
+	return &RealBatch{
+		p:       NewRealPlan(n),
+		howmany: howmany,
+		rstride: rstride, rdist: rdist,
+		cstride: cstride, cdist: cdist,
+		rbuf: make([]float64, n),
+		cbuf: make([]complex128, n/2+1),
+	}
+}
+
+// Forward transforms howmany real sequences from src into half-spectra
+// in dst.
+func (b *RealBatch) Forward(dst []complex128, src []float64) {
+	n, h := b.p.Len(), b.p.HalfLen()
+	for t := 0; t < b.howmany; t++ {
+		rbase := t * b.rdist
+		for j := 0; j < n; j++ {
+			b.rbuf[j] = src[rbase+j*b.rstride]
+		}
+		b.p.Forward(b.cbuf, b.rbuf)
+		cbase := t * b.cdist
+		for k := 0; k < h; k++ {
+			dst[cbase+k*b.cstride] = b.cbuf[k]
+		}
+	}
+}
+
+// Inverse transforms howmany half-spectra from src into real sequences
+// in dst (each scaled by 1/n).
+func (b *RealBatch) Inverse(dst []float64, src []complex128) {
+	n, h := b.p.Len(), b.p.HalfLen()
+	for t := 0; t < b.howmany; t++ {
+		cbase := t * b.cdist
+		for k := 0; k < h; k++ {
+			b.cbuf[k] = src[cbase+k*b.cstride]
+		}
+		b.p.Inverse(b.rbuf, b.cbuf)
+		rbase := t * b.rdist
+		for j := 0; j < n; j++ {
+			dst[rbase+j*b.rstride] = b.rbuf[j]
+		}
+	}
+}

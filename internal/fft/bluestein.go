@@ -1,0 +1,76 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// bluestein implements the chirp-z method for transform lengths whose
+// prime factors are too large for direct butterflies. The length-n DFT
+// is re-expressed as a circular convolution of length m (a power of two
+// ≥ 2n−1), which is evaluated with the radix-2/4 machinery.
+type bluestein struct {
+	n    int
+	m    int
+	pm   *Plan        // power-of-two plan of length m
+	w    []complex128 // w[j] = exp(−iπ·j²/n), forward chirp
+	fb   []complex128 // FFT of the padded conjugate chirp
+	ax   []complex128 // scratch, length m
+	conv []complex128 // scratch, length m
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	b := &bluestein{n: n, m: m}
+	b.pm = NewPlan(m)
+	b.w = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// j² mod 2n keeps the argument small for large n.
+		jj := (j * j) % (2 * n)
+		b.w[j] = cmplx.Exp(complex(0, -math.Pi*float64(jj)/float64(n)))
+	}
+	// Padded kernel: c[j] = conj(w[j]) for |j| < n, wrapped at m.
+	c := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		c[j] = cmplx.Conj(b.w[j])
+		if j > 0 {
+			c[m-j] = cmplx.Conj(b.w[j])
+		}
+	}
+	b.fb = make([]complex128, m)
+	b.pm.Forward(b.fb, c)
+	b.ax = make([]complex128, m)
+	b.conv = make([]complex128, m)
+	return b
+}
+
+// transform computes the unnormalized DFT of src into dst; the caller
+// applies the 1/n factor for inverse transforms. dst and src may alias.
+func (b *bluestein) transform(dst, src []complex128, dir Direction) {
+	n, m := b.n, b.m
+	for j := 0; j < n; j++ {
+		x := src[j]
+		if dir == Inverse {
+			x = cmplx.Conj(x)
+		}
+		b.ax[j] = x * b.w[j]
+	}
+	for j := n; j < m; j++ {
+		b.ax[j] = 0
+	}
+	b.pm.Forward(b.conv, b.ax)
+	for j := 0; j < m; j++ {
+		b.conv[j] *= b.fb[j]
+	}
+	b.pm.Inverse(b.ax, b.conv)
+	for k := 0; k < n; k++ {
+		y := b.ax[k] * b.w[k]
+		if dir == Inverse {
+			y = cmplx.Conj(y)
+		}
+		dst[k] = y
+	}
+}

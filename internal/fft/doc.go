@@ -1,0 +1,15 @@
+// Package fft provides from-scratch fast Fourier transforms used by the
+// pseudo-spectral DNS code: complex-to-complex transforms of any length
+// (mixed radix 2/3/5/7, generic prime butterflies, and Bluestein's
+// algorithm for lengths with large prime factors), real-to-complex and
+// complex-to-real transforms exploiting conjugate symmetry, and batched
+// strided plans mirroring the plan semantics of cuFFT that the paper's
+// GPU kernels rely on.
+//
+// Conventions: the forward transform computes
+//
+//	X[k] = Σ_j x[j]·exp(−2πi·jk/n)
+//
+// and is unnormalized; the inverse transform includes the 1/n factor so
+// that Inverse(Forward(x)) == x.
+package fft

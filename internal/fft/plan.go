@@ -1,0 +1,175 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Direction selects the sign of the transform exponent.
+type Direction int
+
+const (
+	// Forward computes X[k] = Σ x[j]·exp(−2πi·jk/n), unnormalized.
+	Forward Direction = -1
+	// Inverse computes x[j] = (1/n)·Σ X[k]·exp(+2πi·jk/n).
+	Inverse Direction = +1
+)
+
+// maxDirectPrime is the largest prime factor handled by the direct
+// O(r²) butterfly; larger primes fall back to Bluestein's algorithm.
+const maxDirectPrime = 61
+
+// Plan holds precomputed twiddle factors and the factorization of a
+// fixed transform length. A Plan carries internal scratch, so a single
+// Plan must not be used concurrently; allocate one Plan per goroutine
+// (as the per-worker plan maps in pfft and core do).
+type Plan struct {
+	n         int
+	factors   []int
+	w         []complex128 // w[j] = exp(−2πi·j/n)
+	blue      *bluestein   // non-nil when a prime factor exceeds maxDirectPrime
+	scratch   []complex128
+	scratch2  []complex128
+	gen       []complex128 // generic-radix butterfly gather buffer
+	needsBlue bool
+}
+
+// NewPlan creates a plan for complex transforms of length n (n ≥ 1).
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	p := &Plan{n: n}
+	p.factors = factorize(n)
+	for _, f := range p.factors {
+		if f > maxDirectPrime {
+			p.needsBlue = true
+		}
+	}
+	if p.needsBlue {
+		p.blue = newBluestein(n)
+		return p
+	}
+	p.w = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		p.w[j] = cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(n)))
+	}
+	p.scratch = make([]complex128, n)
+	p.scratch2 = make([]complex128, n)
+	maxF := 0
+	for _, f := range p.factors {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	p.gen = make([]complex128, maxF)
+	return p
+}
+
+// Len reports the transform length of the plan.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the forward DFT of src into dst. dst and src must
+// each have length n and may alias.
+func (p *Plan) Forward(dst, src []complex128) { p.run(dst, src, Forward) }
+
+// Inverse computes the inverse DFT (including the 1/n factor) of src
+// into dst. dst and src must each have length n and may alias.
+func (p *Plan) Inverse(dst, src []complex128) { p.run(dst, src, Inverse) }
+
+func (p *Plan) run(dst, src []complex128, dir Direction) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("fft: plan length %d, got dst %d src %d", p.n, len(dst), len(src)))
+	}
+	if p.n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	if p.needsBlue {
+		p.blue.transform(dst, src, dir)
+		if dir == Inverse {
+			scale(dst, 1/float64(p.n))
+		}
+		return
+	}
+	// Work out-of-place into scratch to permit aliasing, then copy.
+	work := p.scratch
+	copy(p.scratch2, src)
+	p.recurse(work, p.scratch2, p.n, 1, dir, p.factors)
+	copy(dst, work)
+	if dir == Inverse {
+		scale(dst, 1/float64(p.n))
+	}
+}
+
+// recurse computes the length-n DFT of x[0], x[s], … x[(n−1)·s] into
+// out[0:n] by decimation in time over the remaining factors.
+func (p *Plan) recurse(out, x []complex128, n, s int, dir Direction, factors []int) {
+	if n == 1 {
+		out[0] = x[0]
+		return
+	}
+	r := factors[0]
+	m := n / r
+	// Sub-transforms: F_q = DFT of x[q·s], x[q·s+r·s], … (length m).
+	for q := 0; q < r; q++ {
+		p.recurse(out[q*m:(q+1)*m], x[q*s:], m, s*r, dir, factors[1:])
+	}
+	// Combine: X[k1 + m·k2] = Σ_q W_n^{q·k1}·W_r^{q·k2}·F_q[k1].
+	// Twiddle stride into the global table: ws = N/n.
+	ws := p.n / n
+	switch r {
+	case 2:
+		p.combine2(out, m, ws, dir)
+	case 3:
+		p.combine3(out, m, ws, dir)
+	case 4:
+		p.combine4(out, m, ws, dir)
+	case 5:
+		p.combine5(out, m, ws, dir)
+	default:
+		p.combineGeneric(out, r, m, ws, dir)
+	}
+}
+
+// tw returns W_n^j for the plan-global table with the requested
+// direction (conjugated for inverse transforms).
+func (p *Plan) tw(idx int, dir Direction) complex128 {
+	w := p.w[idx%p.n]
+	if dir == Inverse {
+		return cmplx.Conj(w)
+	}
+	return w
+}
+
+func scale(v []complex128, a float64) {
+	c := complex(a, 0)
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// factorize returns the prime factorization of n in ascending order,
+// with factors of 4 preferred over pairs of 2 for the radix-4 butterfly.
+func factorize(n int) []int {
+	var fs []int
+	for n%4 == 0 {
+		fs = append(fs, 4)
+		n /= 4
+	}
+	for n%2 == 0 {
+		fs = append(fs, 2)
+		n /= 2
+	}
+	for f := 3; f*f <= n; f += 2 {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}

@@ -1,0 +1,141 @@
+// Package grid describes the domain decompositions of the paper: the
+// 1D slab decomposition adopted by the new GPU code (Fig 1 left), the
+// 2D pencil decomposition of the CPU baseline (Fig 1 right), the
+// division of a slab into np pencils for out-of-core GPU batching
+// (Fig 3), and the further vertical split across the GPUs of one MPI
+// rank (Fig 5). It also provides the wavenumber bookkeeping of the
+// spectral method.
+package grid
+
+import "fmt"
+
+// Slab is the 1D decomposition: rank r of P holds N/P contiguous x-y
+// planes in Fourier space (z-distributed) and N/P contiguous x-z
+// planes in physical space (y-distributed).
+type Slab struct {
+	N    int // linear problem size
+	P    int // number of MPI ranks
+	Rank int
+}
+
+// NewSlab validates divisibility (load balancing requires P | N, as
+// §3.5 of the paper notes) and returns the geometry for one rank.
+func NewSlab(n, p, rank int) Slab {
+	if p < 1 || n < 1 || n%p != 0 {
+		panic(fmt.Sprintf("grid: slab requires P|N, got N=%d P=%d", n, p))
+	}
+	if rank < 0 || rank >= p {
+		panic(fmt.Sprintf("grid: rank %d out of range [0,%d)", rank, p))
+	}
+	return Slab{N: n, P: p, Rank: rank}
+}
+
+// MZ is the local z extent (planes per slab) in Fourier space.
+func (s Slab) MZ() int { return s.N / s.P }
+
+// MY is the local y extent in physical space (after the transpose).
+func (s Slab) MY() int { return s.N / s.P }
+
+// ZLo returns the first global z index owned by the rank.
+func (s Slab) ZLo() int { return s.Rank * s.MZ() }
+
+// YLo returns the first global y index owned by the rank (physical).
+func (s Slab) YLo() int { return s.Rank * s.MY() }
+
+// ZOwner reports which rank owns global z index iz in Fourier space.
+func (s Slab) ZOwner(iz int) int { return iz / s.MZ() }
+
+// YOwner reports which rank owns global y index iy in physical space.
+func (s Slab) YOwner(iy int) int { return iy / s.MY() }
+
+// Pencil2D is the 2D decomposition of the CPU baseline: a Pr×Pc
+// process grid with y distributed over the Pr y-groups and z over the
+// Pc z-groups in the x-pencil layout.
+type Pencil2D struct {
+	N      int
+	Pr, Pc int
+	YRank  int // this rank's y-group index, in [0, Pr)
+	ZRank  int // this rank's z-group index, in [0, Pc)
+}
+
+// NewPencil2D validates that both grid dimensions divide N and that
+// the group indices are in range.
+func NewPencil2D(n, pr, pc, yRank, zRank int) Pencil2D {
+	if pr < 1 || pc < 1 || n%pr != 0 || n%pc != 0 {
+		panic(fmt.Sprintf("grid: pencil requires Pr|N and Pc|N, got N=%d Pr=%d Pc=%d", n, pr, pc))
+	}
+	if yRank < 0 || yRank >= pr || zRank < 0 || zRank >= pc {
+		panic(fmt.Sprintf("grid: pencil group (%d,%d) out of %dx%d", yRank, zRank, pr, pc))
+	}
+	return Pencil2D{N: n, Pr: pr, Pc: pc, YRank: yRank, ZRank: zRank}
+}
+
+// MY is the local y extent in the x-pencil layout, N/Pr.
+func (p Pencil2D) MY() int { return p.N / p.Pr }
+
+// MZ is the local z extent in the x-pencil layout, N/Pc.
+func (p Pencil2D) MZ() int { return p.N / p.Pc }
+
+// MX is the local x extent after the row transpose, N/Pr.
+func (p Pencil2D) MX() int { return p.N / p.Pr }
+
+// MY2 is the local y extent after the column transpose, N/Pc.
+func (p Pencil2D) MY2() int { return p.N / p.Pc }
+
+// PencilBatch describes how one rank's slab is divided into np pencils
+// that are cycled through GPU memory (Fig 3): pencil ip covers y
+// indices [ip·nyp, (ip+1)·nyp) of the local x-y slab.
+type PencilBatch struct {
+	Slab Slab
+	NP   int // pencils per slab
+}
+
+// NewPencilBatch validates np | N.
+func NewPencilBatch(s Slab, np int) PencilBatch {
+	if np < 1 || s.N%np != 0 {
+		panic(fmt.Sprintf("grid: pencil batch requires np|N, got N=%d np=%d", s.N, np))
+	}
+	return PencilBatch{Slab: s, NP: np}
+}
+
+// NYP is the y extent of one pencil, N/np.
+func (b PencilBatch) NYP() int { return b.Slab.N / b.NP }
+
+// Words is the number of complex words in one pencil of one variable:
+// nxh × nyp × mz, where nxh is the x extent of the stored spectrum.
+func (b PencilBatch) Words(nxh int) int { return nxh * b.NYP() * b.Slab.MZ() }
+
+// GPUSlice further splits a pencil vertically across ngpu devices
+// (Fig 5), returning the y sub-range [lo,hi) of the pencil handled by
+// device g.
+func (b PencilBatch) GPUSlice(ip, g, ngpu int) (lo, hi int) {
+	if g < 0 || g >= ngpu {
+		panic(fmt.Sprintf("grid: gpu %d out of %d", g, ngpu))
+	}
+	nyp := b.NYP()
+	per := nyp / ngpu
+	rem := nyp % ngpu
+	lo = ip*nyp + g*per + min(g, rem)
+	hi = lo + per
+	if g < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Wavenumber maps a storage index i on an N-point grid to its signed
+// wavenumber: 0,1,…,N/2,−N/2+1,…,−1.
+func Wavenumber(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+// MaxRealizableK is the highest wavenumber magnitude representable per
+// direction, N/2.
+func MaxRealizableK(n int) int { return n / 2 }
+
+// DealiasCutoff is the 2/3-rule truncation radius: modes with any
+// |k| > N/3 are zeroed when forming nonlinear products.
+func DealiasCutoff(n int) float64 { return float64(n) / 3.0 }

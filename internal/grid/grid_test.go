@@ -1,0 +1,151 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlabExtents(t *testing.T) {
+	s := NewSlab(12, 4, 2)
+	if s.MZ() != 3 || s.MY() != 3 {
+		t.Errorf("extents %d %d", s.MZ(), s.MY())
+	}
+	if s.ZLo() != 6 || s.YLo() != 6 {
+		t.Errorf("offsets %d %d", s.ZLo(), s.YLo())
+	}
+}
+
+func TestSlabOwnership(t *testing.T) {
+	s := NewSlab(12, 4, 0)
+	for iz := 0; iz < 12; iz++ {
+		owner := s.ZOwner(iz)
+		so := NewSlab(12, 4, owner)
+		if iz < so.ZLo() || iz >= so.ZLo()+so.MZ() {
+			t.Errorf("z=%d owner %d does not own it", iz, owner)
+		}
+	}
+}
+
+func TestSlabCoverageIsPartition(t *testing.T) {
+	// Property: every global plane is owned by exactly one rank.
+	f := func(seed uint8) bool {
+		n := 6 * (int(seed%5) + 1)
+		p := []int{1, 2, 3, 6}[seed%4]
+		count := make([]int, n)
+		for r := 0; r < p; r++ {
+			s := NewSlab(n, p, r)
+			for iz := s.ZLo(); iz < s.ZLo()+s.MZ(); iz++ {
+				count[iz]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlabPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSlab(10, 3, 0)
+}
+
+func TestPencil2DExtents(t *testing.T) {
+	p := NewPencil2D(24, 2, 4, 1, 0)
+	if p.MY() != 12 || p.MZ() != 6 || p.MX() != 12 || p.MY2() != 6 {
+		t.Errorf("extents %d %d %d %d", p.MY(), p.MZ(), p.MX(), p.MY2())
+	}
+}
+
+func TestPencilBatchGeometry(t *testing.T) {
+	s := NewSlab(16, 4, 1)
+	b := NewPencilBatch(s, 4)
+	if b.NYP() != 4 {
+		t.Errorf("nyp %d", b.NYP())
+	}
+	// Words for nxh = 9 (N/2+1): 9*4*4.
+	if b.Words(9) != 144 {
+		t.Errorf("words %d", b.Words(9))
+	}
+}
+
+func TestGPUSliceCoversPencil(t *testing.T) {
+	s := NewSlab(18, 3, 0)
+	b := NewPencilBatch(s, 2) // nyp = 9
+	for _, ngpu := range []int{1, 2, 3, 4} {
+		for ip := 0; ip < b.NP; ip++ {
+			covered := map[int]bool{}
+			prevHi := ip * b.NYP()
+			for g := 0; g < ngpu; g++ {
+				lo, hi := b.GPUSlice(ip, g, ngpu)
+				if lo != prevHi {
+					t.Errorf("ngpu=%d ip=%d g=%d: gap lo=%d prevHi=%d", ngpu, ip, g, lo, prevHi)
+				}
+				for i := lo; i < hi; i++ {
+					if covered[i] {
+						t.Errorf("overlap at %d", i)
+					}
+					covered[i] = true
+				}
+				prevHi = hi
+			}
+			if prevHi != (ip+1)*b.NYP() {
+				t.Errorf("ngpu=%d ip=%d: coverage ends at %d", ngpu, ip, prevHi)
+			}
+		}
+	}
+}
+
+func TestWavenumberMapping(t *testing.T) {
+	n := 8
+	want := []int{0, 1, 2, 3, 4, -3, -2, -1}
+	for i, w := range want {
+		if k := Wavenumber(i, n); k != w {
+			t.Errorf("Wavenumber(%d,%d)=%d want %d", i, n, k, w)
+		}
+	}
+	if MaxRealizableK(8) != 4 {
+		t.Error("max k")
+	}
+}
+
+func TestWavenumberRoundTripProperty(t *testing.T) {
+	// Property: the signed wavenumber recovers the storage index mod N.
+	f := func(i uint8, nSel uint8) bool {
+		n := []int{4, 8, 16, 12}[nSel%4]
+		idx := int(i) % n
+		k := Wavenumber(idx, n)
+		return ((k%n)+n)%n == idx && k >= -n/2+1-1 && k <= n/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDealiasCutoff(t *testing.T) {
+	if DealiasCutoff(18432) != 6144 {
+		t.Errorf("cutoff %g", DealiasCutoff(18432))
+	}
+}
+
+func TestPaperGeometry18432(t *testing.T) {
+	// The paper's production case: N=18432, 3072 nodes, 2 ranks/node ⇒
+	// P=6144, mz=3; 4 pencils per slab ⇒ nyp=4608 (Fig 6's nxp analog).
+	s := NewSlab(18432, 6144, 0)
+	if s.MZ() != 3 {
+		t.Errorf("mz=%d want 3", s.MZ())
+	}
+	b := NewPencilBatch(s, 4)
+	if b.NYP() != 4608 {
+		t.Errorf("nyp=%d want 4608", b.NYP())
+	}
+}

@@ -1,0 +1,199 @@
+// Package hw describes the target hardware of the paper — the IBM
+// AC922 nodes of Summit — and implements the §3.5 memory model that
+// determines feasible node counts and the number of GPU-batched
+// pencils per slab (Table 1 of the paper).
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// GiB is the binary gigabyte the paper's Table 1 is expressed in.
+	GiB = 1 << 30
+	// GB is the decimal gigabyte used for bandwidths.
+	GB = 1e9
+)
+
+// Machine captures the node architecture parameters of §3.2 plus the
+// calibrated software throughputs the performance model needs.
+type Machine struct {
+	Name string
+
+	TotalNodes     int
+	SocketsPerNode int
+	GPUsPerSocket  int
+	CoresPerSocket int
+	UsableCores    int // cores usable per node for compute (paper: 42, ≤32 used for divisibility)
+
+	// Memory capacities (bytes).
+	HostMemory   float64 // DDR per node
+	OSReserve    float64 // consumed by the operating system
+	GPUMemory    float64 // HBM per GPU
+	GPUUsableMem float64 // user-accessible HBM per node
+
+	// Bandwidths (bytes/s).
+	CPUMemBWPerSocket float64 // peak unidirectional
+	NVLinkPerSocket   float64 // CPU↔GPU aggregate per socket
+	NICPerSocket      float64 // bi-directional per socket
+	NodeInjectionBW   float64 // dual-rail EDR injection per node
+
+	SMsPerGPU int
+
+	// Calibrated effective software throughputs (bytes/s of data
+	// processed), set so the 3072³/16-node row of Table 3 matches;
+	// everything else is prediction.
+	GPUFFTRate   float64 // one 1-D transform pass over a buffer, per GPU
+	CPUFFTRate   float64 // same, per node, synchronous CPU code
+	GPUPackRate  float64 // strided pack/unpack kernels, per GPU
+	HostXferRate float64 // effective H2D/D2H rate per node (NVLink vs host memory)
+	CPUPackRate  float64 // host-side pack for the CPU baseline, per node
+	MemModelD    float64 // variables-equivalents resident per grid point (§3.5 text: ≈25)
+	MemTableD    float64 // Table 1's memory-occupancy factor (solution + pinned buffers)
+	GPUBufFactor float64 // pencil-sized GPU buffers needed with async tripling (§3.5: 27)
+	PencilSlack  float64 // extra pencils beyond nominal for auxiliary arrays
+}
+
+// Summit returns the machine description of ORNL Summit as reported in
+// the paper (§3.2, §4.1) with calibrated software rates.
+func Summit() Machine {
+	return Machine{
+		Name:              "Summit (IBM AC922)",
+		TotalNodes:        4608,
+		SocketsPerNode:    2,
+		GPUsPerSocket:     3,
+		CoresPerSocket:    22,
+		UsableCores:       42,
+		HostMemory:        512 * GiB,
+		OSReserve:         64 * GiB,
+		GPUMemory:         16 * GB,
+		GPUUsableMem:      96 * GiB,
+		CPUMemBWPerSocket: 135 * GB,
+		NVLinkPerSocket:   150 * GB,
+		NICPerSocket:      12.5 * GB,
+		NodeInjectionBW:   23 * GB,
+		SMsPerGPU:         80,
+
+		GPUFFTRate:   220 * GB, // effective cuFFT pass rate per V100
+		CPUFFTRate:   10 * GB,  // per node, 32 cores (≈80 GF/s effective)
+		GPUPackRate:  250 * GB,
+		HostXferRate: 200 * GB, // effective, limited by host memory (< 2×135)
+		CPUPackRate:  60 * GB,
+
+		MemModelD:    25,
+		MemTableD:    30,
+		GPUBufFactor: 27,
+		PencilSlack:  2,
+	}
+}
+
+// HostUsable is the host memory available to user codes per node.
+func (m Machine) HostUsable() float64 { return m.HostMemory - m.OSReserve }
+
+// GPUsPerNode is the total device count per node.
+func (m Machine) GPUsPerNode() int { return m.SocketsPerNode * m.GPUsPerSocket }
+
+// MemPerNode returns the §3.5 memory footprint 4·D·N³/M bytes for an
+// N³ single-precision problem on M nodes, using the Table 1 occupancy
+// factor.
+func (m Machine) MemPerNode(n, nodes int) float64 {
+	return 4 * m.MemTableD * cube(n) / float64(nodes)
+}
+
+// MinNodes returns the smallest node count whose host memory holds the
+// D≈25 solution variables of an N³ problem (the paper's M=1302 for
+// N=18432).
+func (m Machine) MinNodes(n int) int {
+	return int(math.Ceil(4 * m.MemModelD * cube(n) / m.HostUsable()))
+}
+
+// ValidNodeCounts lists node counts M ≥ MinNodes(N) that load-balance:
+// M divides N and both candidate rank layouts (2 and 6 tasks per node)
+// give rank counts that divide N and do not exceed N. For N=18432 this
+// yields exactly {1536, 3072}, as §3.5 concludes.
+func (m Machine) ValidNodeCounts(n int) []int {
+	var out []int
+	minN := m.MinNodes(n)
+	for nodes := 1; nodes <= m.TotalNodes; nodes++ {
+		if nodes < minN || n%nodes != 0 {
+			continue
+		}
+		ok := true
+		for _, tpn := range []int{2, 6} {
+			p := tpn * nodes
+			if p > n || n%p != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, nodes)
+		}
+	}
+	return out
+}
+
+// NominalPencils is the §3.5 estimate 4·27·N³/(M·np·GPUmem) solved for
+// np: the fractional number of pencils per slab needed for the 27
+// asynchronous compute buffers to fit in the node's GPU memory.
+func (m Machine) NominalPencils(n, nodes int) float64 {
+	return 4 * m.GPUBufFactor * cube(n) / (float64(nodes) * m.GPUUsableMem)
+}
+
+// PencilsPerSlab is the practical pencil count: the nominal estimate
+// rounded down plus PencilSlack pencils' worth of headroom for the
+// auxiliary arrays §3.5 mentions (reproducing Table 1: 3,3,3,4).
+func (m Machine) PencilsPerSlab(n, nodes int) int {
+	return int(math.Floor(m.NominalPencils(n, nodes))) + int(m.PencilSlack)
+}
+
+// PencilBytes is the size of one pencil of one variable in bytes,
+// 4·N³/(M·np).
+func (m Machine) PencilBytes(n, nodes, np int) float64 {
+	return 4 * cube(n) / float64(nodes*np)
+}
+
+// Table1Row reproduces one row of the paper's Table 1.
+type Table1Row struct {
+	Nodes      int
+	N          int
+	MemPerNode float64 // GiB
+	Pencils    int
+	PencilSize float64 // GiB
+}
+
+// Table1 regenerates the paper's Table 1 for the standard sweep.
+func (m Machine) Table1() []Table1Row {
+	cases := []struct{ nodes, n int }{
+		{16, 3072}, {128, 6144}, {1024, 12288}, {3072, 18432},
+	}
+	rows := make([]Table1Row, 0, len(cases))
+	for _, c := range cases {
+		np := m.PencilsPerSlab(c.n, c.nodes)
+		rows = append(rows, Table1Row{
+			Nodes:      c.nodes,
+			N:          c.n,
+			MemPerNode: m.MemPerNode(c.n, c.nodes) / GiB,
+			Pencils:    np,
+			PencilSize: m.PencilBytes(c.n, c.nodes, np) / GiB,
+		})
+	}
+	return rows
+}
+
+// CheckFit verifies that an N³ problem on M nodes with np pencils fits
+// both host and GPU memory, returning a descriptive error otherwise.
+func (m Machine) CheckFit(n, nodes, np int) error {
+	if host := m.MemPerNode(n, nodes); host > m.HostUsable() {
+		return fmt.Errorf("hw: N=%d on %d nodes needs %.1f GiB host memory, have %.1f",
+			n, nodes, host/GiB, m.HostUsable()/GiB)
+	}
+	gpu := m.GPUBufFactor * m.PencilBytes(n, nodes, np)
+	if gpu > m.GPUUsableMem {
+		return fmt.Errorf("hw: N=%d on %d nodes with %d pencils needs %.1f GiB GPU memory, have %.1f",
+			n, nodes, np, gpu/GiB, m.GPUUsableMem/GiB)
+	}
+	return nil
+}
+
+func cube(n int) float64 { f := float64(n); return f * f * f }

@@ -1,0 +1,98 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1ReproducesPaper(t *testing.T) {
+	m := Summit()
+	want := []Table1Row{
+		{Nodes: 16, N: 3072, MemPerNode: 202.5, Pencils: 3, PencilSize: 2.25},
+		{Nodes: 128, N: 6144, MemPerNode: 202.5, Pencils: 3, PencilSize: 2.25},
+		{Nodes: 1024, N: 12288, MemPerNode: 202.5, Pencils: 3, PencilSize: 2.25},
+		{Nodes: 3072, N: 18432, MemPerNode: 227.8, Pencils: 4, PencilSize: 1.90},
+	}
+	got := m.Table1()
+	if len(got) != len(want) {
+		t.Fatalf("rows %d", len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Nodes != w.Nodes || g.N != w.N || g.Pencils != w.Pencils {
+			t.Errorf("row %d: got %+v want %+v", i, g, w)
+		}
+		if math.Abs(g.MemPerNode-w.MemPerNode) > 0.5 {
+			t.Errorf("row %d: mem %.1f want %.1f", i, g.MemPerNode, w.MemPerNode)
+		}
+		if math.Abs(g.PencilSize-w.PencilSize) > 0.01 {
+			t.Errorf("row %d: pencil %.2f want %.2f", i, g.PencilSize, w.PencilSize)
+		}
+	}
+}
+
+func TestMinNodesMatchesPaper(t *testing.T) {
+	// §3.5: equating 4·25·18432³/M to 448 GB gives M = 1302.
+	m := Summit()
+	got := m.MinNodes(18432)
+	if got < 1300 || got > 1304 {
+		t.Errorf("MinNodes(18432) = %d, paper says 1302", got)
+	}
+}
+
+func TestValidNodeCounts18432(t *testing.T) {
+	// §3.5: "the only 2 possible values of M are thus 1536 and 3072".
+	m := Summit()
+	got := m.ValidNodeCounts(18432)
+	if len(got) != 2 || got[0] != 1536 || got[1] != 3072 {
+		t.Errorf("ValidNodeCounts(18432) = %v, want [1536 3072]", got)
+	}
+}
+
+func TestNominalPencils18432(t *testing.T) {
+	// §3.5: "np = 2.13" nominally for 18432³ on 3072 nodes.
+	m := Summit()
+	np := m.NominalPencils(18432, 3072)
+	if math.Abs(np-2.13) > 0.02 {
+		t.Errorf("nominal np = %.3f, paper says 2.13", np)
+	}
+}
+
+func TestCheckFit(t *testing.T) {
+	m := Summit()
+	if err := m.CheckFit(18432, 3072, 4); err != nil {
+		t.Errorf("paper configuration rejected: %v", err)
+	}
+	if err := m.CheckFit(18432, 512, 4); err == nil {
+		t.Error("512 nodes cannot hold 18432³ in host memory")
+	}
+	if err := m.CheckFit(18432, 3072, 1); err == nil {
+		t.Error("np=1 cannot fit in GPU memory")
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	m := Summit()
+	if m.GPUsPerNode() != 6 {
+		t.Errorf("GPUs per node %d", m.GPUsPerNode())
+	}
+	if m.HostUsable() != 448*GiB {
+		t.Errorf("host usable %g", m.HostUsable()/GiB)
+	}
+}
+
+func TestWeakScalingMemoryConstant(t *testing.T) {
+	// 3072³→12288³ are exact weak scalings: memory per node identical.
+	m := Summit()
+	base := m.MemPerNode(3072, 16)
+	if math.Abs(m.MemPerNode(6144, 128)-base) > 1 {
+		t.Error("6144³/128 not weak-scaled")
+	}
+	if math.Abs(m.MemPerNode(12288, 1024)-base) > 1 {
+		t.Error("12288³/1024 not weak-scaled")
+	}
+	// 18432³/3072 is larger than weak scaling suggests (§3.5, Table 1).
+	if m.MemPerNode(18432, 3072) <= base {
+		t.Error("18432³/3072 should exceed the weak-scaled footprint")
+	}
+}

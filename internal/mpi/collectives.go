@@ -1,0 +1,205 @@
+package mpi
+
+import "fmt"
+
+// Send delivers a copy of buf to dst with the given tag. It is
+// buffered: it returns as soon as the copy is queued, so the caller may
+// reuse buf immediately (MPI_Bsend semantics, which is how Spectrum MPI
+// behaves below the eager limit).
+func Send[T any](c *Comm, dst, tag int, buf []T) {
+	cp := make([]T, len(buf))
+	copy(cp, buf)
+	c.box(c.rank, dst).put(message{key: matchKey{tag: tag}, data: cp})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// copies it into buf, returning the element count received.
+func Recv[T any](c *Comm, src, tag int, buf []T) int {
+	data := c.box(src, c.rank).get(matchKey{tag: tag}).([]T)
+	if len(data) > len(buf) {
+		panic(fmt.Sprintf("mpi: recv buffer too small: %d < %d", len(buf), len(data)))
+	}
+	copy(buf, data)
+	return len(data)
+}
+
+// Sendrecv performs a simultaneous exchange with a peer.
+func Sendrecv[T any](c *Comm, dst, dtag int, sendbuf []T, src, stag int, recvbuf []T) int {
+	Send(c, dst, dtag, sendbuf)
+	return Recv(c, src, stag, recvbuf)
+}
+
+// Bcast copies buf from root to every rank (collective).
+func Bcast[T any](c *Comm, root int, buf []T) {
+	seq := c.nextSeq()
+	key := matchKey{tag: seq, coll: true}
+	if c.rank == root {
+		cp := make([]T, len(buf))
+		copy(cp, buf)
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.box(c.rank, r).put(message{key: key, data: cp})
+			}
+		}
+		return
+	}
+	data := c.box(root, c.rank).get(key).([]T)
+	copy(buf, data)
+}
+
+// Allgather concatenates each rank's equally-sized send block into
+// recv on every rank: recv[r*len(send):(r+1)*len(send)] holds rank r's
+// contribution.
+func Allgather[T any](c *Comm, send []T, recv []T) {
+	p := c.Size()
+	if len(recv) != p*len(send) {
+		panic(fmt.Sprintf("mpi: allgather recv length %d != %d", len(recv), p*len(send)))
+	}
+	seq := c.nextSeq()
+	key := matchKey{tag: seq, coll: true}
+	cp := make([]T, len(send))
+	copy(cp, send)
+	for r := 0; r < p; r++ {
+		c.box(c.rank, r).put(message{key: key, data: cp})
+	}
+	n := len(send)
+	for r := 0; r < p; r++ {
+		data := c.box(r, c.rank).get(key).([]T)
+		copy(recv[r*n:(r+1)*n], data)
+	}
+}
+
+// AllreduceSum sums each element of v across all ranks, in place on
+// every rank.
+func AllreduceSum(c *Comm, v []float64) {
+	allreduce(c, v, func(a, b float64) float64 { return a + b })
+}
+
+// AllreduceMax replaces each element of v by the maximum over all
+// ranks, in place on every rank.
+func AllreduceMax(c *Comm, v []float64) {
+	allreduce(c, v, func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+}
+
+func allreduce(c *Comm, v []float64, op func(a, b float64) float64) {
+	all := make([]float64, c.Size()*len(v))
+	Allgather(c, v, all)
+	n := len(v)
+	for i := 0; i < n; i++ {
+		acc := all[i]
+		for r := 1; r < c.Size(); r++ {
+			acc = op(acc, all[r*n+i])
+		}
+		v[i] = acc
+	}
+}
+
+// Alltoall transposes equally-sized blocks between all ranks of the
+// communicator: the block send[dst*bs:(dst+1)*bs] lands at
+// recv[src*bs:(src+1)*bs] on rank dst, where bs = len(send)/P. This is
+// the MPI_ALLTOALL at the heart of every distributed transpose in the
+// paper. send and recv must not alias.
+func Alltoall[T any](c *Comm, send, recv []T) {
+	req := Ialltoall(c, send, recv)
+	req.Wait()
+}
+
+// Ialltoall starts a non-blocking all-to-all (MPI_IALLTOALL) and
+// returns a Request. The exchange makes progress on a background
+// goroutine; recv must not be read, nor send overwritten, until Wait
+// returns. Matching follows initiation order, so ranks must initiate
+// collectives in the same order even when some are non-blocking.
+func Ialltoall[T any](c *Comm, send, recv []T) *Request {
+	p := c.Size()
+	if len(send)%p != 0 || len(recv) != len(send) {
+		panic(fmt.Sprintf("mpi: alltoall buffer sizes %d/%d invalid for %d ranks", len(send), len(recv), p))
+	}
+	bs := len(send) / p
+	seq := c.nextSeq()
+	key := matchKey{tag: seq, coll: true}
+	// Post all sends eagerly on the caller goroutine so buffered-send
+	// semantics hold even if Wait is deferred for a long time.
+	for dst := 0; dst < p; dst++ {
+		blk := make([]T, bs)
+		copy(blk, send[dst*bs:(dst+1)*bs])
+		c.box(c.rank, dst).put(message{key: key, data: blk})
+	}
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		defer func() {
+			// An aborted world must surface on the rank that Waits,
+			// not crash the helper goroutine.
+			if e := recover(); e != nil {
+				if e == any(errAborted) {
+					req.aborted = true
+					return
+				}
+				panic(e)
+			}
+		}()
+		for src := 0; src < p; src++ {
+			data := c.box(src, c.rank).get(key).([]T)
+			copy(recv[src*bs:(src+1)*bs], data)
+		}
+	}()
+	return req
+}
+
+// Alltoallv is the varying-counts all-to-all: sendcounts[dst] elements
+// beginning at senddispls[dst] go to dst; recvcounts[src] elements from
+// src land at recvdispls[src].
+func Alltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T, recvcounts, recvdispls []int) {
+	p := c.Size()
+	seq := c.nextSeq()
+	key := matchKey{tag: seq, coll: true}
+	for dst := 0; dst < p; dst++ {
+		blk := make([]T, sendcounts[dst])
+		copy(blk, send[senddispls[dst]:senddispls[dst]+sendcounts[dst]])
+		c.box(c.rank, dst).put(message{key: key, data: blk})
+	}
+	for src := 0; src < p; src++ {
+		data := c.box(src, c.rank).get(key).([]T)
+		if len(data) != recvcounts[src] {
+			panic(fmt.Sprintf("mpi: alltoallv count mismatch from %d: got %d want %d", src, len(data), recvcounts[src]))
+		}
+		copy(recv[recvdispls[src]:recvdispls[src]+recvcounts[src]], data)
+	}
+}
+
+// Request tracks a non-blocking operation, as MPI_Request does.
+type Request struct {
+	done    chan struct{}
+	aborted bool
+}
+
+// Wait blocks until the operation completes (MPI_WAIT). It panics with
+// the abort sentinel if the world was aborted while in flight.
+func (r *Request) Wait() {
+	<-r.done
+	if r.aborted {
+		panic(errAborted)
+	}
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitAll waits on every request in order.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}

@@ -1,0 +1,124 @@
+package mpi
+
+import "fmt"
+
+// Gather collects each rank's equally-sized block at root:
+// on root, recv[r*len(send):(r+1)*len(send)] holds rank r's block;
+// on other ranks recv is ignored and may be nil (collective).
+func Gather[T any](c *Comm, root int, send []T, recv []T) {
+	seq := c.nextSeq()
+	key := matchKey{tag: seq, coll: true}
+	cp := make([]T, len(send))
+	copy(cp, send)
+	c.box(c.rank, root).put(message{key: key, data: cp})
+	if c.rank != root {
+		return
+	}
+	p := c.Size()
+	if len(recv) != p*len(send) {
+		panic(fmt.Sprintf("mpi: gather recv length %d != %d", len(recv), p*len(send)))
+	}
+	n := len(send)
+	for r := 0; r < p; r++ {
+		data := c.box(r, root).get(key).([]T)
+		copy(recv[r*n:(r+1)*n], data)
+	}
+}
+
+// Scatter distributes equally-sized blocks from root: rank r receives
+// send[r*len(recv):(r+1)*len(recv)]; on non-root ranks send is ignored
+// (collective).
+func Scatter[T any](c *Comm, root int, send []T, recv []T) {
+	seq := c.nextSeq()
+	key := matchKey{tag: seq, coll: true}
+	p := c.Size()
+	if c.rank == root {
+		if len(send) != p*len(recv) {
+			panic(fmt.Sprintf("mpi: scatter send length %d != %d", len(send), p*len(recv)))
+		}
+		n := len(recv)
+		for r := 0; r < p; r++ {
+			blk := make([]T, n)
+			copy(blk, send[r*n:(r+1)*n])
+			c.box(root, r).put(message{key: key, data: blk})
+		}
+	}
+	data := c.box(root, c.rank).get(key).([]T)
+	copy(recv, data)
+}
+
+// ReduceSum sums v elementwise onto root; other ranks' v is unchanged
+// (collective).
+func ReduceSum(c *Comm, root int, v []float64) {
+	all := make([]float64, 0)
+	if c.rank == root {
+		all = make([]float64, c.Size()*len(v))
+	}
+	Gather(c, root, v, all)
+	if c.rank != root {
+		return
+	}
+	n := len(v)
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for r := 0; r < c.Size(); r++ {
+			acc += all[r*n+i]
+		}
+		v[i] = acc
+	}
+}
+
+// ExScan computes the exclusive prefix sum over ranks: rank r receives
+// Σ_{s<r} contributions; rank 0 receives zeros (collective). Used for
+// variable-offset layouts.
+func ExScan(c *Comm, v []int) {
+	all := make([]int, c.Size()*len(v))
+	send := make([]int, len(v))
+	copy(send, v)
+	Allgather(c, send, all)
+	n := len(v)
+	for i := 0; i < n; i++ {
+		acc := 0
+		for r := 0; r < c.rank; r++ {
+			acc += all[r*n+i]
+		}
+		v[i] = acc
+	}
+}
+
+// IAlltoallv starts a non-blocking variable-count all-to-all and
+// returns a Request (the per-pencil exchange variant the paper's
+// algorithm would need with y-divided pencils).
+func IAlltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T, recvcounts, recvdispls []int) *Request {
+	p := c.Size()
+	seq := c.nextSeq()
+	key := matchKey{tag: seq, coll: true}
+	for dst := 0; dst < p; dst++ {
+		blk := make([]T, sendcounts[dst])
+		copy(blk, send[senddispls[dst]:senddispls[dst]+sendcounts[dst]])
+		c.box(c.rank, dst).put(message{key: key, data: blk})
+	}
+	rc := append([]int(nil), recvcounts...)
+	rd := append([]int(nil), recvdispls...)
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		defer func() {
+			if e := recover(); e != nil {
+				if e == any(errAborted) {
+					req.aborted = true
+					return
+				}
+				panic(e)
+			}
+		}()
+		for src := 0; src < p; src++ {
+			data := c.box(src, c.rank).get(key).([]T)
+			if len(data) != rc[src] {
+				panic(fmt.Sprintf("mpi: ialltoallv count mismatch from %d: got %d want %d", src, len(data), rc[src]))
+			}
+			copy(recv[rd[src]:rd[src]+rc[src]], data)
+		}
+	}()
+	return req
+}

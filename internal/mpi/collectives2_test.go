@@ -1,0 +1,145 @@
+package mpi
+
+import "testing"
+
+func TestGatherAtRoot(t *testing.T) {
+	p := 4
+	Run(p, func(c *Comm) {
+		send := []int{c.rank * 2, c.rank*2 + 1}
+		var recv []int
+		if c.rank == 1 {
+			recv = make([]int, p*2)
+		}
+		Gather(c, 1, send, recv)
+		if c.rank == 1 {
+			for i := 0; i < p*2; i++ {
+				if recv[i] != i {
+					t.Errorf("gather[%d] = %d", i, recv[i])
+				}
+			}
+		}
+	})
+}
+
+func TestScatterFromRoot(t *testing.T) {
+	p := 3
+	Run(p, func(c *Comm) {
+		var send []int
+		if c.rank == 2 {
+			send = []int{10, 11, 20, 21, 30, 31}
+		}
+		recv := make([]int, 2)
+		Scatter(c, 2, send, recv)
+		want0 := (c.rank + 1) * 10
+		if recv[0] != want0 || recv[1] != want0+1 {
+			t.Errorf("rank %d: scatter %v", c.rank, recv)
+		}
+	})
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	p := 4
+	Run(p, func(c *Comm) {
+		var orig, back []float64
+		if c.rank == 0 {
+			orig = make([]float64, p*3)
+			for i := range orig {
+				orig[i] = float64(i * i)
+			}
+			back = make([]float64, p*3)
+		}
+		mine := make([]float64, 3)
+		Scatter(c, 0, orig, mine)
+		Gather(c, 0, mine, back)
+		if c.rank == 0 {
+			for i := range orig {
+				if back[i] != orig[i] {
+					t.Errorf("element %d: %g vs %g", i, back[i], orig[i])
+				}
+			}
+		}
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	p := 5
+	Run(p, func(c *Comm) {
+		v := []float64{float64(c.rank), 1}
+		Reduced := v
+		ReduceSum(c, 3, Reduced)
+		if c.rank == 3 {
+			if Reduced[0] != 10 || Reduced[1] != 5 {
+				t.Errorf("reduce %v", Reduced)
+			}
+		} else if Reduced[0] != float64(c.rank) {
+			t.Errorf("rank %d: non-root value changed: %v", c.rank, Reduced)
+		}
+	})
+}
+
+func TestExScan(t *testing.T) {
+	p := 4
+	Run(p, func(c *Comm) {
+		v := []int{c.rank + 1} // contributions 1,2,3,4
+		ExScan(c, v)
+		// Exclusive prefix: 0,1,3,6.
+		want := []int{0, 1, 3, 6}[c.rank]
+		if v[0] != want {
+			t.Errorf("rank %d: exscan %d want %d", c.rank, v[0], want)
+		}
+	})
+}
+
+func TestIAlltoallv(t *testing.T) {
+	p := 3
+	Run(p, func(c *Comm) {
+		// Rank r sends r+1 ints to every destination.
+		n := c.rank + 1
+		sendcounts := make([]int, p)
+		senddispls := make([]int, p)
+		for d := 0; d < p; d++ {
+			sendcounts[d] = n
+			senddispls[d] = d * n
+		}
+		send := make([]int, p*n)
+		for i := range send {
+			send[i] = c.rank*100 + i
+		}
+		recvcounts := make([]int, p)
+		recvdispls := make([]int, p)
+		total := 0
+		for s := 0; s < p; s++ {
+			recvcounts[s] = s + 1
+			recvdispls[s] = total
+			total += s + 1
+		}
+		recv := make([]int, total)
+		req := IAlltoallv(c, send, sendcounts, senddispls, recv, recvcounts, recvdispls)
+		req.Wait()
+		for s := 0; s < p; s++ {
+			base := s*100 + c.rank*(s+1)
+			for j := 0; j < s+1; j++ {
+				if recv[recvdispls[s]+j] != base+j {
+					t.Errorf("rank %d from %d elem %d: got %d want %d",
+						c.rank, s, j, recv[recvdispls[s]+j], base+j)
+				}
+			}
+		}
+	})
+}
+
+func TestIAlltoallvAbort(t *testing.T) {
+	expectPanicContaining(t, "rank 0 panicked", func() {
+		Run(3, func(c *Comm) {
+			if c.rank == 0 {
+				panic("dead")
+			}
+			counts := []int{1, 1, 1}
+			displs := []int{0, 1, 2}
+			send := make([]int, 3)
+			recv := make([]int, 3)
+			req := IAlltoallv(c, send, counts, displs, recv, counts, displs)
+			req.Wait()
+		})
+	})
+}

@@ -1,0 +1,241 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// world owns the shared state of one communicator: the P×P mailbox
+// matrix, a reusable barrier, and the abort flag raised when any rank
+// panics.
+type world struct {
+	size    int
+	boxes   []*mailbox // boxes[src*size+dst]
+	barrier *barrier
+
+	mu       sync.Mutex
+	children []*world // sub-communicators created by Split
+	aborted  bool
+}
+
+func newWorld(p int) *world {
+	w := &world{size: p, barrier: newBarrier(p)}
+	w.boxes = make([]*mailbox, p*p)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// abortAll wakes every blocked rank of this world and of every
+// sub-communicator derived from it; they panic with errAborted.
+func (w *world) abortAll() {
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		return
+	}
+	w.aborted = true
+	children := append([]*world(nil), w.children...)
+	w.mu.Unlock()
+	for _, b := range w.boxes {
+		b.abort()
+	}
+	w.barrier.abort()
+	for _, c := range children {
+		c.abortAll()
+	}
+}
+
+// adoptChild registers a sub-communicator for cascading aborts.
+func (w *world) adoptChild(c *world) {
+	w.mu.Lock()
+	w.children = append(w.children, c)
+	aborted := w.aborted
+	w.mu.Unlock()
+	if aborted {
+		c.abortAll()
+	}
+}
+
+// Comm is one rank's handle on a communicator, analogous to an
+// MPI_Comm plus the implicit rank of MPI_Comm_rank. A Comm is used by
+// exactly one goroutine at a time, except that non-blocking collective
+// Requests may drain it from their own goroutine until waited on.
+type Comm struct {
+	w    *world
+	rank int
+	// seq numbers collective operations. Every rank of a communicator
+	// must initiate collectives in the same order (as in MPI), so the
+	// rank-local counter agrees across ranks without coordination.
+	seq int
+}
+
+// Rank reports the calling rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.w.size }
+
+func (c *Comm) nextSeq() int {
+	c.seq++
+	return c.seq
+}
+
+func (c *Comm) box(src, dst int) *mailbox {
+	return c.w.boxes[src*c.w.size+dst]
+}
+
+// Run executes fn on p ranks, each on its own goroutine, and returns
+// after all ranks finish. A panic on any rank aborts the whole world
+// (blocked peers are woken, as with MPI_Abort) and is re-raised on the
+// caller with the rank attached, so test failures point at the rank
+// that misbehaved rather than deadlocking.
+func Run(p int, fn func(*Comm)) {
+	if p < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", p))
+	}
+	w := newWorld(p)
+	var wg sync.WaitGroup
+	panics := make([]any, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+					w.abortAll()
+				}
+			}()
+			fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	// Report the primary panic, skipping ranks that died from the
+	// cascade itself.
+	for r, e := range panics {
+		if e != nil && e != any(errAborted) {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
+		}
+	}
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("mpi: rank %d aborted: %v", r, e))
+		}
+	}
+}
+
+// barrier is a reusable counting barrier that can be aborted.
+type barrier struct {
+	mu      sync.Mutex
+	cv      *sync.Cond
+	n       int
+	count   int
+	phase   int
+	aborted bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cv = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic(errAborted)
+	}
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cv.Broadcast()
+		return
+	}
+	for b.phase == phase {
+		if b.aborted {
+			panic(errAborted)
+		}
+		b.cv.Wait()
+	}
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.mu.Unlock()
+	b.cv.Broadcast()
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() { c.w.barrier.wait() }
+
+// Split partitions the communicator into sub-communicators by color,
+// ordering ranks within each new communicator by (key, old rank) as
+// MPI_Comm_split does. Every rank must call Split collectively.
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct{ color, key, rank int }
+	mine := entry{color, key, c.rank}
+	all := make([]entry, c.Size())
+	Allgather(c, []entry{mine}, all)
+
+	var group []entry
+	for _, e := range all {
+		if e.color == color {
+			group = append(group, e)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	newRank := -1
+	for i, e := range group {
+		if e.rank == c.rank {
+			newRank = i
+		}
+	}
+
+	// The lowest old rank of each color builds the shared world and
+	// distributes it to its group members over the parent communicator.
+	var nw *world
+	if group[0].rank == c.rank {
+		nw = newWorld(len(group))
+		c.w.adoptChild(nw) // cascade aborts into the sub-communicator
+		for _, e := range group[1:] {
+			Send(c, e.rank, splitTag, []*world{nw})
+		}
+	} else {
+		buf := make([]*world, 1)
+		Recv(c, group[0].rank, splitTag, buf)
+		nw = buf[0]
+	}
+	// Keep parent collective ordering consistent across ranks.
+	c.Barrier()
+	return &Comm{w: nw, rank: newRank}
+}
+
+// splitTag is a reserved point-to-point tag used by Split.
+const splitTag = -1 << 30
+
+// CartGrid builds the row and column communicators of a Pr×Pc process
+// grid (rank = row*Pc + col), the layout used by the 2D pencil
+// decomposition. Row communicators group ranks with equal row index;
+// column communicators group ranks with equal column index.
+func (c *Comm) CartGrid(pr, pc int) (row, col *Comm) {
+	if pr*pc != c.Size() {
+		panic(fmt.Sprintf("mpi: grid %dx%d does not match world size %d", pr, pc, c.Size()))
+	}
+	r := c.rank / pc
+	k := c.rank % pc
+	row = c.Split(r, k)
+	col = c.Split(k+pr, r) // disjoint color space unnecessary per split call, but harmless
+	return row, col
+}

@@ -1,0 +1,13 @@
+// Package mpi is an in-process message-passing runtime that stands in
+// for IBM Spectrum MPI in the paper's code: ranks are goroutines,
+// communicators can be split into the row/column communicators of a 2D
+// process grid, and the collective set covers exactly what the DNS
+// needs — barriers, reductions, gathers, and blocking (MPI_ALLTOALL)
+// and non-blocking (MPI_IALLTOALL + MPI_WAIT) all-to-all exchanges.
+//
+// Semantics follow MPI where it matters to the algorithms under test:
+// sends are buffered (a rank may send before the peer has posted its
+// receive), collectives must be initiated in the same order on every
+// rank of a communicator, and non-blocking collectives complete only
+// when their Request is waited on.
+package mpi

@@ -1,0 +1,78 @@
+package mpi
+
+import "sync"
+
+// matchKey identifies a message class within one (src,dst) pair.
+// Collective traffic and point-to-point traffic use disjoint spaces so
+// a user tag can never swallow a collective fragment.
+type matchKey struct {
+	tag  int
+	coll bool
+}
+
+type message struct {
+	key  matchKey
+	data any
+}
+
+// errAborted is the sentinel panic raised by blocking operations when
+// the world has been aborted by a panic on another rank (the MPI_Abort
+// analogue). Run treats ranks that die with this value as secondary
+// casualties and reports the original panic instead.
+type abortError struct{}
+
+func (abortError) Error() string { return "mpi: world aborted by a rank panic" }
+
+var errAborted = abortError{}
+
+// mailbox is the per-(src,dst) delivery queue. Messages with the same
+// key are delivered in FIFO order; different keys may be consumed out
+// of order (MPI tag matching).
+type mailbox struct {
+	mu      sync.Mutex
+	cv      *sync.Cond
+	q       []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cv = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.q = append(m.q, msg)
+	m.mu.Unlock()
+	m.cv.Broadcast()
+}
+
+// get blocks until a message with the given key is available, removes
+// the first such message and returns its payload. It panics with
+// errAborted if the world is aborted while waiting.
+func (m *mailbox) get(key matchKey) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.q {
+			if m.q[i].key == key {
+				data := m.q[i].data
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return data
+			}
+		}
+		if m.aborted {
+			panic(errAborted)
+		}
+		m.cv.Wait()
+	}
+}
+
+// abort unblocks all waiters permanently.
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cv.Broadcast()
+}

@@ -1,0 +1,417 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.rank == 0 {
+			Send(c, 1, 7, []int{1, 2, 3})
+		} else {
+			buf := make([]int, 3)
+			n := Recv(c, 0, 7, buf)
+			if n != 3 || buf[0] != 1 || buf[2] != 3 {
+				t.Errorf("recv got %v (n=%d)", buf, n)
+			}
+		}
+	})
+}
+
+func TestSendIsBuffered(t *testing.T) {
+	// The sender must be able to complete before the receiver posts,
+	// and reusing the send buffer must not corrupt the message.
+	Run(2, func(c *Comm) {
+		if c.rank == 0 {
+			buf := []float64{42}
+			Send(c, 1, 0, buf)
+			buf[0] = -1 // must not affect the in-flight message
+			c.Barrier()
+		} else {
+			c.Barrier()
+			got := make([]float64, 1)
+			Recv(c, 0, 0, got)
+			if got[0] != 42 {
+				t.Errorf("buffered send corrupted: got %g", got[0])
+			}
+		}
+	})
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.rank == 0 {
+			Send(c, 1, 1, []int{11})
+			Send(c, 1, 2, []int{22})
+		} else {
+			b := make([]int, 1)
+			Recv(c, 0, 2, b) // consume tag 2 first
+			if b[0] != 22 {
+				t.Errorf("tag 2 got %d", b[0])
+			}
+			Recv(c, 0, 1, b)
+			if b[0] != 11 {
+				t.Errorf("tag 1 got %d", b[0])
+			}
+		}
+	})
+}
+
+func TestSameTagFIFOOrder(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.rank == 0 {
+			for i := 0; i < 10; i++ {
+				Send(c, 1, 5, []int{i})
+			}
+		} else {
+			b := make([]int, 1)
+			for i := 0; i < 10; i++ {
+				Recv(c, 0, 5, b)
+				if b[0] != i {
+					t.Errorf("FIFO violated: got %d want %d", b[0], i)
+				}
+			}
+		}
+	})
+}
+
+func TestBarrierOrdersRanks(t *testing.T) {
+	var before, after int32
+	Run(4, func(c *Comm) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if n := atomic.LoadInt32(&before); n != 4 {
+			t.Errorf("rank %d passed barrier with only %d arrivals", c.rank, n)
+		}
+		atomic.AddInt32(&after, 1)
+	})
+	if after != 4 {
+		t.Errorf("after=%d", after)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	Run(3, func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			c.Barrier()
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, func(c *Comm) {
+		buf := make([]int, 4)
+		if c.rank == 2 {
+			buf = []int{9, 8, 7, 6}
+		}
+		Bcast(c, 2, buf)
+		for i, v := range []int{9, 8, 7, 6} {
+			if buf[i] != v {
+				t.Errorf("rank %d: bcast[%d]=%d", c.rank, i, buf[i])
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	p := 4
+	Run(p, func(c *Comm) {
+		send := []int{c.rank * 10, c.rank*10 + 1}
+		recv := make([]int, p*2)
+		Allgather(c, send, recv)
+		for r := 0; r < p; r++ {
+			if recv[2*r] != r*10 || recv[2*r+1] != r*10+1 {
+				t.Errorf("rank %d: allgather %v", c.rank, recv)
+			}
+		}
+	})
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	p := 6
+	Run(p, func(c *Comm) {
+		v := []float64{float64(c.rank), float64(-c.rank)}
+		AllreduceSum(c, v)
+		if v[0] != 15 || v[1] != -15 {
+			t.Errorf("rank %d: sum %v", c.rank, v)
+		}
+		m := []float64{float64(c.rank)}
+		AllreduceMax(c, m)
+		if m[0] != 5 {
+			t.Errorf("rank %d: max %v", c.rank, m)
+		}
+	})
+}
+
+func TestAlltoallBlockPlacement(t *testing.T) {
+	p := 4
+	bs := 3
+	Run(p, func(c *Comm) {
+		send := make([]int, p*bs)
+		for dst := 0; dst < p; dst++ {
+			for j := 0; j < bs; j++ {
+				send[dst*bs+j] = c.rank*1000 + dst*10 + j
+			}
+		}
+		recv := make([]int, p*bs)
+		Alltoall(c, send, recv)
+		for src := 0; src < p; src++ {
+			for j := 0; j < bs; j++ {
+				want := src*1000 + c.rank*10 + j
+				if recv[src*bs+j] != want {
+					t.Errorf("rank %d: recv[%d]=%d want %d", c.rank, src*bs+j, recv[src*bs+j], want)
+				}
+			}
+		}
+	})
+}
+
+func TestAlltoallIsSelfInverse(t *testing.T) {
+	// Two successive all-to-alls with symmetric block layout restore the
+	// original data (transpose twice = identity on the block matrix).
+	p := 3
+	bs := 4
+	Run(p, func(c *Comm) {
+		orig := make([]complex128, p*bs)
+		rng := rand.New(rand.NewSource(int64(c.rank)))
+		for i := range orig {
+			orig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		mid := make([]complex128, p*bs)
+		back := make([]complex128, p*bs)
+		Alltoall(c, orig, mid)
+		Alltoall(c, mid, back)
+		for i := range orig {
+			if back[i] != orig[i] {
+				t.Fatalf("rank %d: element %d not restored", c.rank, i)
+			}
+		}
+	})
+}
+
+func TestIalltoallOverlap(t *testing.T) {
+	p := 4
+	bs := 2
+	Run(p, func(c *Comm) {
+		send := make([]int, p*bs)
+		for i := range send {
+			send[i] = c.rank*100 + i
+		}
+		recv := make([]int, p*bs)
+		req := Ialltoall(c, send, recv)
+		// Do unrelated work while the exchange progresses.
+		acc := 0
+		for i := 0; i < 1000; i++ {
+			acc += i
+		}
+		req.Wait()
+		if !req.Test() {
+			t.Error("Test() false after Wait()")
+		}
+		for src := 0; src < p; src++ {
+			for j := 0; j < bs; j++ {
+				want := src*100 + c.rank*bs + j
+				if recv[src*bs+j] != want {
+					t.Errorf("rank %d: got %d want %d", c.rank, recv[src*bs+j], want)
+				}
+			}
+		}
+		_ = acc
+	})
+}
+
+func TestIalltoallMultipleInFlight(t *testing.T) {
+	// Several non-blocking all-to-alls initiated before any completes
+	// must not cross-deliver (seq-based matching).
+	p := 3
+	bs := 1
+	Run(p, func(c *Comm) {
+		const k = 5
+		sends := make([][]int, k)
+		recvs := make([][]int, k)
+		reqs := make([]*Request, k)
+		for op := 0; op < k; op++ {
+			sends[op] = make([]int, p*bs)
+			for dst := 0; dst < p; dst++ {
+				sends[op][dst] = op*10000 + c.rank*100 + dst
+			}
+			recvs[op] = make([]int, p*bs)
+			reqs[op] = Ialltoall(c, sends[op], recvs[op])
+		}
+		WaitAll(reqs)
+		for op := 0; op < k; op++ {
+			for src := 0; src < p; src++ {
+				want := op*10000 + src*100 + c.rank
+				if recvs[op][src] != want {
+					t.Errorf("rank %d op %d: got %d want %d", c.rank, op, recvs[op][src], want)
+				}
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	p := 3
+	Run(p, func(c *Comm) {
+		// Rank r sends r+1 copies of its rank to each destination.
+		n := c.rank + 1
+		sendcounts := make([]int, p)
+		senddispls := make([]int, p)
+		for d := 0; d < p; d++ {
+			sendcounts[d] = n
+			senddispls[d] = d * n
+		}
+		send := make([]int, p*n)
+		for i := range send {
+			send[i] = c.rank
+		}
+		recvcounts := make([]int, p)
+		recvdispls := make([]int, p)
+		total := 0
+		for s := 0; s < p; s++ {
+			recvcounts[s] = s + 1
+			recvdispls[s] = total
+			total += s + 1
+		}
+		recv := make([]int, total)
+		Alltoallv(c, send, sendcounts, senddispls, recv, recvcounts, recvdispls)
+		for s := 0; s < p; s++ {
+			for j := 0; j < s+1; j++ {
+				if recv[recvdispls[s]+j] != s {
+					t.Errorf("rank %d: from %d got %d", c.rank, s, recv[recvdispls[s]+j])
+				}
+			}
+		}
+	})
+}
+
+func TestSplitRowCol(t *testing.T) {
+	pr, pc := 2, 3
+	Run(pr*pc, func(c *Comm) {
+		row, col := c.CartGrid(pr, pc)
+		if row.Size() != pc || col.Size() != pr {
+			t.Errorf("rank %d: row size %d col size %d", c.rank, row.Size(), col.Size())
+		}
+		wantRowRank := c.rank % pc
+		wantColRank := c.rank / pc
+		if row.Rank() != wantRowRank {
+			t.Errorf("rank %d: row rank %d want %d", c.rank, row.Rank(), wantRowRank)
+		}
+		if col.Rank() != wantColRank {
+			t.Errorf("rank %d: col rank %d want %d", c.rank, col.Rank(), wantColRank)
+		}
+		// Collectives on the sub-communicators are isolated.
+		v := []float64{1}
+		AllreduceSum(row, v)
+		if v[0] != float64(pc) {
+			t.Errorf("rank %d: row reduce %g", c.rank, v[0])
+		}
+		w := []float64{1}
+		AllreduceSum(col, w)
+		if w[0] != float64(pr) {
+			t.Errorf("rank %d: col reduce %g", c.rank, w[0])
+		}
+	})
+}
+
+func TestSplitRanksOrderedByKey(t *testing.T) {
+	Run(4, func(c *Comm) {
+		// Reverse ordering via key.
+		sub := c.Split(0, -c.rank)
+		want := c.Size() - 1 - c.rank
+		if sub.Rank() != want {
+			t.Errorf("rank %d: sub rank %d want %d", c.rank, sub.Rank(), want)
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("expected panic")
+		}
+		if s, ok := e.(string); !ok || s == "" {
+			t.Fatalf("unexpected panic payload %v", e)
+		}
+	}()
+	Run(3, func(c *Comm) {
+		if c.rank == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSendRecvManyPairsConcurrently(t *testing.T) {
+	p := 8
+	Run(p, func(c *Comm) {
+		// Full exchange implemented with raw sends/recvs.
+		for d := 0; d < p; d++ {
+			Send(c, d, 9, []int{c.rank})
+		}
+		seen := make(map[int]bool)
+		for s := 0; s < p; s++ {
+			b := make([]int, 1)
+			Recv(c, s, 9, b)
+			seen[b[0]] = true
+		}
+		if len(seen) != p {
+			t.Errorf("rank %d saw %d distinct senders", c.rank, len(seen))
+		}
+	})
+}
+
+func TestRecvBufferTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.rank == 0 {
+			Send(c, 1, 0, []int{1, 2, 3})
+		} else {
+			Recv(c, 0, 0, make([]int, 1))
+		}
+	})
+}
+
+func TestAlltoallLargePayloadStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	p := 4
+	bs := 1 << 14
+	Run(p, func(c *Comm) {
+		send := make([]float64, p*bs)
+		for i := range send {
+			send[i] = float64(c.rank)
+		}
+		recv := make([]float64, p*bs)
+		start := time.Now()
+		for iter := 0; iter < 5; iter++ {
+			Alltoall(c, send, recv)
+		}
+		_ = start
+		for src := 0; src < p; src++ {
+			if recv[src*bs] != float64(src) {
+				t.Errorf("rank %d: wrong block origin", c.rank)
+			}
+		}
+	})
+}
+
+func ExampleRun() {
+	Run(2, func(c *Comm) {
+		v := []float64{float64(c.Rank() + 1)}
+		AllreduceSum(c, v)
+		if c.Rank() == 0 {
+			fmt.Println(v[0])
+		}
+	})
+	// Output: 3
+}

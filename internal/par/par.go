@@ -1,0 +1,142 @@
+// Package par provides the OpenMP-style intra-rank worker-thread
+// parallelism of the paper's hybrid MPI+OpenMP design (§1, §3.4): with
+// 2 MPI tasks per node, "OpenMP threads can be used to launch
+// operations to the 3 GPUs per socket" and to parallelize the host
+// loops (FFT batches, packing) across cores. Ranks are goroutines
+// here, so threads are a worker pool of further goroutines inside a
+// rank.
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a fixed team of workers attached to one rank, the analogue
+// of an OMP thread team.
+type Pool struct {
+	n int
+}
+
+// NewPool creates a team of n workers (n ≥ 1). n = 1 degenerates to
+// serial execution with no goroutine overhead.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("par: invalid team size %d", n))
+	}
+	return &Pool{n: n}
+}
+
+// Size reports the team size.
+func (p *Pool) Size() int { return p.n }
+
+// For executes body(i) for i in [0, n) across the team, blocking until
+// all iterations complete ("omp parallel for" with static chunking).
+// Iterations must be independent.
+func (p *Pool) For(n int, body func(i int)) {
+	if p.n == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	workers := p.n
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunked executes body(lo, hi) over static contiguous chunks of
+// [0, n), one per worker — for bodies that want to amortize per-call
+// setup across a range ("omp for schedule(static)").
+func (p *Pool) ForChunked(n int, body func(lo, hi int)) {
+	if p.n == 1 || n <= 1 {
+		body(0, n)
+		return
+	}
+	workers := p.n
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Sections runs the given functions concurrently and waits for all —
+// "omp sections", used to drive one GPU per thread (Fig 5).
+func (p *Pool) Sections(fns ...func()) {
+	if p.n == 1 || len(fns) <= 1 {
+		for _, f := range fns {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, f := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// ForWorkers is ForChunked with the worker index exposed, for bodies
+// that need per-thread scratch (e.g. FFT plans, which are not
+// concurrency-safe across calls).
+func (p *Pool) ForWorkers(n int, body func(w, lo, hi int)) {
+	if p.n == 1 || n <= 1 {
+		body(0, 0, n)
+		return
+	}
+	workers := p.n
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,103 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIterations(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 3, 10, 100} {
+			hits := make([]int32, n)
+			p.For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: iteration %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedPartitions(t *testing.T) {
+	f := func(seedN uint8, seedW uint8) bool {
+		n := int(seedN%50) + 1
+		w := int(seedW%6) + 1
+		p := NewPool(w)
+		covered := make([]int32, n)
+		p.ForChunked(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSectionsRunAll(t *testing.T) {
+	p := NewPool(3)
+	var a, b, c atomic.Bool
+	p.Sections(
+		func() { a.Store(true) },
+		func() { b.Store(true) },
+		func() { c.Store(true) },
+	)
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Error("not all sections ran")
+	}
+}
+
+func TestSerialPoolNoGoroutines(t *testing.T) {
+	// Team size 1 must preserve iteration order (serial semantics).
+	p := NewPool(1)
+	var order []int
+	p.For(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Errorf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestPoolPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestForWorkersDistinctScratch(t *testing.T) {
+	p := NewPool(4)
+	n := 23
+	used := make([]int32, n)
+	workerOf := make([]int32, n)
+	p.ForWorkers(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&used[i], 1)
+			atomic.StoreInt32(&workerOf[i], int32(w))
+		}
+	})
+	for i, u := range used {
+		if u != 1 {
+			t.Errorf("iteration %d ran %d times", i, u)
+		}
+	}
+	// Chunks are contiguous: worker ids are non-decreasing.
+	for i := 1; i < n; i++ {
+		if workerOf[i] < workerOf[i-1] {
+			t.Errorf("non-contiguous chunks: %v", workerOf)
+		}
+	}
+}

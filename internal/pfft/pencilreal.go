@@ -1,0 +1,270 @@
+package pfft
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// PencilReal is the real-field transform on the 2D pencil
+// decomposition — the structure of the synchronous CPU production code
+// of Yeung et al. [23] that Table 3 benchmarks against. Real data
+// makes the x extent n/2+1 after the r2c transform, which does not
+// divide evenly among the row groups; like the production codes, the
+// row transpose therefore uses variable-count exchanges (Alltoallv)
+// over near-equal x spans.
+//
+// Layouts (x fastest unless stated):
+//
+//	physical A: [mz][my][nx]   real,   x complete
+//	spectral B: [mz][wx][ny]   complex, y complete & fastest
+//	spectral C: [my2][wx][nz]  complex, z complete & fastest
+//
+// with my = n/Pr, mz = n/Pc, my2 = n/Pc and wx this rank's share of
+// the nxh = n/2+1 half-spectrum bins.
+type PencilReal struct {
+	commY *mpi.Comm // size Pr: completes x↔y
+	commZ *mpi.Comm // size Pc: completes y↔z
+	n     int
+	nxh   int
+	pr    int
+	pc    int
+	my    int
+	mz    int
+	my2   int
+	xsp   []span // x spans per row-group member
+
+	bx *fft.RealBatch // x r2c/c2r on layout A rows
+	by *fft.Batch     // y on layout B
+	bz *fft.Batch     // z on layout C
+
+	xspec []complex128 // [mz][my][nxh] after the x transform
+	packR []complex128
+	recvR []complex128
+	layB  []complex128
+	packC []complex128
+	recvC []complex128
+}
+
+// span is a half-open range (local copy; core has its own).
+type span struct{ lo, hi int }
+
+func (s span) width() int { return s.hi - s.lo }
+
+func splitSpan(total, parts int) []span {
+	per, rem := total/parts, total%parts
+	out := make([]span, parts)
+	lo := 0
+	for i := range out {
+		w := per
+		if i < rem {
+			w++
+		}
+		out[i] = span{lo, lo + w}
+		lo += w
+	}
+	return out
+}
+
+// NewPencilReal builds the transform. commY must have size Pr and
+// commZ size Pc; Pr and Pc must divide N; N must be even.
+func NewPencilReal(commY, commZ *mpi.Comm, n int) *PencilReal {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("pfft: PencilReal requires even N, got %d", n))
+	}
+	pr, pc := commY.Size(), commZ.Size()
+	g := grid.NewPencil2D(n, pr, pc, commY.Rank(), commZ.Rank())
+	nxh := n/2 + 1
+	f := &PencilReal{
+		commY: commY, commZ: commZ, n: n, nxh: nxh, pr: pr, pc: pc,
+		my: g.MY(), mz: g.MZ(), my2: g.MY2(),
+		xsp: splitSpan(nxh, pr),
+	}
+	wx := f.wx()
+	f.bx = fft.NewRealBatch(n, f.my*f.mz, 1, n, 1, nxh)
+	f.by = fft.NewBatch(n, wx*f.mz, 1, n, 1, n)
+	f.bz = fft.NewBatch(n, wx*f.my2, 1, n, 1, n)
+	f.xspec = make([]complex128, f.mz*f.my*nxh)
+	// The row exchange is uneven: forward it carries mz·my·nxh total,
+	// reverse it carries pr·mz·my·wx, which exceeds the forward volume
+	// when pr·wx > nxh (uneven split). Size for the larger of the two.
+	rowBuf := max(f.mz*f.my*nxh, pr*f.mz*f.my*wxMax(f.xsp))
+	f.packR = make([]complex128, rowBuf)
+	f.recvR = make([]complex128, rowBuf)
+	f.layB = make([]complex128, f.mz*wx*n)
+	f.packC = make([]complex128, f.mz*wx*n)
+	f.recvC = make([]complex128, f.mz*wx*n)
+	return f
+}
+
+func wxMax(spans []span) int {
+	m := 0
+	for _, s := range spans {
+		if s.width() > m {
+			m = s.width()
+		}
+	}
+	return m
+}
+
+// wx is this rank's half-spectrum share.
+func (f *PencilReal) wx() int { return f.xsp[f.commY.Rank()].width() }
+
+// PhysicalLen is the real element count of one local physical pencil.
+func (f *PencilReal) PhysicalLen() int { return f.mz * f.my * f.n }
+
+// FourierLen is the complex element count of one local spectral pencil.
+func (f *PencilReal) FourierLen() int { return f.my2 * f.wx() * f.n }
+
+// PhysicalToFourier transforms phys (layout A, real) into four
+// (layout C, complex), unnormalized.
+func (f *PencilReal) PhysicalToFourier(four []complex128, phys []float64) {
+	if len(phys) != f.PhysicalLen() || len(four) != f.FourierLen() {
+		panic(fmt.Sprintf("pfft: pencil real wants %d/%d, got %d/%d",
+			f.PhysicalLen(), f.FourierLen(), len(phys), len(four)))
+	}
+	n, nxh := f.n, f.nxh
+	// 1) r2c along x: [mz][my][nx] real → [mz][my][nxh] complex.
+	f.bx.Forward(f.xspec, phys)
+	// 2) Row transpose (Alltoallv over uneven x spans): dest d gets
+	// block [mz][my][w_d], x-major gathered.
+	sendcounts := make([]int, f.pr)
+	senddispls := make([]int, f.pr)
+	off := 0
+	for d, xs := range f.xsp {
+		w := xs.width()
+		for iz := 0; iz < f.mz; iz++ {
+			for iy := 0; iy < f.my; iy++ {
+				copy(f.packR[off+(iz*f.my+iy)*w:off+(iz*f.my+iy)*w+w],
+					f.xspec[(iz*f.my+iy)*nxh+xs.lo:(iz*f.my+iy)*nxh+xs.hi])
+			}
+		}
+		sendcounts[d] = f.mz * f.my * w
+		senddispls[d] = off
+		off += sendcounts[d]
+	}
+	wx := f.wx()
+	recvcounts := make([]int, f.pr)
+	recvdispls := make([]int, f.pr)
+	roff := 0
+	for s := 0; s < f.pr; s++ {
+		recvcounts[s] = f.mz * f.my * wx
+		recvdispls[s] = roff
+		roff += recvcounts[s]
+	}
+	mpi.Alltoallv(f.commY, f.packR, sendcounts, senddispls,
+		f.recvR[:roff], recvcounts, recvdispls)
+	// 3) Unpack into layout B [mz][wx][ny] (y fastest): source s holds
+	// y range [s·my,(s+1)·my).
+	for s := 0; s < f.pr; s++ {
+		blk := f.recvR[recvdispls[s]:]
+		for iz := 0; iz < f.mz; iz++ {
+			for iy := 0; iy < f.my; iy++ {
+				for ix := 0; ix < wx; ix++ {
+					f.layB[(iz*wx+ix)*n+s*f.my+iy] = blk[(iz*f.my+iy)*wx+ix]
+				}
+			}
+		}
+	}
+	// 4) FFT along y.
+	f.by.Forward(f.layB, f.layB)
+	// 5) Column transpose (even counts): dest d gets y range
+	// [d·my2,(d+1)·my2) as block [mz][wx][my2].
+	bs := f.mz * wx * f.my2
+	for d := 0; d < f.pc; d++ {
+		for iz := 0; iz < f.mz; iz++ {
+			for ix := 0; ix < wx; ix++ {
+				copy(f.packC[d*bs+(iz*wx+ix)*f.my2:d*bs+(iz*wx+ix)*f.my2+f.my2],
+					f.layB[(iz*wx+ix)*n+d*f.my2:(iz*wx+ix)*n+(d+1)*f.my2])
+			}
+		}
+	}
+	mpi.Alltoall(f.commZ, f.packC, f.recvC)
+	// 6) Unpack into layout C [my2][wx][nz] (z fastest); source s holds
+	// z range [s·mz,(s+1)·mz).
+	for s := 0; s < f.pc; s++ {
+		blk := f.recvC[s*bs:]
+		for iz := 0; iz < f.mz; iz++ {
+			for ix := 0; ix < wx; ix++ {
+				for iy := 0; iy < f.my2; iy++ {
+					four[(iy*wx+ix)*n+s*f.mz+iz] = blk[(iz*wx+ix)*f.my2+iy]
+				}
+			}
+		}
+	}
+	// 7) FFT along z.
+	f.bz.Forward(four, four)
+}
+
+// FourierToPhysical is the inverse sequence, with 1/N³ normalization.
+func (f *PencilReal) FourierToPhysical(phys []float64, four []complex128) {
+	if len(phys) != f.PhysicalLen() || len(four) != f.FourierLen() {
+		panic(fmt.Sprintf("pfft: pencil real wants %d/%d, got %d/%d",
+			f.PhysicalLen(), f.FourierLen(), len(phys), len(four)))
+	}
+	n, nxh := f.n, f.nxh
+	wx := f.wx()
+	f.bz.Inverse(four, four)
+	// Reverse column transpose: pack [d][mz][wx][my2] from layout C.
+	bs := f.mz * wx * f.my2
+	for d := 0; d < f.pc; d++ {
+		for iz := 0; iz < f.mz; iz++ {
+			for ix := 0; ix < wx; ix++ {
+				for iy := 0; iy < f.my2; iy++ {
+					f.packC[d*bs+(iz*wx+ix)*f.my2+iy] = four[(iy*wx+ix)*n+d*f.mz+iz]
+				}
+			}
+		}
+	}
+	mpi.Alltoall(f.commZ, f.packC, f.recvC)
+	for s := 0; s < f.pc; s++ {
+		blk := f.recvC[s*bs:]
+		for iz := 0; iz < f.mz; iz++ {
+			for ix := 0; ix < wx; ix++ {
+				copy(f.layB[(iz*wx+ix)*n+s*f.my2:(iz*wx+ix)*n+(s+1)*f.my2],
+					blk[(iz*wx+ix)*f.my2:(iz*wx+ix)*f.my2+f.my2])
+			}
+		}
+	}
+	f.by.Inverse(f.layB, f.layB)
+	// Reverse row transpose (Alltoallv): dest d gets its y range as
+	// block [mz][my][wx_mine].
+	sendcounts := make([]int, f.pr)
+	senddispls := make([]int, f.pr)
+	off := 0
+	for d := 0; d < f.pr; d++ {
+		for iz := 0; iz < f.mz; iz++ {
+			for iy := 0; iy < f.my; iy++ {
+				for ix := 0; ix < wx; ix++ {
+					f.packR[off+(iz*f.my+iy)*wx+ix] = f.layB[(iz*wx+ix)*n+d*f.my+iy]
+				}
+			}
+		}
+		sendcounts[d] = f.mz * f.my * wx
+		senddispls[d] = off
+		off += sendcounts[d]
+	}
+	recvcounts := make([]int, f.pr)
+	recvdispls := make([]int, f.pr)
+	roff := 0
+	for s, xs := range f.xsp {
+		recvcounts[s] = f.mz * f.my * xs.width()
+		recvdispls[s] = roff
+		roff += recvcounts[s]
+	}
+	mpi.Alltoallv(f.commY, f.packR[:off], sendcounts, senddispls,
+		f.recvR[:roff], recvcounts, recvdispls)
+	for s, xs := range f.xsp {
+		w := xs.width()
+		blk := f.recvR[recvdispls[s]:]
+		for iz := 0; iz < f.mz; iz++ {
+			for iy := 0; iy < f.my; iy++ {
+				copy(f.xspec[(iz*f.my+iy)*nxh+xs.lo:(iz*f.my+iy)*nxh+xs.hi],
+					blk[(iz*f.my+iy)*w:(iz*f.my+iy)*w+w])
+			}
+		}
+	}
+	f.bx.Inverse(phys, f.xspec)
+}

@@ -1,0 +1,181 @@
+package pfft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/mpi"
+)
+
+// pencilComms builds the y/z-group communicators for a pr×pc grid.
+func pencilComms(c *mpi.Comm, pc int) (commY, commZ *mpi.Comm, yG, zG int) {
+	yG = c.Rank() / pc
+	zG = c.Rank() % pc
+	commY = c.Split(zG, yG)
+	commZ = c.Split(pc+yG, zG)
+	return commY, commZ, yG, zG
+}
+
+func TestPencilRealRoundTrip(t *testing.T) {
+	n := 12
+	for _, grids := range [][2]int{{2, 2}, {3, 2}, {2, 3}} {
+		pr, pc := grids[0], grids[1]
+		mpi.Run(pr*pc, func(c *mpi.Comm) {
+			commY, commZ, _, _ := pencilComms(c, pc)
+			f := NewPencilReal(commY, commZ, n)
+			rng := rand.New(rand.NewSource(int64(c.Rank()) + 3))
+			phys := make([]float64, f.PhysicalLen())
+			for i := range phys {
+				phys[i] = rng.NormFloat64()
+			}
+			orig := append([]float64(nil), phys...)
+			four := make([]complex128, f.FourierLen())
+			f.PhysicalToFourier(four, phys)
+			back := make([]float64, f.PhysicalLen())
+			f.FourierToPhysical(back, four)
+			for i := range back {
+				if math.Abs(back[i]-orig[i]) > 1e-9 {
+					t.Fatalf("pr=%d pc=%d rank %d: element %d: %g vs %g",
+						pr, pc, c.Rank(), i, back[i], orig[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPencilRealMatchesLocalReference(t *testing.T) {
+	// Transform a known global real field and compare every spectral
+	// coefficient against the local full 3D reference.
+	n := 8
+	pr, pc := 2, 2
+	rng := rand.New(rand.NewSource(17))
+	global := make([]float64, n*n*n) // [z][y][x]
+	for i := range global {
+		global[i] = rng.NormFloat64()
+	}
+	// Reference spectrum via the complex Plan3D.
+	gc := make([]complex128, n*n*n)
+	for i, v := range global {
+		gc[i] = complex(v, 0)
+	}
+	ref := make([]complex128, n*n*n)
+	fft.NewPlan3D(n, n, n).Forward(ref, gc)
+
+	nxh := n/2 + 1
+	xsp := splitSpan(nxh, pr)
+	var mu sync.Mutex
+	results := map[int][]complex128{}
+	mpi.Run(pr*pc, func(c *mpi.Comm) {
+		commY, commZ, yG, zG := pencilComms(c, pc)
+		f := NewPencilReal(commY, commZ, n)
+		my, mz := n/pr, n/pc
+		phys := make([]float64, f.PhysicalLen())
+		// Layout A: [mz][my][nx]; global y = yG·my+iy, z = zG·mz+iz.
+		for iz := 0; iz < mz; iz++ {
+			for iy := 0; iy < my; iy++ {
+				gz, gy := zG*mz+iz, yG*my+iy
+				copy(phys[(iz*my+iy)*n:(iz*my+iy)*n+n], global[(gz*n+gy)*n:(gz*n+gy)*n+n])
+			}
+		}
+		four := make([]complex128, f.FourierLen())
+		f.PhysicalToFourier(four, phys)
+		mu.Lock()
+		results[c.Rank()] = append([]complex128(nil), four...)
+		mu.Unlock()
+	})
+	my2 := n / pc
+	for r := 0; r < pr*pc; r++ {
+		yG, zG := r/pc, r%pc
+		xs := xsp[yG] // x span owned by this rank's row group index
+		wx := xs.width()
+		out := results[r]
+		// Layout C: [my2][wx][nz]; global x = xs.lo+ixl (half-spectrum
+		// bin), y = zG·my2+iyl.
+		for iyl := 0; iyl < my2; iyl++ {
+			for ixl := 0; ixl < wx; ixl++ {
+				for iz := 0; iz < n; iz++ {
+					gx, gy := xs.lo+ixl, zG*my2+iyl
+					want := ref[(iz*n+gy)*n+gx]
+					got := out[(iyl*wx+ixl)*n+iz]
+					if cmplx.Abs(got-want) > 1e-9 {
+						t.Fatalf("rank %d x=%d y=%d z=%d: got %v want %v", r, gx, gy, iz, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPencilRealUnevenXSplit(t *testing.T) {
+	// nxh = 7 for n=12 split over pr=3: spans of 3,2,2 — every rank
+	// must still round-trip exactly.
+	n := 12
+	pr, pc := 3, 2
+	xsp := splitSpan(n/2+1, pr)
+	if xsp[0].width() == xsp[pr-1].width() {
+		t.Fatal("test premise: split should be uneven")
+	}
+	mpi.Run(pr*pc, func(c *mpi.Comm) {
+		commY, commZ, _, _ := pencilComms(c, pc)
+		f := NewPencilReal(commY, commZ, n)
+		phys := make([]float64, f.PhysicalLen())
+		for i := range phys {
+			phys[i] = float64(i%13) - 6
+		}
+		orig := append([]float64(nil), phys...)
+		four := make([]complex128, f.FourierLen())
+		f.PhysicalToFourier(four, phys)
+		back := make([]float64, f.PhysicalLen())
+		f.FourierToPhysical(back, four)
+		for i := range back {
+			if math.Abs(back[i]-orig[i]) > 1e-10 {
+				t.Fatalf("rank %d element %d", c.Rank(), i)
+			}
+		}
+	})
+}
+
+func TestPencilRealParseval(t *testing.T) {
+	n := 8
+	pr, pc := 2, 2
+	mpi.Run(pr*pc, func(c *mpi.Comm) {
+		commY, commZ, _, _ := pencilComms(c, pc)
+		f := NewPencilReal(commY, commZ, n)
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 9))
+		phys := make([]float64, f.PhysicalLen())
+		var e float64
+		for i := range phys {
+			phys[i] = rng.NormFloat64()
+			e += phys[i] * phys[i]
+		}
+		four := make([]complex128, f.FourierLen())
+		f.PhysicalToFourier(four, phys)
+		// Spectral energy with conjugate-symmetry weights: bins with
+		// 0 < kx < n/2 count twice.
+		var es float64
+		wx := f.wx()
+		xlo := f.xsp[commY.Rank()].lo
+		for iy := 0; iy < f.my2; iy++ {
+			for ixl := 0; ixl < wx; ixl++ {
+				w := 2.0
+				if gx := xlo + ixl; gx == 0 || gx == n/2 {
+					w = 1
+				}
+				for iz := 0; iz < n; iz++ {
+					v := four[(iy*wx+ixl)*n+iz]
+					es += w * (real(v)*real(v) + imag(v)*imag(v))
+				}
+			}
+		}
+		sums := []float64{e, es}
+		mpi.AllreduceSum(c, sums)
+		n3 := float64(n * n * n)
+		if math.Abs(sums[1]/n3-sums[0]) > 1e-8*sums[0] {
+			t.Errorf("Parseval: phys %g spec/N³ %g", sums[0], sums[1]/n3)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package pfft
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/transpose"
+)
+
+// SlabC2C performs distributed complex 3D FFTs on a 1D slab
+// decomposition. FourierToPhysical applies inverse transforms in the
+// paper's y, z, x order (one all-to-all between y and z);
+// PhysicalToFourier applies forward transforms in x, z, y order.
+type SlabC2C struct {
+	comm *mpi.Comm
+	s    grid.Slab
+	n    int
+	by   *fft.Batch // y transforms on the Fourier-side slab (per z-plane)
+	bz   *fft.Batch // z transforms on the physical-side slab (per y-plane)
+	bx   *fft.Batch // x transforms on the physical-side slab (per y-plane)
+	pack []complex128
+	recv []complex128
+}
+
+// NewSlabC2C builds the plans and communication buffers for an N³
+// transform over the ranks of comm.
+func NewSlabC2C(comm *mpi.Comm, n int) *SlabC2C {
+	s := grid.NewSlab(n, comm.Size(), comm.Rank())
+	f := &SlabC2C{
+		comm: comm,
+		s:    s,
+		n:    n,
+		by:   fft.NewBatch(n, n, n, 1, n, 1), // along y, x fastest
+		bz:   fft.NewBatch(n, n, n, 1, n, 1), // along z, x fastest
+		bx:   fft.NewBatch(n, n, 1, n, 1, n), // along x, contiguous
+		pack: make([]complex128, s.MZ()*n*n),
+		recv: make([]complex128, s.MZ()*n*n),
+	}
+	return f
+}
+
+// Slab reports the decomposition geometry.
+func (f *SlabC2C) Slab() grid.Slab { return f.s }
+
+// LocalLen is the number of complex elements in one local slab.
+func (f *SlabC2C) LocalLen() int { return f.s.MZ() * f.n * f.n }
+
+// FourierToPhysical transforms the z-distributed Fourier slab
+// four=[mz][ny][nx] into the y-distributed physical slab
+// phys=[my][nz][nx], applying the 1/N³ normalization.
+func (f *SlabC2C) FourierToPhysical(phys, four []complex128) {
+	n, mz, my := f.n, f.s.MZ(), f.s.MY()
+	f.checkLen(phys, four)
+	// 1) inverse FFT along y, plane by plane.
+	for iz := 0; iz < mz; iz++ {
+		plane := four[iz*n*n : (iz+1)*n*n]
+		f.by.Inverse(plane, plane)
+	}
+	// 2) pack y→z, all-to-all, unpack.
+	transpose.PackYZ(f.pack, four, n, n, mz, f.comm.Size())
+	mpi.Alltoall(f.comm, f.pack, f.recv)
+	transpose.UnpackYZ(phys, f.recv, n, n, my, f.comm.Size())
+	// 3) inverse FFT along z, then x, per y-plane.
+	for iy := 0; iy < my; iy++ {
+		plane := phys[iy*n*n : (iy+1)*n*n]
+		f.bz.Inverse(plane, plane)
+		f.bx.Inverse(plane, plane)
+	}
+}
+
+// PhysicalToFourier transforms the y-distributed physical slab
+// phys=[my][nz][nx] into the z-distributed Fourier slab
+// four=[mz][ny][nx], unnormalized (the exact adjoint ordering x, z, y
+// of FourierToPhysical).
+func (f *SlabC2C) PhysicalToFourier(four, phys []complex128) {
+	n, mz, my := f.n, f.s.MZ(), f.s.MY()
+	f.checkLen(phys, four)
+	for iy := 0; iy < my; iy++ {
+		plane := phys[iy*n*n : (iy+1)*n*n]
+		f.bx.Forward(plane, plane)
+		f.bz.Forward(plane, plane)
+	}
+	transpose.PackZY(f.pack, phys, n, n, my, f.comm.Size())
+	mpi.Alltoall(f.comm, f.pack, f.recv)
+	transpose.UnpackZY(four, f.recv, n, n, mz, f.comm.Size())
+	for iz := 0; iz < mz; iz++ {
+		plane := four[iz*n*n : (iz+1)*n*n]
+		f.by.Forward(plane, plane)
+	}
+}
+
+func (f *SlabC2C) checkLen(phys, four []complex128) {
+	if len(phys) != f.LocalLen() || len(four) != f.LocalLen() {
+		panic(fmt.Sprintf("pfft: slab buffers need %d elements, got phys %d four %d",
+			f.LocalLen(), len(phys), len(four)))
+	}
+}
+
+// SlabReal is the DNS transform pair: real physical fields, conjugate-
+// symmetric half-spectra (nxh = n/2+1 in x) in Fourier space.
+type SlabReal struct {
+	comm *mpi.Comm
+	s    grid.Slab
+	n    int
+	nxh  int
+	by   *fft.Batch     // along y on [mz][ny][nxh]
+	bz   *fft.Batch     // along z on [my][nz][nxh]
+	bx   *fft.RealBatch // along x: half-spectrum ↔ real line
+	pack []complex128
+	recv []complex128
+	mid  []complex128 // [my][nz][nxh] intermediate
+}
+
+// NewSlabReal builds the DNS transform for an N³ real field (even N).
+func NewSlabReal(comm *mpi.Comm, n int) *SlabReal {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("pfft: SlabReal requires even N, got %d", n))
+	}
+	s := grid.NewSlab(n, comm.Size(), comm.Rank())
+	nxh := n/2 + 1
+	return &SlabReal{
+		comm: comm,
+		s:    s,
+		n:    n,
+		nxh:  nxh,
+		by:   fft.NewBatch(n, nxh, nxh, 1, nxh, 1),
+		bz:   fft.NewBatch(n, nxh, nxh, 1, nxh, 1),
+		bx:   fft.NewRealBatch(n, n, 1, n, 1, nxh),
+		pack: make([]complex128, s.MZ()*n*nxh),
+		recv: make([]complex128, s.MZ()*n*nxh),
+		mid:  make([]complex128, s.MY()*n*nxh),
+	}
+}
+
+// Slab reports the decomposition geometry.
+func (f *SlabReal) Slab() grid.Slab { return f.s }
+
+// NXH is the stored x extent of the half-spectrum, N/2+1.
+func (f *SlabReal) NXH() int { return f.nxh }
+
+// FourierLen is the complex element count of one local Fourier slab.
+func (f *SlabReal) FourierLen() int { return f.s.MZ() * f.n * f.nxh }
+
+// PhysicalLen is the real element count of one local physical slab.
+func (f *SlabReal) PhysicalLen() int { return f.s.MY() * f.n * f.n }
+
+// FourierToPhysical transforms four=[mz][ny][nxh] (complex) into
+// phys=[my][nz][nx] (real), with 1/N³ normalization. four is consumed
+// as scratch.
+func (f *SlabReal) FourierToPhysical(phys []float64, four []complex128) {
+	n, nxh, mz, my := f.n, f.nxh, f.s.MZ(), f.s.MY()
+	if len(four) != f.FourierLen() || len(phys) != f.PhysicalLen() {
+		panic(fmt.Sprintf("pfft: real slab wants four %d phys %d, got %d %d",
+			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
+	}
+	for iz := 0; iz < mz; iz++ {
+		plane := four[iz*n*nxh : (iz+1)*n*nxh]
+		f.by.Inverse(plane, plane)
+	}
+	transpose.PackYZ(f.pack, four, nxh, n, mz, f.comm.Size())
+	mpi.Alltoall(f.comm, f.pack, f.recv)
+	transpose.UnpackYZ(f.mid, f.recv, nxh, n, my, f.comm.Size())
+	for iy := 0; iy < my; iy++ {
+		plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
+		f.bz.Inverse(plane, plane)
+		// complex-to-real along x: [nz][nxh] → [nz][nx].
+		f.bx.Inverse(phys[iy*n*n:(iy+1)*n*n], plane)
+	}
+}
+
+// PhysicalToFourier transforms phys=[my][nz][nx] (real) into
+// four=[mz][ny][nxh] (complex), unnormalized.
+func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
+	n, nxh, mz, my := f.n, f.nxh, f.s.MZ(), f.s.MY()
+	if len(four) != f.FourierLen() || len(phys) != f.PhysicalLen() {
+		panic(fmt.Sprintf("pfft: real slab wants four %d phys %d, got %d %d",
+			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
+	}
+	for iy := 0; iy < my; iy++ {
+		plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
+		f.bx.Forward(plane, phys[iy*n*n:(iy+1)*n*n])
+		f.bz.Forward(plane, plane)
+	}
+	transpose.PackZY(f.pack, f.mid, nxh, n, my, f.comm.Size())
+	mpi.Alltoall(f.comm, f.pack, f.recv)
+	transpose.UnpackZY(four, f.recv, nxh, n, mz, f.comm.Size())
+	for iz := 0; iz < mz; iz++ {
+		plane := four[iz*n*nxh : (iz+1)*n*nxh]
+		f.by.Forward(plane, plane)
+	}
+}

@@ -1,0 +1,158 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+// paperTable2 holds the measured values from the paper: P2P size (MB)
+// and per-node bandwidth (GB/s) for configurations A, B, C.
+var paperTable2 = []struct {
+	nodes int
+	cfg   string
+	p2pMB float64
+	bwGBs float64
+}{
+	{16, "A", 12, 36.5}, {16, "B", 108, 43.1}, {16, "C", 324, 43.6},
+	{128, "A", 1.5, 24.0}, {128, "B", 13.5, 39.0}, {128, "C", 40.5, 39.0},
+	{1024, "A", 0.19, 11.1}, {1024, "B", 1.69, 23.5}, {1024, "C", 5.06, 25.0},
+	{3072, "A", 0.053, 13.2}, {3072, "B", 0.47, 12.4}, {3072, "C", 1.90, 17.6},
+}
+
+func TestTable2MessageSizesMatchPaper(t *testing.T) {
+	rows := SummitA2A().Table2()
+	if len(rows) != len(paperTable2) {
+		t.Fatalf("rows %d want %d", len(rows), len(paperTable2))
+	}
+	for i, w := range paperTable2 {
+		g := rows[i]
+		if g.Nodes != w.nodes || g.Cfg != w.cfg {
+			t.Fatalf("row %d: got %d/%s want %d/%s", i, g.Nodes, g.Cfg, w.nodes, w.cfg)
+		}
+		gotMB := g.P2P / (1 << 20)
+		if math.Abs(gotMB-w.p2pMB)/w.p2pMB > 0.02 {
+			t.Errorf("%d/%s: P2P %.3f MB want %.3f", w.nodes, w.cfg, gotMB, w.p2pMB)
+		}
+	}
+}
+
+func TestTable2BandwidthsWithinTolerance(t *testing.T) {
+	// The calibrated model must land within 12% of every measured cell
+	// — tight enough that every qualitative conclusion of §4.1 holds.
+	rows := SummitA2A().Table2()
+	for i, w := range paperTable2 {
+		got := rows[i].BW / 1e9
+		rel := math.Abs(got-w.bwGBs) / w.bwGBs
+		if rel > 0.12 {
+			t.Errorf("%d nodes cfg %s: BW %.1f GB/s want %.1f (rel %.0f%%)",
+				w.nodes, w.cfg, got, w.bwGBs, rel*100)
+		}
+	}
+}
+
+func TestQualitativeOrderingsOfSection41(t *testing.T) {
+	rows := SummitA2A().Table2()
+	get := func(nodes int, cfg string) float64 {
+		for _, r := range rows {
+			if r.Nodes == nodes && r.Cfg == cfg {
+				return r.BW
+			}
+		}
+		t.Fatalf("missing %d/%s", nodes, cfg)
+		return 0
+	}
+	// B beats A up to 1024 nodes (larger messages win).
+	for _, nodes := range []int{16, 128, 1024} {
+		if get(nodes, "B") <= get(nodes, "A") {
+			t.Errorf("%d nodes: B should beat A", nodes)
+		}
+	}
+	// At 3072 nodes A beats B (eager-path anomaly).
+	if get(3072, "A") <= get(3072, "B") {
+		t.Error("3072 nodes: A should beat B via the eager path")
+	}
+	// C ≥ B everywhere (bigger messages, fewer calls).
+	for _, nodes := range []int{16, 128, 1024, 3072} {
+		if get(nodes, "C") < get(nodes, "B")*0.999 {
+			t.Errorf("%d nodes: C should not lose to B", nodes)
+		}
+	}
+}
+
+func TestBandwidthMonotonicInMessageSize(t *testing.T) {
+	m := SummitA2A()
+	for _, nodes := range []int{16, 128, 1024, 3072} {
+		prev := 0.0
+		for _, msg := range []float64{128 * kib, mib, 16 * mib, 256 * mib} {
+			bw := m.NodeBandwidth(msg, nodes)
+			if bw < prev {
+				t.Errorf("nodes %d: bandwidth not monotone at %g bytes", nodes, msg)
+			}
+			prev = bw
+		}
+	}
+}
+
+func TestSaturatedBandwidthDegradesWithScale(t *testing.T) {
+	// In the large-message limit the per-node bandwidth falls with node
+	// count — the Table 2 trend that motivates the paper's "fewer,
+	// larger messages" design.
+	m := SummitA2A()
+	msg := 512 * mib
+	prev := math.Inf(1)
+	for _, nodes := range []int{16, 128, 1024, 3072} {
+		bw := m.NodeBandwidth(msg, nodes)
+		if bw > prev {
+			t.Errorf("saturated bandwidth grew with node count at %d nodes", nodes)
+		}
+		prev = bw
+	}
+}
+
+func TestInterpolationBetweenCalibrationPoints(t *testing.T) {
+	m := SummitA2A()
+	// 1536 nodes sits between the 1024 and 3072 calibrations.
+	bwMid := m.NodeBandwidth(4*mib, 1536)
+	bwLo := m.NodeBandwidth(4*mib, 3072)
+	bwHi := m.NodeBandwidth(4*mib, 1024)
+	if bwMid < bwLo || bwMid > bwHi {
+		t.Errorf("interpolated BW %.1f outside [%.1f, %.1f]", bwMid/1e9, bwLo/1e9, bwHi/1e9)
+	}
+	// Clamping outside the range.
+	if m.NodeBandwidth(4*mib, 8) != m.NodeBandwidth(4*mib, 16) {
+		t.Error("below-range node count should clamp")
+	}
+	if m.NodeBandwidth(4*mib, 4608) != m.NodeBandwidth(4*mib, 3072) {
+		t.Error("above-range node count should clamp")
+	}
+}
+
+func TestTimeInvertsEq3(t *testing.T) {
+	m := SummitA2A()
+	p2p := 1.9 * mib
+	p, tpn, nodes := 6144, 2, 3072
+	tm := m.Time(p2p, p, tpn, nodes)
+	bw := 2 * p2p * float64(p) * float64(tpn) / tm
+	if math.Abs(bw-m.NodeBandwidth(p2p, nodes))/bw > 1e-12 {
+		t.Error("Time() does not invert Eq 3")
+	}
+}
+
+func TestP2PFormulas(t *testing.T) {
+	// 16 nodes, N=3072: case C (P=32): 324 MB; case A (P=96, np=3): 12 MB.
+	if got := P2PSlab(3072, 32, 3) / mib; math.Abs(got-324) > 1 {
+		t.Errorf("slab P2P %.1f MB want 324", got)
+	}
+	if got := P2PPencil(3072, 96, 3, 3) / mib; math.Abs(got-12) > 0.1 {
+		t.Errorf("pencil P2P %.2f MB want 12", got)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SummitA2A().NodeBandwidth(0, 16)
+}

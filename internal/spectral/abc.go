@@ -1,0 +1,115 @@
+package spectral
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// SetABCFlow initializes the Arnold–Beltrami–Childress flow
+//
+//	u = A·sin z + C·cos y
+//	v = B·sin x + A·cos z
+//	w = C·sin y + B·cos x
+//
+// a Beltrami field (ω = u, curl eigenvalue 1): its nonlinear term
+// u×ω vanishes identically, so the advective contribution is a pure
+// gradient absorbed by the pressure projection and the *full*
+// Navier–Stokes solution decays exactly as u(t) = u(0)·e^{−νt} — the
+// strongest available end-to-end exactness test for the nonlinear
+// solver, and the canonical maximal-helicity field.
+func (s *Solver) SetABCFlow(a, b, c float64) {
+	for comp := 0; comp < 3; comp++ {
+		zero(s.Uh[comp])
+	}
+	n := s.cfg.N
+	n3 := float64(n) * float64(n) * float64(n)
+	// Coefficients of e^{ikx}: sin t = ∓i/2 at k=±1; cos t = 1/2 at k=±1.
+	put := func(comp, kx, ky, kz int, v complex128) {
+		gy := (ky + n) % n
+		gz := (kz + n) % n
+		if s.slab.ZOwner(gz) != s.slab.Rank {
+			return
+		}
+		iz := gz - s.slab.ZLo()
+		if kx < 0 {
+			// Stored via conjugate symmetry: û(−kx,−ky,−kz) = conj.
+			return
+		}
+		s.Uh[comp][(iz*n+gy)*s.nxh+kx] += v * complex(n3, 0)
+	}
+	// u = A sin z + C cos y: modes (0,0,±1) and (0,±1,0) — kx = 0
+	// plane, so both signs must be stored explicitly.
+	put(0, 0, 0, 1, complex(0, -a/2))
+	put(0, 0, 0, -1, complex(0, a/2))
+	put(0, 0, 1, 0, complex(c/2, 0))
+	put(0, 0, -1, 0, complex(c/2, 0))
+	// v = B sin x + A cos z: mode (±1,0,0) stored at kx=+1 only (half
+	// spectrum), and (0,0,±1).
+	put(1, 1, 0, 0, complex(0, -b/2))
+	put(1, 0, 0, 1, complex(a/2, 0))
+	put(1, 0, 0, -1, complex(a/2, 0))
+	// w = C sin y + B cos x.
+	put(2, 0, 1, 0, complex(0, -c/2))
+	put(2, 0, -1, 0, complex(0, c/2))
+	put(2, 1, 0, 0, complex(b/2, 0))
+}
+
+// Helicity returns H = ⟨u·ω⟩, the alignment invariant of ideal flow
+// (collective). Beltrami fields with curl eigenvalue k have H = 2k·E.
+func (s *Solver) Helicity() float64 {
+	w := s.Vorticity()
+	n := s.cfg.N
+	n3 := float64(n) * float64(n) * float64(n)
+	inv := 1 / (n3 * n3)
+	var sum float64
+	idx := 0
+	for iz := 0; iz < s.slab.MZ(); iz++ {
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < s.nxh; ix++ {
+				wt := specWeight(ix, n)
+				for c := 0; c < 3; c++ {
+					u := s.Uh[c][idx]
+					o := w[c][idx]
+					sum += wt * (real(u)*real(o) + imag(u)*imag(o)) * inv
+				}
+				idx++
+			}
+		}
+	}
+	out := []float64{sum}
+	mpi.AllreduceSum(s.comm, out)
+	return out[0]
+}
+
+// HelicitySpectrum returns the shell-summed helicity spectrum H(k)
+// with ΣH(k) = ⟨u·ω⟩ (collective).
+func (s *Solver) HelicitySpectrum() []float64 {
+	w := s.Vorticity()
+	n := s.cfg.N
+	n3 := float64(n) * float64(n) * float64(n)
+	inv := 1 / (n3 * n3)
+	spec := make([]float64, int(math.Sqrt(3)*float64(n)/2)+2)
+	idx := 0
+	for iz := 0; iz < s.slab.MZ(); iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < s.nxh; ix++ {
+				k := math.Sqrt(s.kxs[ix]*s.kxs[ix] + ky2 + kz2)
+				shell := int(k + 0.5)
+				if shell < len(spec) {
+					wt := specWeight(ix, n)
+					for c := 0; c < 3; c++ {
+						u := s.Uh[c][idx]
+						o := w[c][idx]
+						spec[shell] += wt * (real(u)*real(o) + imag(u)*imag(o)) * inv
+					}
+				}
+				idx++
+			}
+		}
+	}
+	mpi.AllreduceSum(s.comm, spec)
+	return spec
+}

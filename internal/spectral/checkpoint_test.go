@@ -1,0 +1,198 @@
+package spectral
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestCheckpointRoundTripInMemory(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 16, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+		s.SetRandomIsotropic(3, 0.5, 1)
+		for i := 0; i < 2; i++ {
+			s.Step(0.004)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCheckpointTo(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		s2 := NewSolver(c, Config{N: 16, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+		if err := s2.ReadCheckpointFrom(&buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if s2.StepCount() != s.StepCount() || s2.Time() != s.Time() {
+			t.Errorf("metadata: step %d/%d time %g/%g", s2.StepCount(), s.StepCount(), s2.Time(), s.Time())
+		}
+		for cmp := 0; cmp < 3; cmp++ {
+			for i := range s.Uh[cmp] {
+				if s.Uh[cmp][i] != s2.Uh[cmp][i] {
+					t.Fatalf("component %d element %d differs", cmp, i)
+				}
+			}
+		}
+	})
+}
+
+func TestCheckpointRestartContinuesIdentically(t *testing.T) {
+	// Run A: 6 steps straight. Run B: 3 steps, checkpoint to disk,
+	// restore into a fresh solver, 3 more. Same fields (bitwise).
+	dir := t.TempDir()
+	n := 16
+	cfg := Config{N: n, Nu: 0.02, Scheme: RK2, Dealias: Dealias23}
+	var straight []complex128
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, cfg)
+		s.SetRandomIsotropic(3, 0.5, 11)
+		for i := 0; i < 6; i++ {
+			s.Step(0.004)
+		}
+		if c.Rank() == 0 {
+			straight = append([]complex128(nil), s.Uh[0]...)
+		}
+	})
+	var restarted []complex128
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, cfg)
+		s.SetRandomIsotropic(3, 0.5, 11)
+		for i := 0; i < 3; i++ {
+			s.Step(0.004)
+		}
+		if err := s.SaveCheckpoint(dir); err != nil {
+			t.Errorf("save: %v", err)
+		}
+		s2 := NewSolver(c, cfg)
+		if err := s2.LoadCheckpoint(dir); err != nil {
+			t.Errorf("load: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			s2.Step(0.004)
+		}
+		if s2.StepCount() != 6 {
+			t.Errorf("step count %d", s2.StepCount())
+		}
+		if c.Rank() == 0 {
+			restarted = append([]complex128(nil), s2.Uh[0]...)
+		}
+	})
+	for i := range straight {
+		if straight[i] != restarted[i] {
+			t.Fatalf("restart diverged at element %d", i)
+		}
+	}
+}
+
+func TestCheckpointWithScalars(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+		s.SetRandomIsotropic(2, 0.4, 3)
+		sc := s.NewScalar(0.07)
+		sc.MeanGrad = 2.5
+		s.SetScalarBlob(sc, 2, 0.3, 5)
+		var buf bytes.Buffer
+		if err := s.WriteCheckpointTo(&buf, sc); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		s2 := NewSolver(c, Config{N: 8, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+		sc2 := s2.NewScalar(0)
+		if err := s2.ReadCheckpointFrom(&buf, sc2); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if sc2.kappa != 0.07 || sc2.MeanGrad != 2.5 {
+			t.Errorf("scalar params: κ=%g G=%g", sc2.kappa, sc2.MeanGrad)
+		}
+		for i := range sc.Th {
+			if sc.Th[i] != sc2.Th[i] {
+				t.Fatalf("scalar element %d differs", i)
+			}
+		}
+	})
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.02})
+		s.SetRandomIsotropic(2, 0.4, 3)
+		var buf bytes.Buffer
+		if err := s.WriteCheckpointTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		data[len(data)/2] ^= 0xFF // flip a payload bit
+		s2 := NewSolver(c, Config{N: 8, Nu: 0.02})
+		err := s2.ReadCheckpointFrom(bytes.NewReader(data))
+		if err == nil || !strings.Contains(err.Error(), "crc") {
+			t.Errorf("corruption not detected: %v", err)
+		}
+	})
+}
+
+func TestCheckpointRejectsGeometryMismatch(t *testing.T) {
+	var blob []byte
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.02})
+		var buf bytes.Buffer
+		if err := s.WriteCheckpointTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		blob = buf.Bytes()
+	})
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 16, Nu: 0.02})
+		err := s.ReadCheckpointFrom(bytes.NewReader(blob))
+		if err == nil || !strings.Contains(err.Error(), "N=8") {
+			t.Errorf("geometry mismatch not detected: %v", err)
+		}
+	})
+	// Wrong rank count.
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.02})
+		err := s.ReadCheckpointFrom(bytes.NewReader(blob))
+		if err == nil {
+			t.Error("rank-count mismatch not detected")
+		}
+	})
+}
+
+func TestCheckpointRejectsBadMagic(t *testing.T) {
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.02})
+		err := s.ReadCheckpointFrom(bytes.NewReader(make([]byte, 128)))
+		if err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Errorf("bad magic not detected: %v", err)
+		}
+	})
+}
+
+func TestCheckpointEnergyPreserved(t *testing.T) {
+	dir := t.TempDir()
+	var e1, e2 float64
+	mpi.Run(4, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 16, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+		s.SetRandomIsotropic(3, 0.5, 77)
+		e := s.Energy()
+		if err := s.SaveCheckpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+		s2 := NewSolver(c, Config{N: 16, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+		if err := s2.LoadCheckpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+		ee := s2.Energy()
+		if c.Rank() == 0 {
+			e1, e2 = e, ee
+		}
+	})
+	if math.Abs(e1-e2) > 1e-15 {
+		t.Errorf("energy changed across checkpoint: %g vs %g", e1, e2)
+	}
+	// Files exist, one per rank.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 4 {
+		t.Errorf("checkpoint dir: %v entries, err %v", len(entries), err)
+	}
+}

@@ -1,0 +1,96 @@
+package spectral
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Forcing sustains stationary turbulence by freezing the kinetic
+// energy of the low-wavenumber shells k ≤ KF at their initial values —
+// the deterministic band forcing widely used in isotropic-turbulence
+// DNS (the paper's production runs use the related Eswaran–Pope
+// scheme; both inject energy only at the largest scales, which is what
+// matters to the algorithmic workload).
+type Forcing struct {
+	// KF is the highest forced shell (typically 2).
+	KF int
+
+	target []float64 // per-shell target energies, captured on first use
+}
+
+// NewForcing creates a band forcing over shells 1…kf.
+func NewForcing(kf int) *Forcing {
+	if kf < 1 {
+		panic("spectral: forcing needs kf ≥ 1")
+	}
+	return &Forcing{KF: kf}
+}
+
+// apply rescales each forced shell back to its target energy. It is
+// collective across the solver's communicator.
+func (f *Forcing) apply(s *Solver) {
+	shells := f.shellEnergies(s)
+	if f.target == nil {
+		f.target = make([]float64, len(shells))
+		copy(f.target, shells)
+		return
+	}
+	scales := make([]float64, len(shells))
+	for k := 1; k <= f.KF; k++ {
+		if shells[k] > 0 && f.target[k] > 0 {
+			scales[k] = math.Sqrt(f.target[k] / shells[k])
+		} else {
+			scales[k] = 1
+		}
+	}
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < nxh; ix++ {
+				k := math.Sqrt(s.kxs[ix]*s.kxs[ix] + ky2 + kz2)
+				shell := int(k + 0.5)
+				if shell >= 1 && shell <= f.KF {
+					sc := complex(scales[shell], 0)
+					s.Uh[0][idx] *= sc
+					s.Uh[1][idx] *= sc
+					s.Uh[2][idx] *= sc
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// shellEnergies returns the energies of shells 0…KF (collective).
+func (f *Forcing) shellEnergies(s *Solver) []float64 {
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	n3 := float64(n) * float64(n) * float64(n)
+	inv := 1 / (n3 * n3)
+	shells := make([]float64, f.KF+1)
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < nxh; ix++ {
+				k := math.Sqrt(s.kxs[ix]*s.kxs[ix] + ky2 + kz2)
+				shell := int(k + 0.5)
+				if shell <= f.KF {
+					var e float64
+					for c := 0; c < 3; c++ {
+						v := s.Uh[c][idx]
+						e += real(v)*real(v) + imag(v)*imag(v)
+					}
+					shells[shell] += 0.5 * specWeight(ix, n) * e * inv
+				}
+				idx++
+			}
+		}
+	}
+	mpi.AllreduceSum(s.comm, shells)
+	return shells
+}

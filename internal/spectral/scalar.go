@@ -1,0 +1,300 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Scalar is a passive scalar field θ advected by the velocity field,
+//
+//	∂θ/∂t + u·∇θ = κ∇²θ + S,
+//
+// advanced in Fourier space with the same integrating-factor RK scheme
+// as the velocity. Turbulent mixing of passive scalars is the
+// production companion workload of the paper's group (the high-Schmidt
+// GPU work of Clay et al. cited in §3.3); each scalar adds one inverse
+// and three forward transform volumes per evaluation (θ and the flux
+// components u_iθ) to exactly the traffic pattern the pipeline
+// optimizes.
+type Scalar struct {
+	// Th holds the scalar in Fourier space, [mz][ny][nxh], code units.
+	Th []complex128
+
+	kappa float64 // diffusivity
+	// MeanGrad, when non-zero, imposes a uniform mean scalar gradient
+	// G·ŷ, adding the production term −G·u_y — the standard device for
+	// statistically stationary scalar fluctuations.
+	MeanGrad float64
+
+	phys  []float64
+	flux  []float64
+	nlth  []complex128
+	work  []complex128
+	save  []complex128
+	stage []complex128
+}
+
+// NewScalar attaches a passive scalar with diffusivity kappa to the
+// solver's grid. The returned Scalar must be advanced through
+// Solver.StepWithScalar.
+func (s *Solver) NewScalar(kappa float64) *Scalar {
+	if kappa < 0 {
+		panic(fmt.Sprintf("spectral: negative diffusivity %g", kappa))
+	}
+	fl, pl := s.tr.FourierLen(), s.tr.PhysicalLen()
+	return &Scalar{
+		Th:    make([]complex128, fl),
+		kappa: kappa,
+		phys:  make([]float64, pl),
+		flux:  make([]float64, pl),
+		nlth:  make([]complex128, fl),
+		work:  make([]complex128, fl),
+		save:  make([]complex128, fl),
+		stage: make([]complex128, fl),
+	}
+}
+
+// Kappa reports the scalar diffusivity.
+func (sc *Scalar) Kappa() float64 { return sc.kappa }
+
+// SetSingleMode initializes the scalar with one Fourier mode (plus the
+// conjugate bookkeeping handled by the same rules as velocity modes).
+func (s *Solver) SetScalarSingleMode(sc *Scalar, kx, ky, kz int, amp complex128) {
+	zero(sc.Th)
+	n := s.cfg.N
+	n3 := float64(n) * float64(n) * float64(n)
+	gy := (ky + n) % n
+	gz := (kz + n) % n
+	put := func(gy, gz int, v complex128) {
+		if s.slab.ZOwner(gz) != s.slab.Rank {
+			return
+		}
+		iz := gz - s.slab.ZLo()
+		sc.Th[(iz*n+gy)*s.nxh+kx] = v * complex(n3, 0)
+	}
+	put(gy, gz, amp)
+	if kx == 0 || kx == n/2 {
+		py, pz := conjPairIndex(gy, gz, n)
+		if py != gy || pz != gz {
+			put(py, pz, complex(real(amp), -imag(amp)))
+		}
+	}
+}
+
+// SetScalarBlob initializes θ with a smooth low-wavenumber random
+// field (same construction as the velocity IC, unprojected), variance
+// normalized to v0.
+func (s *Solver) SetScalarBlob(sc *Scalar, k0, v0 float64, seed int64) {
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		gz := s.slab.ZLo() + iz
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < nxh; ix++ {
+				v := s.modeIC(ix, iy, gz, k0, seed)
+				sc.Th[idx] = v[0] // one component of the solenoidal field is a fine smooth scalar
+				idx++
+			}
+		}
+	}
+	va := s.ScalarVariance(sc)
+	if va > 0 {
+		sf := complex(math.Sqrt(v0/va), 0)
+		for i := range sc.Th {
+			sc.Th[i] *= sf
+		}
+	}
+}
+
+// scalarRHS evaluates the advective term −ik·(uθ) − G·û_y (dealiased)
+// into sc.nlth, given velocity Fourier coefficients u.
+func (s *Solver) scalarRHS(sc *Scalar, u *[3][]complex128) {
+	// Velocity to physical space (the solver's scratch physU).
+	for c := 0; c < 3; c++ {
+		copy(s.work, u[c])
+		s.tr.FourierToPhysical(s.physU[c], s.work)
+	}
+	copy(sc.work, sc.Th)
+	s.tr.FourierToPhysical(sc.phys, sc.work)
+
+	zero(sc.nlth)
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	for comp := 0; comp < 3; comp++ {
+		for m := range sc.flux {
+			sc.flux[m] = s.physU[comp][m] * sc.phys[m]
+		}
+		s.tr.PhysicalToFourier(sc.work, sc.flux)
+		idx := 0
+		for iz := 0; iz < mz; iz++ {
+			kz := s.kzs[iz]
+			for iy := 0; iy < n; iy++ {
+				ky := s.kys[iy]
+				for ix := 0; ix < nxh; ix++ {
+					k := [3]float64{s.kxs[ix], ky, kz}[comp]
+					v := sc.work[idx]
+					// −i·k·v
+					sc.nlth[idx] += complex(k*imag(v), -k*real(v))
+					idx++
+				}
+			}
+		}
+	}
+	// Mean-gradient production −G·û_y and dealiasing.
+	g := complex(sc.MeanGrad, 0)
+	for i := range sc.nlth {
+		if !s.mask[i] {
+			sc.nlth[i] = 0
+			continue
+		}
+		if sc.MeanGrad != 0 {
+			sc.nlth[i] -= g * u[1][i]
+		}
+	}
+}
+
+// applyScalarIF multiplies every mode by exp(−κk²dt).
+func (s *Solver) applyScalarIF(f []complex128, kappa, dt float64) {
+	if kappa == 0 || dt == 0 {
+		return
+	}
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < nxh; ix++ {
+				k2 := s.kxs[ix]*s.kxs[ix] + ky2 + kz2
+				f[idx] *= complex(math.Exp(-kappa*k2*dt), 0)
+				idx++
+			}
+		}
+	}
+}
+
+// StepWithScalar advances velocity and scalar together by dt with the
+// RK2 (Heun) scheme; the scalar stages see the velocity at the same
+// substage values the velocity scheme produces, as in coupled
+// production codes. Only RK2 is supported for the coupled step (the
+// configuration the paper times).
+func (s *Solver) StepWithScalar(sc *Scalar, dt float64) {
+	if s.cfg.Scheme != RK2 {
+		panic("spectral: StepWithScalar requires the RK2 scheme")
+	}
+	if s.cfg.Dealias == Dealias23Shift {
+		s.shift = stepShift(s.step, s.cfg.N)
+	}
+	// Stage 1 at (uⁿ, θⁿ).
+	s.nonlinear(&s.Uh)
+	s.scalarRHS(sc, &s.Uh)
+	copy(sc.save, sc.Th)
+	s.applyScalarIF(sc.save, sc.kappa, dt) // E_κ·θⁿ
+	for c := 0; c < 3; c++ {
+		copy(s.save[c], s.Uh[c])
+	}
+	s.applyIF(&s.save, dt)
+
+	// Predictors.
+	for i := range sc.Th {
+		sc.Th[i] += complex(dt, 0) * sc.nlth[i]
+	}
+	s.applyScalarIF(sc.Th, sc.kappa, dt) // θ* = E_κ(θⁿ + dt·Nθ)
+	copy(sc.stage, sc.nlth)
+	s.applyScalarIF(sc.stage, sc.kappa, dt) // E_κ·Nθ(θⁿ)
+
+	for c := 0; c < 3; c++ {
+		for i := range s.Uh[c] {
+			s.Uh[c][i] += complex(dt, 0) * s.nl[c][i]
+		}
+	}
+	s.applyIF(&s.Uh, dt)
+	s.applyIFnl(dt)
+	for c := 0; c < 3; c++ {
+		s.acc[c], s.nl[c] = s.nl[c], s.acc[c]
+	}
+
+	// Stage 2 at (u*, θ*).
+	s.nonlinear(&s.Uh)
+	s.scalarRHS(sc, &s.Uh)
+	half := complex(dt/2, 0)
+	for i := range sc.Th {
+		sc.Th[i] = sc.save[i] + half*(sc.stage[i]+sc.nlth[i])
+	}
+	for c := 0; c < 3; c++ {
+		for i := range s.Uh[c] {
+			s.Uh[c][i] = s.save[c][i] + half*(s.acc[c][i]+s.nl[c][i])
+		}
+	}
+	if s.cfg.Forcing != nil {
+		s.cfg.Forcing.apply(s)
+	}
+	s.step++
+	s.time += dt
+}
+
+// ScalarVariance returns ⟨θ²⟩/2·2 = ⟨θ²⟩ (collective).
+func (s *Solver) ScalarVariance(sc *Scalar) float64 {
+	return s.scalarModeSum(sc, func(float64) float64 { return 1 })
+}
+
+// ScalarDissipation returns χ = 2κ·Σk²·(½|θ̂|²·2) = κ⟨|∇θ|²⟩·…
+// following the convention χ = 2κ·Σ k²·E_θ(k) (collective).
+func (s *Solver) ScalarDissipation(sc *Scalar) float64 {
+	return 2 * sc.kappa * 0.5 * s.scalarModeSum(sc, func(k2 float64) float64 { return k2 })
+}
+
+// ScalarSpectrum returns the shell-summed scalar spectrum E_θ(k) with
+// ⟨θ²⟩/2 = Σ E_θ(k) (collective).
+func (s *Solver) ScalarSpectrum(sc *Scalar) []float64 {
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	n3 := float64(n) * float64(n) * float64(n)
+	inv := 1 / (n3 * n3)
+	// Shells extend to the corner of the wavenumber cube (√3·N/2) so
+	// that ΣE(k) equals the total exactly.
+	spec := make([]float64, int(math.Sqrt(3)*float64(n)/2)+2)
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < nxh; ix++ {
+				k := math.Sqrt(s.kxs[ix]*s.kxs[ix] + ky2 + kz2)
+				shell := int(k + 0.5)
+				if shell < len(spec) {
+					v := sc.Th[idx]
+					e := real(v)*real(v) + imag(v)*imag(v)
+					spec[shell] += 0.5 * specWeight(ix, n) * e * inv
+				}
+				idx++
+			}
+		}
+	}
+	mpi.AllreduceSum(s.comm, spec)
+	return spec
+}
+
+func (s *Solver) scalarModeSum(sc *Scalar, f func(k2 float64) float64) float64 {
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	n3 := float64(n) * float64(n) * float64(n)
+	inv := 1 / (n3 * n3)
+	var sum float64
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < nxh; ix++ {
+				k2 := s.kxs[ix]*s.kxs[ix] + ky2 + kz2
+				v := sc.Th[idx]
+				e := real(v)*real(v) + imag(v)*imag(v)
+				sum += specWeight(ix, n) * f(k2) * e * inv
+				idx++
+			}
+		}
+	}
+	out := []float64{sum}
+	mpi.AllreduceSum(s.comm, out)
+	return out[0]
+}

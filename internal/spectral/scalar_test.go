@@ -1,0 +1,177 @@
+package spectral
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestScalarPureDiffusionIsExact(t *testing.T) {
+	// With zero velocity the scalar obeys ∂θ/∂t = κ∇²θ exactly:
+	// a single mode decays as exp(−κk²t) via the integrating factor.
+	n := 16
+	kappa := 0.04
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: n, Nu: 0.1, Scheme: RK2, Dealias: Dealias23})
+		sc := s.NewScalar(kappa)
+		s.SetScalarSingleMode(sc, 2, 1, -1, complex(0.5, 0.25))
+		v0 := s.ScalarVariance(sc)
+		dt := 0.01
+		steps := 15
+		for i := 0; i < steps; i++ {
+			s.StepWithScalar(sc, dt)
+		}
+		k2 := 4.0 + 1.0 + 1.0
+		want := v0 * math.Exp(-2*kappa*k2*float64(steps)*dt)
+		got := s.ScalarVariance(sc)
+		if rel := math.Abs(got-want) / want; rel > 1e-9 {
+			t.Errorf("diffusion decay: got %g want %g (rel %g)", got, want, rel)
+		}
+	})
+}
+
+func TestScalarAdvectionConservesVariance(t *testing.T) {
+	// With κ=0, advection by an incompressible field only rearranges
+	// θ: the dealiased Galerkin system conserves ⟨θ²⟩ up to time
+	// discretization error (O(dt²) per step for Heun).
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 16, Nu: 0, Scheme: RK2, Dealias: Dealias23})
+		s.SetTaylorGreen()
+		sc := s.NewScalar(0)
+		s.SetScalarBlob(sc, 2.5, 1.0, 3)
+		v0 := s.ScalarVariance(sc)
+		dt := 1e-3
+		for i := 0; i < 10; i++ {
+			s.StepWithScalar(sc, dt)
+		}
+		v1 := s.ScalarVariance(sc)
+		if rel := math.Abs(v1-v0) / v0; rel > 1e-5 {
+			t.Errorf("variance drift %g over 10 inviscid steps", rel)
+		}
+	})
+}
+
+func TestScalarVarianceBalance(t *testing.T) {
+	// Unforced: d⟨θ²⟩/dt = −2χ where χ = 2κΣk²E_θ... with our
+	// convention d(⟨θ²⟩)/dt = −2·χ̃, χ̃ = κ⟨|∇θ|²⟩. Check numerically.
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 16, Nu: 0.03, Scheme: RK2, Dealias: Dealias23})
+		s.SetRandomIsotropic(3, 0.4, 5)
+		sc := s.NewScalar(0.05)
+		s.SetScalarBlob(sc, 3, 0.8, 9)
+		v0 := s.ScalarVariance(sc)
+		chi := s.ScalarDissipation(sc)
+		dt := 5e-4
+		s.StepWithScalar(sc, dt)
+		v1 := s.ScalarVariance(sc)
+		dVdt := (v1 - v0) / dt
+		// d⟨θ²⟩/dt = −2·κ⟨|∇θ|²⟩ = −2·χ (χ as returned).
+		if rel := math.Abs(dVdt+2*chi) / (2 * chi); rel > 0.05 {
+			t.Errorf("variance balance: d⟨θ²⟩/dt=%g want %g (rel %g)", dVdt, -2*chi, rel)
+		}
+	})
+}
+
+func TestScalarMeanGradientProducesVariance(t *testing.T) {
+	// With an imposed mean gradient and zero initial fluctuations, the
+	// production term −G·u_y must generate scalar variance.
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 16, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+		s.SetRandomIsotropic(3, 0.5, 7)
+		sc := s.NewScalar(0.02)
+		sc.MeanGrad = 1.0
+		for i := 0; i < 5; i++ {
+			s.StepWithScalar(sc, 0.005)
+		}
+		if v := s.ScalarVariance(sc); v <= 0 {
+			t.Errorf("no variance produced: %g", v)
+		}
+	})
+}
+
+func TestScalarSpectrumSumsToHalfVariance(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 16, Nu: 0.02})
+		sc := s.NewScalar(0.01)
+		s.SetScalarBlob(sc, 3, 0.6, 13)
+		spec := s.ScalarSpectrum(sc)
+		var sum float64
+		for _, e := range spec {
+			sum += e
+		}
+		v := s.ScalarVariance(sc)
+		if math.Abs(sum-v/2) > 1e-10*v {
+			t.Errorf("ΣE_θ=%g vs ⟨θ²⟩/2=%g", sum, v/2)
+		}
+	})
+}
+
+func TestScalarRankCountIndependence(t *testing.T) {
+	results := map[int]float64{}
+	var mu sync.Mutex
+	for _, p := range []int{1, 2, 4} {
+		p := p
+		mpi.Run(p, func(c *mpi.Comm) {
+			s := NewSolver(c, Config{N: 16, Nu: 0.02, Scheme: RK2, Dealias: Dealias23})
+			s.SetRandomIsotropic(3, 0.5, 21)
+			sc := s.NewScalar(0.03)
+			s.SetScalarBlob(sc, 2.5, 0.7, 22)
+			for i := 0; i < 3; i++ {
+				s.StepWithScalar(sc, 0.004)
+			}
+			v := s.ScalarVariance(sc)
+			if c.Rank() == 0 {
+				mu.Lock()
+				results[p] = v
+				mu.Unlock()
+			}
+		})
+	}
+	for _, p := range []int{2, 4} {
+		if math.Abs(results[p]-results[1]) > 1e-12*results[1] {
+			t.Errorf("P=%d variance %.15g differs from P=1 %.15g", p, results[p], results[1])
+		}
+	}
+}
+
+func TestScalarBlobDeterministic(t *testing.T) {
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.01})
+		a := s.NewScalar(0.01)
+		b := s.NewScalar(0.01)
+		s.SetScalarBlob(a, 2, 0.5, 99)
+		s.SetScalarBlob(b, 2, 0.5, 99)
+		for i := range a.Th {
+			if a.Th[i] != b.Th[i] {
+				t.Fatalf("non-deterministic IC at %d", i)
+			}
+		}
+	})
+}
+
+func TestScalarRequiresRK2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for RK4 coupled step")
+		}
+	}()
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.01, Scheme: RK4})
+		sc := s.NewScalar(0.01)
+		s.StepWithScalar(sc, 0.01)
+	})
+}
+
+func TestScalarRejectsNegativeDiffusivity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	mpi.Run(1, func(c *mpi.Comm) {
+		s := NewSolver(c, Config{N: 8, Nu: 0.01})
+		s.NewScalar(-1)
+	})
+}

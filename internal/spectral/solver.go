@@ -1,0 +1,356 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/pfft"
+)
+
+// Scheme selects the explicit time integrator for the nonlinear term.
+type Scheme int
+
+const (
+	// RK2 is the second-order Runge–Kutta (Heun) scheme the paper
+	// reports timings for.
+	RK2 Scheme = iota
+	// RK4 is the classical fourth-order scheme; roughly twice the cost
+	// per step with a small amount of extra storage (§2 of the paper).
+	RK4
+)
+
+// Dealias selects the aliasing control applied to nonlinear products.
+type Dealias int
+
+const (
+	// DealiasNone applies no truncation (only for analytic tests whose
+	// spectra vanish well below the grid cutoff).
+	DealiasNone Dealias = iota
+	// Dealias23 zeroes every mode with |k_i| > N/3 (2/3-rule).
+	Dealias23
+	// Dealias23Shift combines 2/3 truncation with grid phase shifting,
+	// the Rogallo treatment referenced in §2.
+	Dealias23Shift
+)
+
+// Config describes one simulation.
+type Config struct {
+	N       int     // grid points per direction (even)
+	Nu      float64 // kinematic viscosity
+	Scheme  Scheme
+	Dealias Dealias
+	// Forcing, when non-nil, is applied after each step to sustain
+	// stationary turbulence.
+	Forcing *Forcing
+}
+
+// Transform is the distributed 3D transform pair the solver advances
+// fields through. pfft.SlabReal is the synchronous reference; the
+// batched asynchronous GPU pipeline of internal/core implements the
+// same contract, so the full DNS can run on either engine.
+type Transform interface {
+	// FourierToPhysical converts [mz][ny][nxh] complex (code units)
+	// into [my][nz][nx] real, applying 1/N³; the input is scratch.
+	FourierToPhysical(phys []float64, four []complex128)
+	// PhysicalToFourier is the unnormalized adjoint direction.
+	PhysicalToFourier(four []complex128, phys []float64)
+	Slab() grid.Slab
+	NXH() int
+	FourierLen() int
+	PhysicalLen() int
+}
+
+// Solver advances the Navier–Stokes equations on one MPI rank of a
+// slab-decomposed domain. All ranks of the communicator must construct
+// a Solver and call its collective methods (Step, Energy, …) in the
+// same order.
+type Solver struct {
+	comm *mpi.Comm
+	cfg  Config
+	slab grid.Slab
+	tr   Transform
+	nxh  int
+
+	// Uh holds the three velocity components in Fourier space,
+	// each [mz][ny][nxh] in code units (N³·û).
+	Uh [3][]complex128
+
+	// Scratch for the pseudo-spectral nonlinear term.
+	physU [3][]float64    // velocity in physical space
+	prod  []float64       // one product field at a time
+	nl    [3][]complex128 // projected nonlinear term
+	work  []complex128
+	save  [3][]complex128 // RK substage storage
+	acc   [3][]complex128 // RK4 accumulator
+
+	// Wavenumber tables for the local Fourier slab.
+	kxs []float64 // length nxh
+	kys []float64 // length n
+	kzs []float64 // length mz (global z = zLo+iz)
+
+	mask []bool // dealias mask over the local slab (true = keep)
+
+	step  int
+	time  float64
+	shift [3]float64 // current phase shift (Dealias23Shift)
+}
+
+// NewSolver allocates a solver using the synchronous slab transform.
+func NewSolver(comm *mpi.Comm, cfg Config) *Solver {
+	if cfg.N < 4 || cfg.N%2 != 0 {
+		panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", cfg.N))
+	}
+	return NewSolverWithTransform(comm, cfg, pfft.NewSlabReal(comm, cfg.N))
+}
+
+// NewSolverWithTransform allocates a solver running on a caller-chosen
+// transform engine (e.g. the batched asynchronous GPU pipeline).
+func NewSolverWithTransform(comm *mpi.Comm, cfg Config, tr Transform) *Solver {
+	if cfg.N < 4 || cfg.N%2 != 0 {
+		panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", cfg.N))
+	}
+	if cfg.Nu < 0 {
+		panic(fmt.Sprintf("spectral: negative viscosity %g", cfg.Nu))
+	}
+	s := &Solver{
+		comm: comm,
+		cfg:  cfg,
+		slab: tr.Slab(),
+		tr:   tr,
+		nxh:  tr.NXH(),
+	}
+	fl, pl := tr.FourierLen(), tr.PhysicalLen()
+	for i := 0; i < 3; i++ {
+		s.Uh[i] = make([]complex128, fl)
+		s.physU[i] = make([]float64, pl)
+		s.nl[i] = make([]complex128, fl)
+		s.save[i] = make([]complex128, fl)
+		s.acc[i] = make([]complex128, fl)
+	}
+	s.prod = make([]float64, pl)
+	s.work = make([]complex128, fl)
+
+	n, mz := cfg.N, s.slab.MZ()
+	s.kxs = make([]float64, s.nxh)
+	for i := range s.kxs {
+		s.kxs[i] = float64(i)
+	}
+	s.kys = make([]float64, n)
+	for i := range s.kys {
+		s.kys[i] = float64(grid.Wavenumber(i, n))
+	}
+	s.kzs = make([]float64, mz)
+	for i := range s.kzs {
+		s.kzs[i] = float64(grid.Wavenumber(s.slab.ZLo()+i, n))
+	}
+
+	s.mask = make([]bool, fl)
+	cut := grid.DealiasCutoff(n)
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz := math.Abs(s.kzs[iz])
+		for iy := 0; iy < n; iy++ {
+			ky := math.Abs(s.kys[iy])
+			for ix := 0; ix < s.nxh; ix++ {
+				keep := true
+				if cfg.Dealias != DealiasNone {
+					if s.kxs[ix] > cut || ky > cut || kz > cut {
+						keep = false
+					}
+				}
+				s.mask[idx] = keep
+				idx++
+			}
+		}
+	}
+	return s
+}
+
+// N reports the linear grid size.
+func (s *Solver) N() int { return s.cfg.N }
+
+// Slab reports the decomposition geometry of this rank.
+func (s *Solver) Slab() grid.Slab { return s.slab }
+
+// Time reports the current simulation time.
+func (s *Solver) Time() float64 { return s.time }
+
+// StepCount reports the number of completed time steps.
+func (s *Solver) StepCount() int { return s.step }
+
+// Comm exposes the communicator for collective diagnostics.
+func (s *Solver) Comm() *mpi.Comm { return s.comm }
+
+// Transform exposes the distributed transform pair, used by the
+// asynchronous pipeline benchmarks to drive the same data layout.
+func (s *Solver) Transform() Transform { return s.tr }
+
+// Step advances the solution by dt using the configured scheme.
+func (s *Solver) Step(dt float64) {
+	if s.cfg.Dealias == Dealias23Shift {
+		// A new random-but-deterministic shift per step, identical on
+		// every rank (depends only on the step counter).
+		s.shift = stepShift(s.step, s.cfg.N)
+	}
+	switch s.cfg.Scheme {
+	case RK2:
+		s.stepRK2(dt)
+	case RK4:
+		s.stepRK4(dt)
+	default:
+		panic(fmt.Sprintf("spectral: unknown scheme %d", s.cfg.Scheme))
+	}
+	if s.cfg.Forcing != nil {
+		s.cfg.Forcing.apply(s)
+	}
+	s.step++
+	s.time += dt
+}
+
+// stepRK2 is Heun's method with the exact viscous integrating factor:
+//
+//	u*      = E(dt)·(uⁿ + dt·N(uⁿ))
+//	uⁿ⁺¹    = E(dt)·uⁿ + dt/2·(E(dt)·N(uⁿ) + N(u*))
+//
+// where E(dt) = exp(−νk²dt).
+func (s *Solver) stepRK2(dt float64) {
+	s.nonlinear(&s.Uh)
+	for c := 0; c < 3; c++ {
+		copy(s.save[c], s.Uh[c])
+	}
+	s.applyIF(&s.save, dt) // save = E·uⁿ
+	for c := 0; c < 3; c++ {
+		for i := range s.Uh[c] {
+			s.Uh[c][i] += complex(dt, 0) * s.nl[c][i]
+		}
+	}
+	s.applyIF(&s.Uh, dt) // Uh = E·(uⁿ + dt·N(uⁿ)) = u*
+	s.applyIFnl(dt)      // nl = E·N(uⁿ)
+	// Second stage: evaluate N at u*.
+	for c := 0; c < 3; c++ {
+		s.acc[c], s.nl[c] = s.nl[c], s.acc[c] // keep E·N(uⁿ) in acc
+	}
+	s.nonlinear(&s.Uh)
+	half := complex(dt/2, 0)
+	for c := 0; c < 3; c++ {
+		for i := range s.Uh[c] {
+			s.Uh[c][i] = s.save[c][i] + half*(s.acc[c][i]+s.nl[c][i])
+		}
+	}
+}
+
+// stepRK4 is the classical four-stage scheme with integrating factors
+// split at the half step (E½ = exp(−νk²dt/2)):
+//
+//	k1 = N(uⁿ)
+//	k2 = N(E½·(uⁿ + dt/2·k1))
+//	k3 = N(E½·uⁿ + dt/2·k2)
+//	k4 = N(E·uⁿ + dt·E½·k3)
+//	uⁿ⁺¹ = E·uⁿ + dt/6·(E·k1 + 2·E½·k2 + 2·E½·k3 + k4)
+func (s *Solver) stepRK4(dt float64) {
+	h := dt
+	for c := 0; c < 3; c++ {
+		copy(s.save[c], s.Uh[c]) // uⁿ
+	}
+	// Stage 1: k1 = N(uⁿ).
+	s.nonlinear(&s.Uh)
+	k1 := cloneFields(s.nl)
+	u2 := cloneFields(s.save)
+	addScaled(u2, k1, h/2)
+	s.applyIF(&u2, h/2)
+	// Stage 2: k2 = N(E½·(uⁿ + h/2·k1)).
+	s.nonlinear(&u2)
+	k2 := cloneFields(s.nl)
+	u2 = cloneFields(s.save)
+	s.applyIF(&u2, h/2)
+	addScaled(u2, k2, h/2)
+	// Stage 3: k3 = N(E½·uⁿ + h/2·k2).
+	s.nonlinear(&u2)
+	k3 := cloneFields(s.nl)
+	u2 = cloneFields(s.save)
+	s.applyIF(&u2, h)
+	k3half := cloneFields(k3)
+	s.applyIF(&k3half, h/2)
+	addScaled(u2, k3half, h)
+	// Stage 4: k4 = N(E·uⁿ + h·E½·k3).
+	s.nonlinear(&u2)
+	// Assemble: uⁿ⁺¹ = E·uⁿ + h/6·(E·k1 + 2E½·k2 + 2E½·k3 + k4).
+	s.applyIF(&s.save, h) // E·uⁿ
+	s.applyIF(&k1, h)     // E·k1
+	s.applyIF(&k2, h/2)   // E½·k2
+	sixth := complex(h/6, 0)
+	for c := 0; c < 3; c++ {
+		for i := range s.Uh[c] {
+			s.Uh[c][i] = s.save[c][i] + sixth*(k1[c][i]+
+				2*k2[c][i]+2*k3half[c][i]+s.nl[c][i])
+		}
+	}
+}
+
+func cloneFields(f [3][]complex128) [3][]complex128 {
+	var out [3][]complex128
+	for c := 0; c < 3; c++ {
+		out[c] = make([]complex128, len(f[c]))
+		copy(out[c], f[c])
+	}
+	return out
+}
+
+// addScaled computes dst += a·src elementwise on all three components.
+func addScaled(dst, src [3][]complex128, a float64) {
+	ca := complex(a, 0)
+	for c := 0; c < 3; c++ {
+		for i := range dst[c] {
+			dst[c][i] += ca * src[c][i]
+		}
+	}
+}
+
+// applyIF multiplies each mode of the three fields by exp(−νk²dt).
+func (s *Solver) applyIF(f *[3][]complex128, dt float64) {
+	s.applyIFfields(f, dt)
+}
+
+func (s *Solver) applyIFfields(f *[3][]complex128, dt float64) {
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	nu := s.cfg.Nu
+	if nu == 0 || dt == 0 {
+		return
+	}
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < nxh; ix++ {
+				k2 := s.kxs[ix]*s.kxs[ix] + ky2 + kz2
+				e := complex(math.Exp(-nu*k2*dt), 0)
+				f[0][idx] *= e
+				f[1][idx] *= e
+				f[2][idx] *= e
+				idx++
+			}
+		}
+	}
+}
+
+// applyIFnl applies the integrating factor to the stored nonlinear term.
+func (s *Solver) applyIFnl(dt float64) {
+	s.applyIFfields(&s.nl, dt)
+}
+
+// stepShift derives a deterministic pseudo-random phase shift for the
+// given step, identical across ranks; shifts are in grid units of the
+// physical mesh spacing 2π/N.
+func stepShift(step, n int) [3]float64 {
+	h := 2 * math.Pi / float64(n)
+	// Small linear congruential scramble; any rank-independent choice
+	// works since aliasing cancellation only needs decorrelated shifts.
+	a := uint64(step)*6364136223846793005 + 1442695040888963407
+	s0 := float64(a>>11&1023) / 1023.0
+	s1 := float64(a>>31&1023) / 1023.0
+	s2 := float64(a>>51&1023) / 1023.0
+	return [3]float64{s0 * h, s1 * h, s2 * h}
+}

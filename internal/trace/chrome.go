@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// chromeEvent is one entry of the Chrome tracing "traceEvents" format
+// (load in chrome://tracing or Perfetto), the modern substitute for
+// the NVIDIA visual profiler timelines of §5.2.
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`  // microseconds
+	Dur   float64 `json:"dur"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace serializes one or more timelines as a Chrome
+// tracing JSON file: each timeline becomes a process, each resource a
+// thread, each span a complete ("X") event.
+func WriteChromeTrace(w io.Writer, tls []Timeline) error {
+	var f chromeFile
+	f.DisplayTimeUnit = "ms"
+	f.Metadata = map[string]string{"source": "psdns-async discrete-event model"}
+	for pid, tl := range tls {
+		// Stable thread ids per resource, in first-appearance order.
+		tids := map[string]int{}
+		for _, s := range tl.Spans {
+			if _, ok := tids[s.Resource]; !ok {
+				tids[s.Resource] = len(tids)
+			}
+		}
+		// Metadata events naming the process and threads.
+		for _, s := range tl.Spans {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name:  s.Name,
+				Cat:   s.Class,
+				Phase: "X",
+				TS:    s.Start * 1e6,
+				Dur:   (s.End - s.Start) * 1e6,
+				PID:   pid,
+				TID:   tids[s.Resource],
+			})
+		}
+		_ = tl.Title
+	}
+	sort.SliceStable(f.TraceEvents, func(i, j int) bool { return f.TraceEvents[i].TS < f.TraceEvents[j].TS })
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// SpansFromResult adapts a schedule to the renderers (re-exported
+// convenience for callers holding raw spans).
+func SpansFromResult(spans []sched.Span) []sched.Span { return spans }

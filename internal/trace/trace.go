@@ -1,0 +1,151 @@
+// Package trace renders normalized timelines of scheduled spans in the
+// style of the paper's Fig 10: one text row per resource, time on the
+// horizontal axis, activity classes drawn with distinct glyphs. It is
+// the nvprof/nvtx substitute for the discrete-event simulator.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// classGlyphs maps activity classes to timeline glyphs.
+var classGlyphs = map[string]rune{
+	"h2d":     '>',
+	"d2h":     '<',
+	"fft":     'F',
+	"compute": 'F',
+	"pack":    'P',
+	"unpack":  'U',
+	"a2a":     'M',
+	"mpi":     'M',
+	"cpu":     'C',
+	"wait":    '.',
+}
+
+// Glyph returns the timeline glyph of a span class ('#' for unknown).
+func Glyph(class string) rune {
+	if g, ok := classGlyphs[class]; ok {
+		return g
+	}
+	return '#'
+}
+
+// Timeline is one labelled schedule to render.
+type Timeline struct {
+	Title string
+	Spans []sched.Span
+	// Makespan scales the axis; zero means use the latest span end.
+	Makespan float64
+}
+
+// makespan returns the effective horizontal extent.
+func (t Timeline) makespan() float64 {
+	m := t.Makespan
+	for _, s := range t.Spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// Render draws the timeline with the given character width. Rows are
+// resources in first-appearance order; overlapping spans on one
+// resource are drawn in span order (later spans overwrite).
+func Render(t Timeline, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	total := t.makespan()
+	if total <= 0 {
+		return t.Title + ": (empty)\n"
+	}
+	resOrder := []string{}
+	rows := map[string][]rune{}
+	label := 0
+	for _, s := range t.Spans {
+		if _, ok := rows[s.Resource]; !ok {
+			rows[s.Resource] = blankRow(width)
+			resOrder = append(resOrder, s.Resource)
+			if len(s.Resource) > label {
+				label = len(s.Resource)
+			}
+		}
+		row := rows[s.Resource]
+		lo := int(s.Start / total * float64(width))
+		hi := int(s.End / total * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		g := Glyph(s.Class)
+		for i := lo; i < hi; i++ {
+			row[i] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (total %.3gs)\n", t.Title, total)
+	for _, r := range resOrder {
+		fmt.Fprintf(&b, "  %-*s |%s|\n", label, r, string(rows[r]))
+	}
+	return b.String()
+}
+
+// RenderComparison draws several timelines on a shared normalized axis
+// (the Fig 10 layout): every timeline is scaled by the longest
+// makespan so relative durations are visually comparable.
+func RenderComparison(tls []Timeline, width int) string {
+	var longest float64
+	for _, t := range tls {
+		if m := t.makespan(); m > longest {
+			longest = m
+		}
+	}
+	var b strings.Builder
+	for i, t := range tls {
+		t.Makespan = longest
+		b.WriteString(Render(t, width))
+		if i < len(tls)-1 {
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\n  legend: >=H2D  <=D2H  F=FFT/compute  P=pack  U=unpack  M=MPI a2a  C=CPU fft\n")
+	return b.String()
+}
+
+// ClassSummary returns "class: seconds" lines sorted by descending
+// time, the textual counterpart of Fig 10's color totals.
+func ClassSummary(spans []sched.Span) string {
+	totals := map[string]float64{}
+	for _, s := range spans {
+		totals[s.Class] += s.End - s.Start
+	}
+	type kv struct {
+		k string
+		v float64
+	}
+	var list []kv
+	for k, v := range totals {
+		list = append(list, kv{k, v})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].v > list[j].v })
+	var b strings.Builder
+	for _, e := range list {
+		fmt.Fprintf(&b, "  %-8s %8.3fs\n", e.k, e.v)
+	}
+	return b.String()
+}
+
+func blankRow(w int) []rune {
+	r := make([]rune, w)
+	for i := range r {
+		r[i] = ' '
+	}
+	return r
+}

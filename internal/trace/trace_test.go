@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func spans() []sched.Span {
+	return []sched.Span{
+		{Name: "h2d:1", Class: "h2d", Resource: "transfer", Start: 0, End: 1},
+		{Name: "fft:1", Class: "fft", Resource: "compute", Start: 1, End: 3},
+		{Name: "a2a:1", Class: "a2a", Resource: "network", Start: 3, End: 10},
+	}
+}
+
+func TestRenderContainsResourcesAndGlyphs(t *testing.T) {
+	out := Render(Timeline{Title: "cfg B", Spans: spans()}, 40)
+	for _, want := range []string{"cfg B", "transfer", "compute", "network", ">", "F", "M"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderProportions(t *testing.T) {
+	out := Render(Timeline{Title: "x", Spans: spans()}, 100)
+	// The a2a span covers 70% of the axis; count its glyphs.
+	m := strings.Count(out, "M")
+	if m < 60 || m > 80 {
+		t.Errorf("a2a glyph count %d, want ≈70:\n%s", m, out)
+	}
+}
+
+func TestRenderTinySpanStillVisible(t *testing.T) {
+	tl := Timeline{Title: "t", Spans: []sched.Span{
+		{Name: "big", Class: "a2a", Resource: "net", Start: 0, End: 100},
+		{Name: "tiny", Class: "h2d", Resource: "xfer", Start: 0, End: 1e-6},
+	}}
+	out := Render(tl, 50)
+	if !strings.Contains(out, ">") {
+		t.Errorf("tiny span invisible:\n%s", out)
+	}
+}
+
+func TestRenderComparisonSharedAxis(t *testing.T) {
+	a := Timeline{Title: "fast", Spans: []sched.Span{
+		{Name: "m", Class: "a2a", Resource: "net", Start: 0, End: 5},
+	}}
+	b := Timeline{Title: "slow", Spans: []sched.Span{
+		{Name: "m", Class: "a2a", Resource: "net", Start: 0, End: 10},
+	}}
+	out := RenderComparison([]Timeline{a, b}, 60)
+	lines := strings.Split(out, "\n")
+	var counts []int
+	for _, l := range lines {
+		if !strings.Contains(l, "|") {
+			continue // skip titles and the legend
+		}
+		if c := strings.Count(l, "M"); c > 0 {
+			counts = append(counts, c)
+		}
+	}
+	if len(counts) != 2 {
+		t.Fatalf("want 2 span rows, got %d:\n%s", len(counts), out)
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("fast/slow glyph ratio %.2f want ≈0.5:\n%s", ratio, out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("missing legend")
+	}
+}
+
+func TestClassSummarySortedDescending(t *testing.T) {
+	out := ClassSummary(spans())
+	ia2a := strings.Index(out, "a2a")
+	ifft := strings.Index(out, "fft")
+	ih2d := strings.Index(out, "h2d")
+	if !(ia2a < ifft && ifft < ih2d) {
+		t.Errorf("not sorted by time:\n%s", out)
+	}
+}
+
+func TestGlyphFallback(t *testing.T) {
+	if Glyph("unknown-class") != '#' {
+		t.Error("fallback glyph")
+	}
+	if Glyph("a2a") != 'M' {
+		t.Error("a2a glyph")
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	out := Render(Timeline{Title: "none"}, 40)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("unexpected: %s", out)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Timeline{{Title: "run", Spans: spans()}}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Cat   string  `json:"cat"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != 3 {
+		t.Fatalf("events %d", len(decoded.TraceEvents))
+	}
+	// The a2a span: starts at 3s = 3e6 µs, lasts 7e6 µs.
+	var found bool
+	for _, e := range decoded.TraceEvents {
+		if e.Cat == "a2a" {
+			found = true
+			if e.TS != 3e6 || e.Dur != 7e6 || e.Phase != "X" {
+				t.Errorf("a2a event %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Error("a2a event missing")
+	}
+	// Distinct resources get distinct thread ids.
+	tids := map[int]bool{}
+	for _, e := range decoded.TraceEvents {
+		tids[e.TID] = true
+	}
+	if len(tids) != 3 {
+		t.Errorf("thread ids %v", tids)
+	}
+}

@@ -1,0 +1,91 @@
+package repro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points end to
+// end, exactly as the package doc comment advertises.
+func TestPublicAPIQuickstart(t *testing.T) {
+	repro.Run(2, func(c *repro.Comm) {
+		tr := repro.NewAsyncTransform(c, 16, repro.AsyncOptions{
+			NP: 3, Granularity: repro.PerPencil,
+		})
+		defer tr.Close()
+		s := repro.NewSolverWithTransform(c, repro.SolverConfig{
+			N: 16, Nu: 0.02, Scheme: repro.RK2, Dealias: repro.Dealias23,
+			Forcing: repro.NewForcing(2),
+		}, tr)
+		s.SetRandomIsotropic(3, 0.5, 1)
+		e0 := s.Energy()
+		for i := 0; i < 3; i++ {
+			s.Step(0.004)
+		}
+		if e := s.Energy(); math.IsNaN(e) || e <= 0 || e > 2*e0 {
+			t.Errorf("energy %g implausible", e)
+		}
+		if d := s.DivergenceMax(); d > 1e-10 {
+			t.Errorf("divergence %g", d)
+		}
+	})
+}
+
+func TestPublicAPIEngines(t *testing.T) {
+	repro.Run(2, func(c *repro.Comm) {
+		var engines []repro.Transform
+		engines = append(engines, repro.NewSlabTransform(c, 8))
+		engines = append(engines, repro.NewThreadedSlabTransform(c, 8, 2))
+		engines = append(engines, repro.NewSyncGPUTransform(c, 8))
+		for i, tr := range engines {
+			if tr.NXH() != 5 || tr.Slab().N != 8 {
+				t.Errorf("engine %d geometry wrong", i)
+			}
+		}
+	})
+}
+
+func TestPublicAPIPerformanceModel(t *testing.T) {
+	if m := repro.Summit(); m.TotalNodes != 4608 {
+		t.Error("Summit description")
+	}
+	res := repro.SimulateGPUStep(repro.DefaultPerf(18432, 3072, 2, repro.PerSlab))
+	if res.Time < 10 || res.Time > 20 {
+		t.Errorf("18432³ step time %g outside the paper's regime", res.Time)
+	}
+	rows := repro.Table3()
+	if len(rows) != 4 {
+		t.Error("Table3 rows")
+	}
+	tpn, gran, _ := repro.BestConfig(18432, 3072)
+	if tpn != 2 || gran != repro.PerSlab {
+		t.Error("BestConfig")
+	}
+	out := repro.RenderTimelines(repro.Fig10(), 80)
+	if !strings.Contains(out, "legend") {
+		t.Error("timeline rendering")
+	}
+}
+
+func TestPublicAPIRegridAndSlices(t *testing.T) {
+	repro.Run(2, func(c *repro.Comm) {
+		small := repro.NewSolver(c, repro.SolverConfig{N: 8, Nu: 0.01})
+		small.SetTaylorGreen()
+		big := repro.NewSolver(c, repro.SolverConfig{N: 16, Nu: 0.01})
+		repro.Regrid(big, small)
+		if math.Abs(big.Energy()-0.125) > 1e-12 {
+			t.Errorf("regridded TG energy %g", big.Energy())
+		}
+		plane := big.SliceZ(0, 0)
+		if c.Rank() == 0 {
+			var buf strings.Builder
+			_ = buf
+			if len(plane) != 16*16 {
+				t.Errorf("plane size %d", len(plane))
+			}
+		}
+	})
+}
