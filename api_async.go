@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/pfft"
+)
+
+// --- The paper's asynchronous engine ---------------------------------------
+
+// AsyncOptions configures the batched asynchronous pipeline (pencil
+// count, exchange granularity, devices per rank). It remains the
+// struct-literal form of configuration; NewAsync with functional
+// options is the preferred surface.
+type AsyncOptions = core.Options
+
+// AsyncTransform is the Fig 4 batched asynchronous out-of-core engine.
+type AsyncTransform = core.AsyncSlabReal
+
+// Granularity selects how much data each all-to-all exchange carries.
+type Granularity = core.Granularity
+
+// Exchange granularities (paper configurations A/B vs C).
+const (
+	PerPencil = core.PerPencil
+	PerSlab   = core.PerSlab
+)
+
+// AsyncOption customizes NewAsync.
+type AsyncOption func(*AsyncOptions)
+
+// WithNP sets the number of pencils each slab is divided into (Fig 3).
+func WithNP(n int) AsyncOption {
+	return func(o *AsyncOptions) { o.NP = n }
+}
+
+// WithGranularity selects per-pencil (configurations A/B) or per-slab
+// (configuration C) exchanges.
+func WithGranularity(g Granularity) AsyncOption {
+	return func(o *AsyncOptions) { o.Granularity = g }
+}
+
+// WithDevices sets the number of devices per MPI rank (Fig 5).
+func WithDevices(d int) AsyncOption {
+	return func(o *AsyncOptions) { o.NGPU = d }
+}
+
+// WithSingleComm stages all-to-all payloads through single-precision
+// buffers, the paper's wire format (half the bytes, ~1e-7 relative
+// rounding per transform).
+func WithSingleComm() AsyncOption {
+	return func(o *AsyncOptions) { o.SingleComm = true }
+}
+
+// WithMetrics directs the engine's phase timings and transfer bytes
+// into reg instead of the communicator's registry.
+func WithMetrics(reg *MetricsRegistry) AsyncOption {
+	return func(o *AsyncOptions) { o.Metrics = reg }
+}
+
+// NewAsync builds the asynchronous engine for an N³ transform,
+// configured by functional options:
+//
+//	tr := repro.NewAsync(c, 1024,
+//	    repro.WithNP(4),
+//	    repro.WithGranularity(repro.PerPencil),
+//	    repro.WithDevices(2),
+//	)
+func NewAsync(c *Comm, n int, opts ...AsyncOption) *AsyncTransform {
+	var o AsyncOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.NewAsyncSlabReal(c, n, o)
+}
+
+// NewAsyncTransform builds the asynchronous engine from an options
+// struct (the pre-options API, kept for compatibility).
+func NewAsyncTransform(c *Comm, n int, opt AsyncOptions) *AsyncTransform {
+	return core.NewAsyncSlabReal(c, n, opt)
+}
+
+// NewSyncGPUTransform is the Fig 2 synchronous baseline (NP=1).
+func NewSyncGPUTransform(c *Comm, n int) *AsyncTransform { return core.NewSyncGPU(c, n) }
+
+// NewSlabTransform is the plain synchronous host transform.
+func NewSlabTransform(c *Comm, n int) *pfft.SlabReal { return pfft.NewSlabReal(c, n) }
+
+// NewThreadedSlabTransform is the hybrid MPI+OpenMP-style transform
+// with a worker team per rank.
+func NewThreadedSlabTransform(c *Comm, n, threads int) *pfft.SlabRealThreaded {
+	return pfft.NewSlabRealThreaded(c, n, threads)
+}
+
+// Slab describes a rank's 1D-decomposition geometry.
+type Slab = grid.Slab

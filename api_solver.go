@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"repro/internal/spectral"
+)
+
+// --- Solver ---------------------------------------------------------------
+
+// SolverConfig configures a simulation (grid size, viscosity, scheme,
+// dealiasing, optional forcing).
+type SolverConfig = spectral.Config
+
+// Solver advances the incompressible Navier–Stokes equations
+// pseudo-spectrally on a slab-decomposed periodic cube.
+type Solver = spectral.Solver
+
+// Scalar is a passive scalar advected by the solver's velocity field.
+type Scalar = spectral.Scalar
+
+// Forcing sustains statistically stationary turbulence.
+type Forcing = spectral.Forcing
+
+// Stats bundles single-time turbulence statistics.
+type Stats = spectral.Stats
+
+// GradientStats holds one-point velocity-gradient moments.
+type GradientStats = spectral.GradientStats
+
+// Particles is a set of Lagrangian fluid tracers.
+type Particles = spectral.Particles
+
+// Transform is the distributed 3D FFT engine contract; both the
+// synchronous reference and the asynchronous pipeline satisfy it.
+type Transform = spectral.Transform
+
+// Time-integration schemes.
+const (
+	RK2 = spectral.RK2
+	RK4 = spectral.RK4
+)
+
+// Dealiasing modes.
+const (
+	DealiasNone    = spectral.DealiasNone
+	Dealias23      = spectral.Dealias23
+	Dealias23Shift = spectral.Dealias23Shift
+)
+
+// NewSolver builds a solver on the synchronous reference transform.
+func NewSolver(c *Comm, cfg SolverConfig) *Solver { return spectral.NewSolver(c, cfg) }
+
+// NewSolverWithTransform builds a solver on a caller-chosen engine.
+func NewSolverWithTransform(c *Comm, cfg SolverConfig, tr Transform) *Solver {
+	return spectral.NewSolverWithTransform(c, cfg, tr)
+}
+
+// NewForcing creates low-wavenumber band forcing over shells 1…kf.
+func NewForcing(kf int) *Forcing { return spectral.NewForcing(kf) }
+
+// Regrid spectrally transfers src's velocity field onto dst (larger or
+// smaller grid, same communicator).
+func Regrid(dst, src *Solver) { spectral.Regrid(dst, src) }
+
+// WriteSlicePNG renders a gathered plane with a diverging colormap.
+var WriteSlicePNG = spectral.WriteSlicePNG

@@ -14,6 +14,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -25,6 +26,7 @@ func main() {
 		ranks = flag.Int("ranks", 4, "ranks for -mode real")
 		bytes = flag.Int("bytes", 1<<20, "per-destination message bytes for -mode real")
 		iters = flag.Int("iters", 5, "iterations for -mode real")
+		metOn = flag.Bool("metrics", false, "print the runtime's collective metrics after -mode real")
 	)
 	flag.Parse()
 
@@ -41,6 +43,9 @@ func main() {
 			log.Fatal("message too small")
 		}
 		fmt.Printf("in-process blocking all-to-all: %d ranks × %d B per destination\n", *ranks, *bytes)
+		if *metOn {
+			metrics.Enable()
+		}
 		var agg stats.Running
 		mpi.Run(*ranks, func(c *mpi.Comm) {
 			send := make([]float64, c.Size()*words)
@@ -62,6 +67,14 @@ func main() {
 		vol := float64(2 * *ranks * *ranks * *bytes)
 		fmt.Printf("time: %s\n", agg.String())
 		fmt.Printf("aggregate copy rate: %.2f GB/s\n", vol/agg.Mean()/1e9)
+		if *metOn {
+			metrics.Disable()
+			snap := metrics.Default().Snapshot().Filter("mpi.")
+			fmt.Println("collective metrics (max over ranks):")
+			fmt.Print(snap.MaxOverRanks().Text())
+			fmt.Println("collective metrics (summed over ranks):")
+			fmt.Print(snap.SumOverRanks().Text())
+		}
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}

@@ -14,8 +14,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/spectral"
 	"repro/internal/stats"
@@ -41,8 +44,13 @@ func main() {
 		schmidt = flag.Float64("sc", 1.0, "Schmidt number ν/κ for -scalar")
 		pngOut  = flag.String("png", "", "write a z-midplane PNG of u to this path at the end")
 		ckptDir = flag.String("ckpt", "", "write a checkpoint directory at the end (for cmd/postproc)")
+		metOn   = flag.Bool("metrics", false, "record runtime metrics over the step loop and print the per-phase breakdown")
+		metJSON = flag.String("metrics-json", "", "also dump the full metrics snapshot as JSON to this path (implies -metrics)")
 	)
 	flag.Parse()
+	if *metJSON != "" {
+		*metOn = true
+	}
 
 	if *n%*ranks != 0 {
 		log.Fatalf("ranks must divide N: %d %% %d != 0", *n, *ranks)
@@ -89,6 +97,12 @@ func main() {
 			solver.Statistics()
 			solver.DivergenceMax()
 		}
+		if *metOn {
+			// Record only the step loop, so the phase histograms
+			// measure steps rather than setup and diagnostics.
+			c.Barrier()
+			metrics.Enable()
+		}
 		for i := 0; i < *steps; i++ {
 			timer.Begin()
 			if th != nil {
@@ -102,6 +116,10 @@ func main() {
 				fmt.Printf("step %3d  t=%.4f  E=%.5f  wall=%.3fs\n",
 					solver.StepCount(), solver.Time(), e, wall)
 			}
+		}
+		if *metOn {
+			c.Barrier()
+			metrics.Disable()
 		}
 		st := solver.Statistics()
 		div := solver.DivergenceMax()
@@ -156,5 +174,63 @@ func main() {
 			}
 		}
 	})
+
+	if *metOn {
+		fft.PublishMetrics(metrics.Default())
+		snap := metrics.Default().Snapshot()
+		printPhaseBreakdown(snap, *steps)
+		fmt.Println("runtime metrics (max over ranks):")
+		fmt.Print(snap.MaxOverRanks().Text())
+		if *metJSON != "" {
+			f, err := os.Create(*metJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote metrics snapshot to %s\n", *metJSON)
+		}
+	}
 	os.Exit(0)
+}
+
+// phaseLeaves are the disjoint wall sections of one time step: the
+// solver's own arithmetic plus the transform engine's phases (the
+// synchronous slab records fft/pack/a2a/unpack; the asynchronous
+// pipeline records pipeline/a2a/unpack).
+var phaseLeaves = []string{
+	"phase.fft", "phase.pack", "phase.a2a", "phase.unpack",
+	"phase.pipeline", "phase.compute",
+}
+
+// printPhaseBreakdown reports the per-phase step decomposition of the
+// slowest rank — the rank with the largest total step time, matching
+// the paper's max-over-ranks reporting — and how much of that rank's
+// measured wall time the phases account for.
+func printPhaseBreakdown(snap metrics.Snapshot, steps int) {
+	var wall metrics.Entry
+	for _, e := range snap.Entries {
+		if e.Name == "phase.step" && e.Value > wall.Value {
+			wall = e
+		}
+	}
+	if wall.Count == 0 || steps == 0 {
+		fmt.Println("metrics: no step phases recorded")
+		return
+	}
+	fmt.Printf("per-phase step breakdown (slowest rank %d, %d steps):\n", wall.Rank, steps)
+	total := 0.0
+	for _, name := range phaseLeaves {
+		e, ok := snap.Get(name, wall.Rank)
+		if !ok || e.Value == 0 {
+			continue
+		}
+		total += e.Value
+		fmt.Printf("  %-10s %10.4fs/step  %5.1f%%\n",
+			strings.TrimPrefix(name, "phase."), e.Value/float64(steps), 100*e.Value/wall.Value)
+	}
+	fmt.Printf("  %-10s %10.4fs/step  (phases cover %.1f%% of wall)\n",
+		"wall", wall.Value/float64(steps), 100*total/wall.Value)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/fft"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/transpose"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	// matching the paper's single-precision wire format (half the
 	// bytes, ~1e-7 relative rounding per transform).
 	SingleComm bool
+	// Metrics selects the registry the pipeline records phase timings
+	// and transfer bytes into. Nil means the communicator's registry
+	// (the one Run/TryRun installed), so instrumentation follows the
+	// world by default.
+	Metrics *metrics.Registry
 }
 
 // span is a half-open index range.
@@ -61,7 +67,8 @@ func splitRange(total, n int) []span {
 
 // gpuCtx is the per-device execution context: one compute stream and
 // one transfer stream (§3.4: a single transfer stream keeps host
-// memory traffic unidirectional), plus FFT plans keyed by width.
+// memory traffic unidirectional), plus the plan cache serving the
+// device's batched FFTs (the cufftPlanMany handles of §4.1).
 type gpuCtx struct {
 	dev      *cuda.Device
 	transfer *cuda.Stream
@@ -69,8 +76,29 @@ type gpuCtx struct {
 	// Triple-buffered device slots (§3.5's factor of 3 on buffers).
 	slots  [3][]complex128
 	rslots [3][]float64
-	lines  map[int]*fft.Batch     // strided line FFTs, keyed by width
-	xreal  map[int]*fft.RealBatch // c2r/r2c x transforms, keyed by z count
+	plans  *fft.BatchCache
+}
+
+// asyncMetrics are the per-rank instrumentation handles of the
+// asynchronous engine: the three disjoint wall sections of each
+// transposing transform (device pipeline, exposed all-to-all,
+// host-side unpack) and direction-labelled transfer bytes.
+type asyncMetrics struct {
+	pipeline *metrics.Histogram
+	a2a      *metrics.Histogram
+	unpack   *metrics.Histogram
+	h2d      *metrics.Counter
+	d2h      *metrics.Counter
+}
+
+func newAsyncMetrics(reg *metrics.Registry, rank int) *asyncMetrics {
+	return &asyncMetrics{
+		pipeline: reg.HistogramRank("phase.pipeline", rank),
+		a2a:      reg.HistogramRank("phase.a2a", rank),
+		unpack:   reg.HistogramRank("phase.unpack", rank),
+		h2d:      reg.CounterRank("gpu.h2d.bytes", rank),
+		d2h:      reg.CounterRank("gpu.d2h.bytes", rank),
+	}
 }
 
 // AsyncSlabReal is the batched asynchronous transform engine of Fig 4.
@@ -92,6 +120,8 @@ type AsyncSlabReal struct {
 	recvAll []complex128
 	sendP   [][]complex128 // per-pencil views into sendAll
 	recvP   [][]complex128
+
+	met *asyncMetrics
 
 	// Single-precision staging (Options.SingleComm).
 	single  bool
@@ -130,6 +160,12 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 	}
 	mz, my := s.MZ(), s.MY()
 
+	reg := opt.Metrics
+	if reg == nil {
+		reg = comm.Metrics()
+	}
+	a.met = newAsyncMetrics(reg, comm.Rank())
+
 	// Device slot sizing: the largest pencil seen by any region.
 	wmax := a.xr[0].width()
 	zmax := a.zr[0].width()
@@ -138,12 +174,12 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 
 	for g := 0; g < opt.NGPU; g++ {
 		dev := cuda.NewDevice(g)
+		dev.SetMetrics(reg, comm.Rank())
 		ctx := &gpuCtx{
 			dev:      dev,
 			transfer: dev.NewStream(fmt.Sprintf("gpu%d/transfer", g)),
 			compute:  dev.NewStream(fmt.Sprintf("gpu%d/compute", g)),
-			lines:    map[int]*fft.Batch{},
-			xreal:    map[int]*fft.RealBatch{},
+			plans:    fft.NewBatchCache(),
 		}
 		for i := range ctx.slots {
 			ctx.slots[i] = make([]complex128, slotC)
@@ -152,19 +188,20 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 		a.gpus = append(a.gpus, ctx)
 	}
 	// Pre-build plans for every width that can occur, including the
-	// vertical GPU sub-splits of Fig 5.
+	// vertical GPU sub-splits of Fig 5, so plan construction stays out
+	// of the timed regions (runtime lookups are then all cache hits).
 	for _, ctx := range a.gpus {
 		for _, xs := range a.xr {
 			for _, sub := range splitRange(xs.width(), opt.NGPU) {
-				if w := sub.width(); w > 0 && ctx.lines[w] == nil {
-					ctx.lines[w] = fft.NewBatch(n, w, w, 1, w, 1)
+				if w := sub.width(); w > 0 {
+					ctx.plans.Batch(n, w, w, 1, w, 1)
 				}
 			}
 		}
 		for _, zs := range a.zr {
 			for _, sub := range splitRange(zs.width(), opt.NGPU) {
-				if zw := sub.width(); zw > 0 && ctx.xreal[zw] == nil {
-					ctx.xreal[zw] = fft.NewRealBatch(n, zw, 1, n, 1, nxh)
+				if zw := sub.width(); zw > 0 {
+					ctx.plans.RealBatch(n, zw, 1, n, 1, nxh)
 				}
 			}
 		}
@@ -259,6 +296,7 @@ func (a *AsyncSlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 // through the devices, transforming along y in place (no transpose).
 func (a *AsyncSlabReal) regionY(four []complex128, dir fft.Direction) {
 	n, nxh, mz := a.n, a.nxh, a.s.MZ()
+	defer a.met.pipeline.Start()()
 	a.pipeline(func(ip, g int) pencilOps {
 		xs := subRange(a.xr[ip], g, len(a.gpus))
 		w := xs.width()
@@ -276,6 +314,8 @@ func (a *AsyncSlabReal) regionY(four []complex128, dir fft.Direction) {
 				cuda.Memcpy2DAsync(ctx.transfer, four[xs.lo:], nxh,
 					ctx.slots[slot], w, w, mz*n)
 			},
+			h2dBytes: int64(16 * w * mz * n),
+			d2hBytes: int64(16 * w * mz * n),
 		}
 	}, nil)
 }
@@ -298,6 +338,11 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 			}
 		}
 	}
+	wireElem := int64(16)
+	if a.single {
+		wireElem = 8
+	}
+	stop := a.met.pipeline.Start()
 	a.pipeline(func(ip, g int) pencilOps {
 		full := a.xr[ip]
 		xs := subRange(full, g, len(a.gpus))
@@ -307,6 +352,8 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 		}
 		ctx := a.gpus[g]
 		return pencilOps{
+			h2dBytes: int64(16 * w * mz * n),
+			d2hBytes: wireElem * int64(w*mz*n),
 			h2d: func(slot int) {
 				cuda.Memcpy2DAsync(ctx.transfer, ctx.slots[slot], w,
 					four[xs.lo:], nxh, w, mz*n)
@@ -342,13 +389,17 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 			},
 		}
 	}, afterD2H)
+	stop()
 
 	if a.gran == PerSlab {
+		stop = a.met.a2a.Start()
 		if a.single {
 			mpi.Alltoall(a.comm, a.send32, a.recv32)
 		} else {
 			mpi.Alltoall(a.comm, a.sendAll, a.recvAll)
 		}
+		stop()
+		defer a.met.unpack.Start()()
 		// Unpack [s][mz][my][nxh] blocks into mid=[my][nz][nxh].
 		for s := 0; s < p; s++ {
 			for iz := 0; iz < mz; iz++ {
@@ -363,7 +414,10 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 		}
 		return
 	}
+	stop = a.met.a2a.Start()
 	mpi.WaitAll(reqs)
+	stop()
+	defer a.met.unpack.Start()()
 	// Unpack per-pencil blocks [s][mz][my][wp] into mid (on real
 	// hardware this is the zero-copy scatter kernel of §4.2).
 	for ip, full := range a.xr {
@@ -386,6 +440,7 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 // transforming along z in place.
 func (a *AsyncSlabReal) regionZ(dir fft.Direction) {
 	n, nxh, my := a.n, a.nxh, a.s.MY()
+	defer a.met.pipeline.Start()()
 	a.pipeline(func(ip, g int) pencilOps {
 		xs := subRange(a.xr[ip], g, len(a.gpus))
 		w := xs.width()
@@ -403,6 +458,8 @@ func (a *AsyncSlabReal) regionZ(dir fft.Direction) {
 				cuda.Memcpy2DAsync(ctx.transfer, a.mid[xs.lo:], nxh,
 					ctx.slots[slot], w, w, my*n)
 			},
+			h2dBytes: int64(16 * w * my * n),
+			d2hBytes: int64(16 * w * my * n),
 		}
 	}, nil)
 }
@@ -424,6 +481,11 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 			}
 		}
 	}
+	wireElem := int64(16)
+	if a.single {
+		wireElem = 8
+	}
+	stop := a.met.pipeline.Start()
 	a.pipeline(func(ip, g int) pencilOps {
 		full := a.xr[ip]
 		xs := subRange(full, g, len(a.gpus))
@@ -433,6 +495,8 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 		}
 		ctx := a.gpus[g]
 		return pencilOps{
+			h2dBytes: int64(16 * w * my * n),
+			d2hBytes: wireElem * int64(w*my*n),
 			h2d: func(slot int) {
 				cuda.Memcpy2DAsync(ctx.transfer, ctx.slots[slot], w,
 					a.mid[xs.lo:], nxh, w, my*n)
@@ -465,13 +529,17 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 			},
 		}
 	}, afterD2H)
+	stop()
 
 	if a.gran == PerSlab {
+		stop = a.met.a2a.Start()
 		if a.single {
 			mpi.Alltoall(a.comm, a.send32, a.recv32)
 		} else {
 			mpi.Alltoall(a.comm, a.sendAll, a.recvAll)
 		}
+		stop()
+		defer a.met.unpack.Start()()
 		for s := 0; s < p; s++ {
 			for iy := 0; iy < my; iy++ {
 				if a.single {
@@ -485,7 +553,10 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 		}
 		return
 	}
+	stop = a.met.a2a.Start()
 	mpi.WaitAll(reqs)
+	stop()
+	defer a.met.unpack.Start()()
 	for ip, full := range a.xr {
 		wp := full.width()
 		for s := 0; s < p; s++ {
@@ -506,6 +577,7 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 // transforms along x into the physical slab [my][nz][nx].
 func (a *AsyncSlabReal) regionXInverse(phys []float64) {
 	n, nxh, my := a.n, a.nxh, a.s.MY()
+	defer a.met.pipeline.Start()()
 	a.pipeline(func(ip, g int) pencilOps {
 		zs := subRange(a.zr[ip], g, len(a.gpus))
 		zw := zs.width()
@@ -519,7 +591,7 @@ func (a *AsyncSlabReal) regionXInverse(phys []float64) {
 					a.mid[zs.lo*nxh:], n*nxh, zw*nxh, my)
 			},
 			compute: func(slot int) {
-				plan := ctx.xreal[zw]
+				plan := ctx.plans.RealBatch(n, zw, 1, n, 1, nxh)
 				cbuf, rbuf := ctx.slots[slot], ctx.rslots[slot]
 				ctx.compute.Launch("fftx-c2r", func() {
 					for iy := 0; iy < my; iy++ {
@@ -531,6 +603,8 @@ func (a *AsyncSlabReal) regionXInverse(phys []float64) {
 				cuda.Memcpy2DAsync(ctx.transfer, phys[zs.lo*n:], n*n,
 					ctx.rslots[slot], zw*n, zw*n, my)
 			},
+			h2dBytes: int64(16 * my * zw * nxh),
+			d2hBytes: int64(8 * my * zw * n),
 		}
 	}, nil)
 }
@@ -539,6 +613,7 @@ func (a *AsyncSlabReal) regionXInverse(phys []float64) {
 // r2c transforms along x into the mid slab.
 func (a *AsyncSlabReal) regionXForward(phys []float64) {
 	n, nxh, my := a.n, a.nxh, a.s.MY()
+	defer a.met.pipeline.Start()()
 	a.pipeline(func(ip, g int) pencilOps {
 		zs := subRange(a.zr[ip], g, len(a.gpus))
 		zw := zs.width()
@@ -552,7 +627,7 @@ func (a *AsyncSlabReal) regionXForward(phys []float64) {
 					phys[zs.lo*n:], n*n, zw*n, my)
 			},
 			compute: func(slot int) {
-				plan := ctx.xreal[zw]
+				plan := ctx.plans.RealBatch(n, zw, 1, n, 1, nxh)
 				cbuf, rbuf := ctx.slots[slot], ctx.rslots[slot]
 				ctx.compute.Launch("fftx-r2c", func() {
 					for iy := 0; iy < my; iy++ {
@@ -564,6 +639,8 @@ func (a *AsyncSlabReal) regionXForward(phys []float64) {
 				cuda.Memcpy2DAsync(ctx.transfer, a.mid[zs.lo*nxh:], n*nxh,
 					ctx.slots[slot], zw*nxh, zw*nxh, my)
 			},
+			h2dBytes: int64(8 * my * zw * n),
+			d2hBytes: int64(16 * my * zw * nxh),
 		}
 	}, nil)
 }
@@ -573,7 +650,7 @@ func (a *AsyncSlabReal) regionXForward(phys []float64) {
 func (a *AsyncSlabReal) lineFFT(ctx *gpuCtx, w, nplanes int, dir fft.Direction) func(slot int) {
 	n := a.n
 	return func(slot int) {
-		plan := ctx.lines[w]
+		plan := ctx.plans.Batch(n, w, w, 1, w, 1)
 		buf := ctx.slots[slot]
 		ctx.compute.Launch("fft-line", func() {
 			for pl := 0; pl < nplanes; pl++ {
@@ -589,11 +666,15 @@ func (a *AsyncSlabReal) lineFFT(ctx *gpuCtx, w, nplanes int, dir fft.Direction) 
 }
 
 // pencilOps are the three per-pencil stages a region supplies; any may
-// be nil (zero-width sub-pencil on this device).
+// be nil (zero-width sub-pencil on this device). The byte fields carry
+// the wire size each transfer stage moves, for direction-labelled
+// accounting (gpu.h2d.bytes / gpu.d2h.bytes).
 type pencilOps struct {
-	h2d     func(slot int)
-	compute func(slot int)
-	d2h     func(slot int)
+	h2d      func(slot int)
+	compute  func(slot int)
+	d2h      func(slot int)
+	h2dBytes int64
+	d2hBytes int64
 }
 
 // pipeline drives np pencils through every device with the Fig 4
@@ -623,6 +704,7 @@ func (a *AsyncSlabReal) pipeline(ops func(ip, g int) pencilOps, afterD2H func(ip
 				continue
 			}
 			pops[ip][g].h2d(ip % 3)
+			a.met.h2d.Add(pops[ip][g].h2dBytes)
 			state[ip][g].h2d = a.gpus[g].transfer.Record()
 		}
 	}
@@ -633,6 +715,7 @@ func (a *AsyncSlabReal) pipeline(ops func(ip, g int) pencilOps, afterD2H func(ip
 			}
 			a.gpus[g].transfer.Wait(state[ip][g].comp)
 			pops[ip][g].d2h(ip % 3)
+			a.met.d2h.Add(pops[ip][g].d2hBytes)
 			state[ip][g].d2h = a.gpus[g].transfer.Record()
 		}
 	}

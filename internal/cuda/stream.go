@@ -12,7 +12,11 @@ package cuda
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
 
+	"repro/internal/metrics"
 	"repro/internal/transpose"
 )
 
@@ -21,18 +25,57 @@ type Device struct {
 	id      int
 	mu      sync.Mutex
 	streams []*Stream
+	met     atomic.Pointer[devMetrics]
+}
+
+// devMetrics are the instrumentation handles shared by all streams of
+// one device: operations executed, bytes moved by copy engines and
+// zero-copy kernels, per-op busy time (whose sum over a window is the
+// stream occupancy), and event record-to-completion latency. All
+// fields are nil-safe no-op handles until SetMetrics installs real
+// ones.
+type devMetrics struct {
+	ops   *metrics.Counter
+	bytes *metrics.Counter
+	busy  *metrics.Histogram
+	evLat *metrics.Histogram
 }
 
 // NewDevice creates device id (the cudaSetDevice analogue is simply
 // which Device value a thread launches work on).
-func NewDevice(id int) *Device { return &Device{id: id} }
+func NewDevice(id int) *Device {
+	d := &Device{id: id}
+	d.met.Store(&devMetrics{})
+	return d
+}
+
+// SetMetrics attaches rank-labelled instrumentation to the device and
+// every stream created on it. Call once during setup, before launching
+// work; rank identifies the owning MPI rank.
+func (d *Device) SetMetrics(reg *metrics.Registry, rank int) {
+	d.met.Store(&devMetrics{
+		ops:   reg.CounterRank("cuda.stream.ops", rank),
+		bytes: reg.CounterRank("cuda.xfer.bytes", rank),
+		busy:  reg.HistogramRank("cuda.stream.busy", rank),
+		evLat: reg.HistogramRank("cuda.event.latency", rank),
+	})
+}
+
+func (d *Device) m() *devMetrics { return d.met.Load() }
+
+// xferBytes reports the wire size of n elements of T for transfer
+// accounting.
+func xferBytes[T any](n int) int64 {
+	var z T
+	return int64(n) * int64(unsafe.Sizeof(z))
+}
 
 // ID reports the device ordinal.
 func (d *Device) ID() int { return d.id }
 
 // NewStream creates an asynchronous in-order work queue on the device.
 func (d *Device) NewStream(name string) *Stream {
-	s := &Stream{name: name, ops: make(chan streamOp, 1024)}
+	s := &Stream{name: name, dev: d, ops: make(chan streamOp, 1024)}
 	s.wg.Add(1)
 	go s.run()
 	d.mu.Lock()
@@ -75,6 +118,7 @@ type streamOp struct {
 // Stream is an in-order asynchronous work queue (cudaStream_t).
 type Stream struct {
 	name string
+	dev  *Device
 	ops  chan streamOp
 	wg   sync.WaitGroup
 
@@ -99,7 +143,16 @@ func (s *Stream) run() {
 					s.mu.Unlock()
 				}
 			}()
-			op.fn()
+			// Control ops (event records, sync markers) are queue
+			// plumbing, not device work: excluded from busy time.
+			if m := s.dev.m(); !op.control && m.busy.Enabled() {
+				t0 := time.Now()
+				op.fn()
+				m.busy.Observe(time.Since(t0).Seconds())
+				m.ops.Inc()
+			} else {
+				op.fn()
+			}
 		}()
 	}
 }
@@ -128,9 +181,19 @@ func (s *Stream) Launch(name string, fn func()) {
 }
 
 // Record enqueues an event into the stream and returns it; the event
-// completes when the stream reaches it (cudaEventRecord).
+// completes when the stream reaches it (cudaEventRecord). The latency
+// from record to completion — how far the host runs ahead of the
+// device — is observed into cuda.event.latency when metrics are on.
 func (s *Stream) Record() *Event {
 	ev := &Event{done: make(chan struct{})}
+	if m := s.dev.m(); m.evLat.Enabled() {
+		t0 := time.Now()
+		s.ops <- streamOp{fn: func() {
+			m.evLat.Observe(time.Since(t0).Seconds())
+			close(ev.done)
+		}, control: true}
+		return ev
+	}
 	s.ops <- streamOp{fn: func() { close(ev.done) }, control: true}
 	return ev
 }
@@ -187,6 +250,7 @@ func MemcpyAsync[T any](s *Stream, dst, src []T) {
 		panic(fmt.Sprintf("cuda: memcpy dst %d < src %d", len(dst), len(src)))
 	}
 	n := len(src)
+	s.dev.m().bytes.Add(xferBytes[T](n))
 	s.Launch("memcpy", func() { copy(dst[:n], src[:n]) })
 }
 
@@ -195,6 +259,7 @@ func MemcpyAsync[T any](s *Stream, dst, src []T) {
 // the cudaMemcpy2DAsync call of §4.2, executed by the copy engine (no
 // SMs consumed on real hardware).
 func Memcpy2DAsync[T any](s *Stream, dst []T, dstStride int, src []T, srcStride, rowLen, nrows int) {
+	s.dev.m().bytes.Add(xferBytes[T](rowLen * nrows))
 	s.Launch("memcpy2d", func() {
 		transpose.CopyStrided(dst, dstStride, src, srcStride, rowLen, nrows)
 	})
@@ -205,6 +270,7 @@ func Memcpy2DAsync[T any](s *Stream, dst []T, dstStride int, src []T, srcStride,
 // on SM threads reading pinned host memory directly (§4.2); here it
 // executes the same access pattern.
 func ZeroCopyGather[T any](s *Stream, dst []T, src []T, idx []int) {
+	s.dev.m().bytes.Add(xferBytes[T](len(idx)))
 	s.Launch("zerocopy-gather", func() {
 		for i, j := range idx {
 			dst[i] = src[j]
@@ -216,6 +282,7 @@ func ZeroCopyGather[T any](s *Stream, dst []T, src []T, idx []int) {
 // used for unpacking received all-to-all blocks into non-contiguous
 // locations.
 func ZeroCopyScatter[T any](s *Stream, dst []T, src []T, idx []int) {
+	s.dev.m().bytes.Add(xferBytes[T](len(idx)))
 	s.Launch("zerocopy-scatter", func() {
 		for i, j := range idx {
 			dst[j] = src[i]

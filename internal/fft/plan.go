@@ -40,6 +40,7 @@ func NewPlan(n int) *Plan {
 	if n < 1 {
 		panic(fmt.Sprintf("fft: invalid length %d", n))
 	}
+	plansCreated.Add(1)
 	p := &Plan{n: n}
 	p.factors = factorize(n)
 	for _, f := range p.factors {
@@ -82,6 +83,7 @@ func (p *Plan) run(dst, src []complex128, dir Direction) {
 	if len(dst) != p.n || len(src) != p.n {
 		panic(fmt.Sprintf("fft: plan length %d, got dst %d src %d", p.n, len(dst), len(src)))
 	}
+	transforms.Add(1)
 	if p.n == 1 {
 		dst[0] = src[0]
 		return

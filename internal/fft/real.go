@@ -54,6 +54,7 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) {
 	if len(src) != n || len(dst) != p.HalfLen() {
 		panic(fmt.Sprintf("fft: real plan n=%d, got src %d dst %d", n, len(src), len(dst)))
 	}
+	realTransforms.Add(1)
 	if p.full != nil {
 		for j, v := range src {
 			p.zs[j] = complex(v, 0)
@@ -86,6 +87,7 @@ func (p *RealPlan) Inverse(dst []float64, src []complex128) {
 	if len(dst) != n || len(src) != p.HalfLen() {
 		panic(fmt.Sprintf("fft: real plan n=%d, got dst %d src %d", n, len(dst), len(src)))
 	}
+	realTransforms.Add(1)
 	if p.full != nil {
 		p.zs[0] = complex(real(src[0]), 0)
 		for k := 1; k < p.HalfLen(); k++ {

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// histCap bounds the per-histogram sample buffer used for percentile
+// estimates. Below the cap percentiles are exact (and agree with
+// internal/stats.Percentile); beyond it the buffer becomes a ring over
+// the most recent observations while the Welford moments stay exact
+// over the full stream.
+const histCap = 8192
+
+// Histogram accumulates a stream of float64 observations (usually
+// seconds): exact running moments via Welford's algorithm plus a
+// bounded sample buffer for order statistics. Observe takes one short
+// mutex; all methods are nil-safe.
+type Histogram struct {
+	reg     *Registry
+	mu      sync.Mutex
+	n       int64
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+	sum     float64
+	samples []float64
+	next    int // ring cursor once len(samples) == histCap
+}
+
+// Observe folds one observation into the histogram.
+func (h *Histogram) Observe(x float64) {
+	if h == nil || !h.reg.on.Load() {
+		return
+	}
+	h.mu.Lock()
+	if h.n == 0 {
+		h.min, h.max = x, x
+	} else {
+		if x < h.min {
+			h.min = x
+		}
+		if x > h.max {
+			h.max = x
+		}
+	}
+	h.n++
+	d := x - h.mean
+	h.mean += d / float64(h.n)
+	h.m2 += d * (x - h.mean)
+	h.sum += x
+	if len(h.samples) < histCap {
+		h.samples = append(h.samples, x)
+	} else {
+		h.samples[h.next] = x
+		h.next = (h.next + 1) % histCap
+	}
+	h.mu.Unlock()
+}
+
+// Enabled reports whether observations would currently be recorded;
+// use it to skip expensive measurement (time.Now pairs) when off.
+func (h *Histogram) Enabled() bool { return h != nil && h.reg.on.Load() }
+
+// nop is the stop function handed out by Start when disabled, shared
+// to avoid a closure allocation per call.
+var nop = func() {}
+
+// Start begins timing a section and returns the function that stops
+// the clock and observes the elapsed seconds:
+//
+//	stop := h.Start()
+//	... section ...
+//	stop()
+func (h *Histogram) Start() func() {
+	if !h.Enabled() {
+		return nop
+	}
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Seconds()) }
+}
+
+// Stat is a point-in-time numerical summary of a histogram.
+type Stat struct {
+	Count          int64
+	Sum, Mean, Std float64
+	Min, Max       float64
+	P50, P95, P99  float64
+}
+
+// Stat summarizes the histogram. Percentiles use the same linear
+// interpolation as internal/stats.Percentile over the buffered
+// samples.
+func (h *Histogram) Stat() Stat {
+	if h == nil {
+		return Stat{}
+	}
+	h.mu.Lock()
+	s := Stat{Count: h.n, Sum: h.sum, Mean: h.mean, Min: h.min, Max: h.max}
+	if h.n > 1 {
+		s.Std = math.Sqrt(h.m2 / float64(h.n-1))
+	}
+	buf := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	if len(buf) > 0 {
+		sort.Float64s(buf)
+		s.P50 = percentileSorted(buf, 50)
+		s.P95 = percentileSorted(buf, 95)
+		s.P99 = percentileSorted(buf, 99)
+	}
+	return s
+}
+
+// percentileSorted returns the p-th percentile of the ascending slice
+// s by linear interpolation — the interpolation rule of
+// internal/stats.Percentile, duplicated here so the leaf package stays
+// import-free (the agreement is pinned by a test).
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	if lo == len(s)-1 {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates snapshot entries.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Entry is one metric frozen at snapshot time. For counters and gauges
+// Value carries the reading; for histograms Value carries the sum (the
+// natural "total seconds in this phase" quantity) and the distribution
+// fields are populated.
+type Entry struct {
+	Name  string  `json:"name"`
+	Rank  int     `json:"rank"`
+	Kind  Kind    `json:"kind"`
+	Value float64 `json:"value"`
+	Count int64   `json:"count,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	Std   float64 `json:"std,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Snapshot is a consistent-enough copy of a registry: each metric is
+// read atomically (counters, gauges) or under its own lock
+// (histograms); the set of metrics is frozen under the registry lock.
+type Snapshot struct {
+	Entries []Entry `json:"metrics"`
+}
+
+// Snapshot freezes the registry's current state, sorted by (name,
+// rank). Safe to call while ranks are still recording.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	type ck struct {
+		k key
+		c *Counter
+	}
+	type gk struct {
+		k key
+		g *Gauge
+	}
+	type hk struct {
+		k key
+		h *Histogram
+	}
+	cs := make([]ck, 0, len(r.counters))
+	for k, c := range r.counters {
+		cs = append(cs, ck{k, c})
+	}
+	gs := make([]gk, 0, len(r.gauges))
+	for k, g := range r.gauges {
+		gs = append(gs, gk{k, g})
+	}
+	hs := make([]hk, 0, len(r.hists))
+	for k, h := range r.hists {
+		hs = append(hs, hk{k, h})
+	}
+	r.mu.RUnlock()
+
+	var s Snapshot
+	for _, e := range cs {
+		s.Entries = append(s.Entries, Entry{
+			Name: e.k.name, Rank: e.k.rank, Kind: KindCounter, Value: float64(e.c.Value()),
+		})
+	}
+	for _, e := range gs {
+		s.Entries = append(s.Entries, Entry{
+			Name: e.k.name, Rank: e.k.rank, Kind: KindGauge, Value: e.g.Value(),
+		})
+	}
+	for _, e := range hs {
+		st := e.h.Stat()
+		s.Entries = append(s.Entries, Entry{
+			Name: e.k.name, Rank: e.k.rank, Kind: KindHistogram,
+			Value: st.Sum, Count: st.Count, Mean: st.Mean, Std: st.Std,
+			Min: st.Min, Max: st.Max, P50: st.P50, P95: st.P95, P99: st.P99,
+		})
+	}
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Entries, func(i, j int) bool {
+		if s.Entries[i].Name != s.Entries[j].Name {
+			return s.Entries[i].Name < s.Entries[j].Name
+		}
+		return s.Entries[i].Rank < s.Entries[j].Rank
+	})
+}
+
+// Get returns the entry (name, rank), if present.
+func (s Snapshot) Get(name string, rank int) (Entry, bool) {
+	for _, e := range s.Entries {
+		if e.Name == name && e.Rank == rank {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Filter returns the entries whose name starts with prefix.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	var out Snapshot
+	for _, e := range s.Entries {
+		if strings.HasPrefix(e.Name, prefix) {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}
+
+// MaxOverRanks applies the paper's reduction: entries sharing a name
+// are collapsed to the single rank with the largest Value (counter and
+// gauge readings, histogram sums), reported with Rank = NoRank.
+// Entries already unlabelled pass through. The result is what
+// distributed runs report, mirroring Table 3's max-over-ranks step
+// times.
+func (s Snapshot) MaxOverRanks() Snapshot {
+	best := map[string]Entry{}
+	order := []string{}
+	for _, e := range s.Entries {
+		cur, ok := best[e.Name]
+		if !ok {
+			order = append(order, e.Name)
+		}
+		if !ok || e.Value > cur.Value {
+			e.Rank = NoRank
+			best[e.Name] = e
+		}
+	}
+	var out Snapshot
+	for _, name := range order {
+		out.Entries = append(out.Entries, best[name])
+	}
+	out.sort()
+	return out
+}
+
+// SumOverRanks collapses entries sharing a name by summing counter and
+// gauge values and histogram sums/counts (distribution fields are
+// dropped) — the aggregate-traffic view (total bytes on the wire).
+func (s Snapshot) SumOverRanks() Snapshot {
+	acc := map[string]Entry{}
+	order := []string{}
+	for _, e := range s.Entries {
+		cur, ok := acc[e.Name]
+		if !ok {
+			order = append(order, e.Name)
+			e.Rank = NoRank
+			e.Mean, e.Std, e.Min, e.Max, e.P50, e.P95, e.P99 = 0, 0, 0, 0, 0, 0, 0
+			acc[e.Name] = e
+			continue
+		}
+		cur.Value += e.Value
+		cur.Count += e.Count
+		acc[e.Name] = cur
+	}
+	var out Snapshot
+	for _, name := range order {
+		out.Entries = append(out.Entries, acc[name])
+	}
+	out.sort()
+	return out
+}
+
+// Text renders the snapshot as an aligned table, one metric per line.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	name := len("metric")
+	for _, e := range s.Entries {
+		if n := len(e.label()); n > name {
+			name = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %10s  %10s  %10s  %10s\n",
+		name, "metric", "value", "count", "mean", "p95", "max")
+	for _, e := range s.Entries {
+		switch e.Kind {
+		case KindHistogram:
+			fmt.Fprintf(&b, "%-*s  %12.4g  %10d  %10.4g  %10.4g  %10.4g\n",
+				name, e.label(), e.Value, e.Count, e.Mean, e.P95, e.Max)
+		default:
+			fmt.Fprintf(&b, "%-*s  %12.4g\n", name, e.label(), e.Value)
+		}
+	}
+	return b.String()
+}
+
+func (e Entry) label() string {
+	if e.Rank == NoRank {
+		return e.Name
+	}
+	return fmt.Sprintf("%s{rank=%d}", e.Name, e.Rank)
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,12 +1,27 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/metrics"
+)
+
+// sliceBytes reports the wire size of n elements of T, the quantity
+// every collective accounts into the metrics registry.
+func sliceBytes[T any](n int) int64 {
+	var z T
+	return int64(n) * int64(unsafe.Sizeof(z))
+}
 
 // Send delivers a copy of buf to dst with the given tag. It is
 // buffered: it returns as soon as the copy is queued, so the caller may
 // reuse buf immediately (MPI_Bsend semantics, which is how Spectrum MPI
 // behaves below the eager limit).
 func Send[T any](c *Comm, dst, tag int, buf []T) {
+	m := c.m()
+	m.p2pMsgs.Inc()
+	m.p2pBytes.Add(sliceBytes[T](len(buf)))
 	cp := make([]T, len(buf))
 	copy(cp, buf)
 	c.box(c.rank, dst).put(message{key: matchKey{tag: tag}, data: cp})
@@ -17,7 +32,8 @@ func Send[T any](c *Comm, dst, tag int, buf []T) {
 func Recv[T any](c *Comm, src, tag int, buf []T) int {
 	data := c.box(src, c.rank).get(matchKey{tag: tag}).([]T)
 	if len(data) > len(buf) {
-		panic(fmt.Sprintf("mpi: recv buffer too small: %d < %d", len(buf), len(data)))
+		panic(fmt.Sprintf("mpi: rank %d: recv from %d (tag %d): buffer too small: %d < %d",
+			c.rank, src, tag, len(buf), len(data)))
 	}
 	copy(buf, data)
 	return len(data)
@@ -33,7 +49,10 @@ func Sendrecv[T any](c *Comm, dst, dtag int, sendbuf []T, src, stag int, recvbuf
 func Bcast[T any](c *Comm, root int, buf []T) {
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
+	m := c.m()
+	m.collMsgs.Inc()
 	if c.rank == root {
+		m.collBytes.Add(sliceBytes[T](len(buf)) * int64(c.Size()-1))
 		cp := make([]T, len(buf))
 		copy(cp, buf)
 		for r := 0; r < c.Size(); r++ {
@@ -53,8 +72,12 @@ func Bcast[T any](c *Comm, root int, buf []T) {
 func Allgather[T any](c *Comm, send []T, recv []T) {
 	p := c.Size()
 	if len(recv) != p*len(send) {
-		panic(fmt.Sprintf("mpi: allgather recv length %d != %d", len(recv), p*len(send)))
+		panic(fmt.Sprintf("mpi: rank %d: allgather recv length %d != %d",
+			c.rank, len(recv), p*len(send)))
 	}
+	m := c.m()
+	m.collMsgs.Inc()
+	m.collBytes.Add(sliceBytes[T](len(send)) * int64(p))
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
 	cp := make([]T, len(send))
@@ -117,8 +140,12 @@ func Alltoall[T any](c *Comm, send, recv []T) {
 func Ialltoall[T any](c *Comm, send, recv []T) *Request {
 	p := c.Size()
 	if len(send)%p != 0 || len(recv) != len(send) {
-		panic(fmt.Sprintf("mpi: alltoall buffer sizes %d/%d invalid for %d ranks", len(send), len(recv), p))
+		panic(fmt.Sprintf("mpi: rank %d: alltoall buffer sizes %d/%d invalid for %d ranks",
+			c.rank, len(send), len(recv), p))
 	}
+	m := c.m()
+	m.a2aMsgs.Inc()
+	m.a2aBytes.Add(sliceBytes[T](len(send)))
 	bs := len(send) / p
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
@@ -129,7 +156,7 @@ func Ialltoall[T any](c *Comm, send, recv []T) *Request {
 		copy(blk, send[dst*bs:(dst+1)*bs])
 		c.box(c.rank, dst).put(message{key: key, data: blk})
 	}
-	req := &Request{done: make(chan struct{})}
+	req := &Request{done: make(chan struct{}), wait: m.a2aWait}
 	go func() {
 		defer close(req.done)
 		defer func() {
@@ -158,30 +185,44 @@ func Alltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T,
 	p := c.Size()
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
+	m := c.m()
+	m.a2aMsgs.Inc()
+	total := 0
 	for dst := 0; dst < p; dst++ {
+		total += sendcounts[dst]
 		blk := make([]T, sendcounts[dst])
 		copy(blk, send[senddispls[dst]:senddispls[dst]+sendcounts[dst]])
 		c.box(c.rank, dst).put(message{key: key, data: blk})
 	}
+	m.a2aBytes.Add(sliceBytes[T](total))
+	stop := m.a2aWait.Start()
 	for src := 0; src < p; src++ {
 		data := c.box(src, c.rank).get(key).([]T)
 		if len(data) != recvcounts[src] {
-			panic(fmt.Sprintf("mpi: alltoallv count mismatch from %d: got %d want %d", src, len(data), recvcounts[src]))
+			panic(fmt.Sprintf("mpi: rank %d: alltoallv count mismatch from %d: got %d want %d",
+				c.rank, src, len(data), recvcounts[src]))
 		}
 		copy(recv[recvdispls[src]:recvdispls[src]+recvcounts[src]], data)
 	}
+	stop()
 }
 
 // Request tracks a non-blocking operation, as MPI_Request does.
 type Request struct {
 	done    chan struct{}
 	aborted bool
+	// wait, when recording, observes the seconds the caller spends
+	// blocked inside Wait — the exposed (non-overlapped) communication
+	// time of the asynchronous pipeline.
+	wait *metrics.Histogram
 }
 
 // Wait blocks until the operation completes (MPI_WAIT). It panics with
 // the abort sentinel if the world was aborted while in flight.
 func (r *Request) Wait() {
+	stop := r.wait.Start()
 	<-r.done
+	stop()
 	if r.aborted {
 		panic(errAborted)
 	}

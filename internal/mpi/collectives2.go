@@ -8,6 +8,9 @@ import "fmt"
 func Gather[T any](c *Comm, root int, send []T, recv []T) {
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
+	m := c.m()
+	m.collMsgs.Inc()
+	m.collBytes.Add(sliceBytes[T](len(send)))
 	cp := make([]T, len(send))
 	copy(cp, send)
 	c.box(c.rank, root).put(message{key: key, data: cp})
@@ -16,7 +19,7 @@ func Gather[T any](c *Comm, root int, send []T, recv []T) {
 	}
 	p := c.Size()
 	if len(recv) != p*len(send) {
-		panic(fmt.Sprintf("mpi: gather recv length %d != %d", len(recv), p*len(send)))
+		panic(fmt.Sprintf("mpi: rank %d: gather recv length %d != %d", c.rank, len(recv), p*len(send)))
 	}
 	n := len(send)
 	for r := 0; r < p; r++ {
@@ -32,10 +35,13 @@ func Scatter[T any](c *Comm, root int, send []T, recv []T) {
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
 	p := c.Size()
+	m := c.m()
+	m.collMsgs.Inc()
 	if c.rank == root {
 		if len(send) != p*len(recv) {
-			panic(fmt.Sprintf("mpi: scatter send length %d != %d", len(send), p*len(recv)))
+			panic(fmt.Sprintf("mpi: rank %d: scatter send length %d != %d", c.rank, len(send), p*len(recv)))
 		}
+		m.collBytes.Add(sliceBytes[T](len(send)))
 		n := len(recv)
 		for r := 0; r < p; r++ {
 			blk := make([]T, n)
@@ -93,14 +99,20 @@ func IAlltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T
 	p := c.Size()
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
+	m := c.m()
+	m.a2aMsgs.Inc()
+	total := 0
 	for dst := 0; dst < p; dst++ {
+		total += sendcounts[dst]
 		blk := make([]T, sendcounts[dst])
 		copy(blk, send[senddispls[dst]:senddispls[dst]+sendcounts[dst]])
 		c.box(c.rank, dst).put(message{key: key, data: blk})
 	}
+	m.a2aBytes.Add(sliceBytes[T](total))
 	rc := append([]int(nil), recvcounts...)
 	rd := append([]int(nil), recvdispls...)
-	req := &Request{done: make(chan struct{})}
+	req := &Request{done: make(chan struct{}), wait: m.a2aWait}
+	rank := c.rank
 	go func() {
 		defer close(req.done)
 		defer func() {
@@ -115,7 +127,8 @@ func IAlltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T
 		for src := 0; src < p; src++ {
 			data := c.box(src, c.rank).get(key).([]T)
 			if len(data) != rc[src] {
-				panic(fmt.Sprintf("mpi: ialltoallv count mismatch from %d: got %d want %d", src, len(data), rc[src]))
+				panic(fmt.Sprintf("mpi: rank %d: ialltoallv count mismatch from %d: got %d want %d",
+					rank, src, len(data), rc[src]))
 			}
 			copy(recv[rd[src]:rd[src]+rc[src]], data)
 		}

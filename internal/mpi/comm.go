@@ -4,23 +4,26 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // world owns the shared state of one communicator: the P×P mailbox
-// matrix, a reusable barrier, and the abort flag raised when any rank
-// panics.
+// matrix, a reusable barrier, the abort flag raised when any rank
+// panics, and the metrics registry the ranks record traffic into.
 type world struct {
 	size    int
 	boxes   []*mailbox // boxes[src*size+dst]
 	barrier *barrier
+	reg     *metrics.Registry
 
 	mu       sync.Mutex
 	children []*world // sub-communicators created by Split
 	aborted  bool
 }
 
-func newWorld(p int) *world {
-	w := &world{size: p, barrier: newBarrier(p)}
+func newWorld(p int, reg *metrics.Registry) *world {
+	w := &world{size: p, barrier: newBarrier(p), reg: reg}
 	w.boxes = make([]*mailbox, p*p)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -70,7 +73,46 @@ type Comm struct {
 	// must initiate collectives in the same order (as in MPI), so the
 	// rank-local counter agrees across ranks without coordination.
 	seq int
+	// met caches the rank-labelled metric handles; built lazily by the
+	// owning goroutine on first instrumented operation.
+	met *commMetrics
 }
+
+// commMetrics are the per-rank instrumentation handles of one Comm:
+// bytes and message counts per collective family, time blocked waiting
+// on all-to-alls, and time spent inside barriers (whose per-rank
+// spread is the barrier skew). All handles are nil-safe no-ops when
+// the world has no registry.
+type commMetrics struct {
+	a2aBytes, a2aMsgs   *metrics.Counter
+	collBytes, collMsgs *metrics.Counter
+	p2pBytes, p2pMsgs   *metrics.Counter
+	a2aWait             *metrics.Histogram
+	barrierWait         *metrics.Histogram
+}
+
+func (c *Comm) m() *commMetrics {
+	if c.met == nil {
+		r := c.w.reg
+		c.met = &commMetrics{
+			a2aBytes:    r.CounterRank("mpi.a2a.bytes", c.rank),
+			a2aMsgs:     r.CounterRank("mpi.a2a.calls", c.rank),
+			collBytes:   r.CounterRank("mpi.coll.bytes", c.rank),
+			collMsgs:    r.CounterRank("mpi.coll.calls", c.rank),
+			p2pBytes:    r.CounterRank("mpi.p2p.bytes", c.rank),
+			p2pMsgs:     r.CounterRank("mpi.p2p.calls", c.rank),
+			a2aWait:     r.HistogramRank("mpi.a2a.wait", c.rank),
+			barrierWait: r.HistogramRank("mpi.barrier.wait", c.rank),
+		}
+	}
+	return c.met
+}
+
+// Metrics returns the registry this communicator's world records into
+// (never nil when the world was created by Run/TryRun; RunWith may
+// have been given nil). Layers above mpi use it to attach their own
+// rank-labelled instrumentation to the same registry.
+func (c *Comm) Metrics() *metrics.Registry { return c.w.reg }
 
 // Rank reports the calling rank within the communicator.
 func (c *Comm) Rank() int { return c.rank }
@@ -87,16 +129,47 @@ func (c *Comm) box(src, dst int) *mailbox {
 	return c.w.boxes[src*c.w.size+dst]
 }
 
+// RankError is the typed failure surface of TryRun: the first rank
+// whose function panicked, with the recovered value as the cause.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As chains.
+func (e *RankError) Unwrap() error { return e.Err }
+
 // Run executes fn on p ranks, each on its own goroutine, and returns
 // after all ranks finish. A panic on any rank aborts the whole world
 // (blocked peers are woken, as with MPI_Abort) and is re-raised on the
 // caller with the rank attached, so test failures point at the rank
-// that misbehaved rather than deadlocking.
+// that misbehaved rather than deadlocking. Use TryRun to receive the
+// failure as an error instead of a panic.
 func Run(p int, fn func(*Comm)) {
+	if err := RunWith(p, metrics.Default(), fn); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryRun is Run with an error contract: a panic on any rank is
+// recovered into a *RankError naming the first rank that misbehaved
+// (cascade casualties are not reported), instead of crashing the
+// calling process. A clean run returns nil.
+func TryRun(p int, fn func(*Comm)) error {
+	return RunWith(p, metrics.Default(), fn)
+}
+
+// RunWith is TryRun recording traffic into an explicit metrics
+// registry (nil disables instrumentation for the world).
+func RunWith(p int, reg *metrics.Registry, fn func(*Comm)) error {
 	if p < 1 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", p))
 	}
-	w := newWorld(p)
+	w := newWorld(p, reg)
 	var wg sync.WaitGroup
 	panics := make([]any, p)
 	for r := 0; r < p; r++ {
@@ -117,14 +190,24 @@ func Run(p int, fn func(*Comm)) {
 	// cascade itself.
 	for r, e := range panics {
 		if e != nil && e != any(errAborted) {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
+			return &RankError{Rank: r, Err: panicErr(e)}
 		}
 	}
 	for r, e := range panics {
 		if e != nil {
-			panic(fmt.Sprintf("mpi: rank %d aborted: %v", r, e))
+			return &RankError{Rank: r, Err: panicErr(e)}
 		}
 	}
+	return nil
+}
+
+// panicErr converts a recovered panic value into an error, keeping
+// error values intact for errors.Is/As.
+func panicErr(e any) error {
+	if err, ok := e.(error); ok {
+		return err
+	}
+	return fmt.Errorf("%v", e)
 }
 
 // barrier is a reusable counting barrier that can be aborted.
@@ -173,7 +256,13 @@ func (b *barrier) abort() {
 }
 
 // Barrier blocks until every rank of the communicator has entered it.
-func (c *Comm) Barrier() { c.w.barrier.wait() }
+// The per-rank time spent inside the barrier is recorded; its spread
+// across ranks is the barrier skew.
+func (c *Comm) Barrier() {
+	stop := c.m().barrierWait.Start()
+	c.w.barrier.wait()
+	stop()
+}
 
 // Split partitions the communicator into sub-communicators by color,
 // ordering ranks within each new communicator by (key, old rank) as
@@ -207,7 +296,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	// distributes it to its group members over the parent communicator.
 	var nw *world
 	if group[0].rank == c.rank {
-		nw = newWorld(len(group))
+		nw = newWorld(len(group), c.w.reg)
 		c.w.adoptChild(nw) // cascade aborts into the sub-communicator
 		for _, e := range group[1:] {
 			Send(c, e.rank, splitTag, []*world{nw})

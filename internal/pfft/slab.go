@@ -5,9 +5,32 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/transpose"
 )
+
+// phaseMetrics are the per-rank phase histograms of the synchronous
+// transform, matching the span classes of the paper's Fig 10 timeline:
+// local FFT compute, pack (reordering into send blocks), the
+// all-to-all itself, and unpack. The four sections tile each transform
+// wall-to-wall, so their sums reconstruct the transform's wall time.
+type phaseMetrics struct {
+	fft    *metrics.Histogram
+	pack   *metrics.Histogram
+	a2a    *metrics.Histogram
+	unpack *metrics.Histogram
+}
+
+func newPhaseMetrics(c *mpi.Comm) *phaseMetrics {
+	r := c.Metrics()
+	return &phaseMetrics{
+		fft:    r.HistogramRank("phase.fft", c.Rank()),
+		pack:   r.HistogramRank("phase.pack", c.Rank()),
+		a2a:    r.HistogramRank("phase.a2a", c.Rank()),
+		unpack: r.HistogramRank("phase.unpack", c.Rank()),
+	}
+}
 
 // SlabC2C performs distributed complex 3D FFTs on a 1D slab
 // decomposition. FourierToPhysical applies inverse transforms in the
@@ -111,6 +134,7 @@ type SlabReal struct {
 	pack []complex128
 	recv []complex128
 	mid  []complex128 // [my][nz][nxh] intermediate
+	met  *phaseMetrics
 }
 
 // NewSlabReal builds the DNS transform for an N³ real field (even N).
@@ -131,6 +155,7 @@ func NewSlabReal(comm *mpi.Comm, n int) *SlabReal {
 		pack: make([]complex128, s.MZ()*n*nxh),
 		recv: make([]complex128, s.MZ()*n*nxh),
 		mid:  make([]complex128, s.MY()*n*nxh),
+		met:  newPhaseMetrics(comm),
 	}
 }
 
@@ -155,19 +180,29 @@ func (f *SlabReal) FourierToPhysical(phys []float64, four []complex128) {
 		panic(fmt.Sprintf("pfft: real slab wants four %d phys %d, got %d %d",
 			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
 	}
+	stop := f.met.fft.Start()
 	for iz := 0; iz < mz; iz++ {
 		plane := four[iz*n*nxh : (iz+1)*n*nxh]
 		f.by.Inverse(plane, plane)
 	}
+	stop()
+	stop = f.met.pack.Start()
 	transpose.PackYZ(f.pack, four, nxh, n, mz, f.comm.Size())
+	stop()
+	stop = f.met.a2a.Start()
 	mpi.Alltoall(f.comm, f.pack, f.recv)
+	stop()
+	stop = f.met.unpack.Start()
 	transpose.UnpackYZ(f.mid, f.recv, nxh, n, my, f.comm.Size())
+	stop()
+	stop = f.met.fft.Start()
 	for iy := 0; iy < my; iy++ {
 		plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
 		f.bz.Inverse(plane, plane)
 		// complex-to-real along x: [nz][nxh] → [nz][nx].
 		f.bx.Inverse(phys[iy*n*n:(iy+1)*n*n], plane)
 	}
+	stop()
 }
 
 // PhysicalToFourier transforms phys=[my][nz][nx] (real) into
@@ -178,16 +213,26 @@ func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 		panic(fmt.Sprintf("pfft: real slab wants four %d phys %d, got %d %d",
 			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
 	}
+	stop := f.met.fft.Start()
 	for iy := 0; iy < my; iy++ {
 		plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
 		f.bx.Forward(plane, phys[iy*n*n:(iy+1)*n*n])
 		f.bz.Forward(plane, plane)
 	}
+	stop()
+	stop = f.met.pack.Start()
 	transpose.PackZY(f.pack, f.mid, nxh, n, my, f.comm.Size())
+	stop()
+	stop = f.met.a2a.Start()
 	mpi.Alltoall(f.comm, f.pack, f.recv)
+	stop()
+	stop = f.met.unpack.Start()
 	transpose.UnpackZY(four, f.recv, nxh, n, mz, f.comm.Size())
+	stop()
+	stop = f.met.fft.Start()
 	for iz := 0; iz < mz; iz++ {
 		plane := four[iz*n*nxh : (iz+1)*n*nxh]
 		f.by.Forward(plane, plane)
 	}
+	stop()
 }

@@ -3,6 +3,7 @@ package spectral
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/mpi"
@@ -95,6 +96,9 @@ type Solver struct {
 	step  int
 	time  float64
 	shift [3]float64 // current phase shift (Dealias23Shift)
+
+	met    *solverMetrics
+	trSecs float64 // seconds inside transform calls this step
 }
 
 // NewSolver allocates a solver using the synchronous slab transform.
@@ -118,9 +122,12 @@ func NewSolverWithTransform(comm *mpi.Comm, cfg Config, tr Transform) *Solver {
 		comm: comm,
 		cfg:  cfg,
 		slab: tr.Slab(),
-		tr:   tr,
 		nxh:  tr.NXH(),
+		met:  newSolverMetrics(comm),
 	}
+	// Wrap the engine so transform time is attributable; Transform()
+	// hands back the unwrapped engine.
+	s.tr = &timedTransform{inner: tr, secs: &s.trSecs}
 	fl, pl := tr.FourierLen(), tr.PhysicalLen()
 	for i := 0; i < 3; i++ {
 		s.Uh[i] = make([]complex128, fl)
@@ -185,10 +192,30 @@ func (s *Solver) Comm() *mpi.Comm { return s.comm }
 
 // Transform exposes the distributed transform pair, used by the
 // asynchronous pipeline benchmarks to drive the same data layout.
-func (s *Solver) Transform() Transform { return s.tr }
+func (s *Solver) Transform() Transform {
+	if t, ok := s.tr.(*timedTransform); ok {
+		return t.inner
+	}
+	return s.tr
+}
 
-// Step advances the solution by dt using the configured scheme.
+// Step advances the solution by dt using the configured scheme. With
+// metrics enabled it records the step wall time (phase.step) and the
+// wall time not spent inside transforms (phase.compute).
 func (s *Solver) Step(dt float64) {
+	if !s.met.step.Enabled() {
+		s.stepInner(dt)
+		return
+	}
+	s.trSecs = 0
+	t0 := time.Now()
+	s.stepInner(dt)
+	wall := time.Since(t0).Seconds()
+	s.met.step.Observe(wall)
+	s.met.compute.Observe(max(0, wall-s.trSecs))
+}
+
+func (s *Solver) stepInner(dt float64) {
 	if s.cfg.Dealias == Dealias23Shift {
 		// A new random-but-deterministic shift per step, identical on
 		// every rank (depends only on the step counter).

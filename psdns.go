@@ -4,12 +4,14 @@
 // SC '19). It re-exports the curated API from the internal packages so
 // downstream users never import internal paths.
 //
-// A minimal simulation:
+// A minimal simulation using the asynchronous engine and functional
+// options:
 //
 //	repro.Run(4, func(c *repro.Comm) {
-//	    tr := repro.NewAsyncTransform(c, 64, repro.AsyncOptions{
-//	        NP: 4, Granularity: repro.PerPencil,
-//	    })
+//	    tr := repro.NewAsync(c, 64,
+//	        repro.WithNP(4),
+//	        repro.WithGranularity(repro.PerPencil),
+//	    )
 //	    defer tr.Close()
 //	    s := repro.NewSolverWithTransform(c, repro.SolverConfig{
 //	        N: 64, Nu: 0.01, Scheme: repro.RK2, Dealias: repro.Dealias23,
@@ -20,21 +22,26 @@
 //	    }
 //	})
 //
-// The performance-model side (Summit machine description, all-to-all
-// network model, step-time simulation, every paper table and figure)
-// is exported as well; see Table3, Fig9 and friends.
+// Runtime observability lives behind EnableMetrics/MetricsSnapshot
+// (api_metrics.go): per-phase step breakdowns, all-to-all byte and
+// wait accounting, GPU transfer volumes. The performance-model side
+// (Summit machine description, all-to-all network model, step-time
+// simulation, every paper table and figure) is exported from
+// api_perf.go; see Table3, Fig9 and friends.
+//
+// The API surface is split by concern:
+//
+//   - psdns.go (this file): message passing — ranks, communicators,
+//     error recovery.
+//   - api_solver.go: the Navier–Stokes solver and its configuration.
+//   - api_async.go: transform engines and their functional options.
+//   - api_metrics.go: the runtime metrics registry and snapshots.
+//   - api_perf.go: the calibrated performance model and paper
+//     artifacts.
 package repro
 
 import (
-	"repro/internal/core"
-	"repro/internal/cuda"
-	"repro/internal/grid"
-	"repro/internal/hw"
 	"repro/internal/mpi"
-	"repro/internal/pfft"
-	"repro/internal/simnet"
-	"repro/internal/spectral"
-	"repro/internal/trace"
 )
 
 // --- Message passing ----------------------------------------------------
@@ -45,153 +52,16 @@ type Comm = mpi.Comm
 // Request tracks a non-blocking collective.
 type Request = mpi.Request
 
+// RankError reports the first rank whose function panicked under
+// TryRun, with the recovered value as the wrapped cause.
+type RankError = mpi.RankError
+
 // Run executes fn on p in-process ranks and returns when all finish.
+// A panic on any rank aborts the world and re-panics on the caller;
+// use TryRun to receive the failure as an error instead.
 func Run(p int, fn func(*Comm)) { mpi.Run(p, fn) }
 
-// --- Solver ---------------------------------------------------------------
-
-// SolverConfig configures a simulation (grid size, viscosity, scheme,
-// dealiasing, optional forcing).
-type SolverConfig = spectral.Config
-
-// Solver advances the incompressible Navier–Stokes equations
-// pseudo-spectrally on a slab-decomposed periodic cube.
-type Solver = spectral.Solver
-
-// Scalar is a passive scalar advected by the solver's velocity field.
-type Scalar = spectral.Scalar
-
-// Forcing sustains statistically stationary turbulence.
-type Forcing = spectral.Forcing
-
-// Stats bundles single-time turbulence statistics.
-type Stats = spectral.Stats
-
-// GradientStats holds one-point velocity-gradient moments.
-type GradientStats = spectral.GradientStats
-
-// Particles is a set of Lagrangian fluid tracers.
-type Particles = spectral.Particles
-
-// Transform is the distributed 3D FFT engine contract; both the
-// synchronous reference and the asynchronous pipeline satisfy it.
-type Transform = spectral.Transform
-
-// Time-integration schemes.
-const (
-	RK2 = spectral.RK2
-	RK4 = spectral.RK4
-)
-
-// Dealiasing modes.
-const (
-	DealiasNone    = spectral.DealiasNone
-	Dealias23      = spectral.Dealias23
-	Dealias23Shift = spectral.Dealias23Shift
-)
-
-// NewSolver builds a solver on the synchronous reference transform.
-func NewSolver(c *Comm, cfg SolverConfig) *Solver { return spectral.NewSolver(c, cfg) }
-
-// NewSolverWithTransform builds a solver on a caller-chosen engine.
-func NewSolverWithTransform(c *Comm, cfg SolverConfig, tr Transform) *Solver {
-	return spectral.NewSolverWithTransform(c, cfg, tr)
-}
-
-// NewForcing creates low-wavenumber band forcing over shells 1…kf.
-func NewForcing(kf int) *Forcing { return spectral.NewForcing(kf) }
-
-// Regrid spectrally transfers src's velocity field onto dst (larger or
-// smaller grid, same communicator).
-func Regrid(dst, src *Solver) { spectral.Regrid(dst, src) }
-
-// WriteSlicePNG renders a gathered plane with a diverging colormap.
-var WriteSlicePNG = spectral.WriteSlicePNG
-
-// --- The paper's asynchronous engine ---------------------------------------
-
-// AsyncOptions configures the batched asynchronous pipeline (pencil
-// count, exchange granularity, devices per rank).
-type AsyncOptions = core.Options
-
-// AsyncTransform is the Fig 4 batched asynchronous out-of-core engine.
-type AsyncTransform = core.AsyncSlabReal
-
-// Exchange granularities (paper configurations A/B vs C).
-const (
-	PerPencil = core.PerPencil
-	PerSlab   = core.PerSlab
-)
-
-// NewAsyncTransform builds the asynchronous engine for an N³ transform.
-func NewAsyncTransform(c *Comm, n int, opt AsyncOptions) *AsyncTransform {
-	return core.NewAsyncSlabReal(c, n, opt)
-}
-
-// NewSyncGPUTransform is the Fig 2 synchronous baseline (NP=1).
-func NewSyncGPUTransform(c *Comm, n int) *AsyncTransform { return core.NewSyncGPU(c, n) }
-
-// NewSlabTransform is the plain synchronous host transform.
-func NewSlabTransform(c *Comm, n int) *pfft.SlabReal { return pfft.NewSlabReal(c, n) }
-
-// NewThreadedSlabTransform is the hybrid MPI+OpenMP-style transform
-// with a worker team per rank.
-func NewThreadedSlabTransform(c *Comm, n, threads int) *pfft.SlabRealThreaded {
-	return pfft.NewSlabRealThreaded(c, n, threads)
-}
-
-// Slab describes a rank's 1D-decomposition geometry.
-type Slab = grid.Slab
-
-// --- Performance model ------------------------------------------------------
-
-// Machine is a hardware description; Summit returns the paper's target.
-type Machine = hw.Machine
-
-// Summit returns the calibrated Summit (IBM AC922) description.
-func Summit() Machine { return hw.Summit() }
-
-// A2AModel predicts all-to-all bandwidth; SummitA2A is calibrated to
-// the paper's Table 2.
-type A2AModel = simnet.A2AModel
-
-// SummitA2A returns the calibrated network model.
-func SummitA2A() *A2AModel { return simnet.SummitA2A() }
-
-// CopyCost models strided host↔device copies (Figs 7–8).
-type CopyCost = cuda.CopyCost
-
-// SummitCopyCost returns the calibrated copy cost model.
-func SummitCopyCost() CopyCost { return cuda.SummitCopyCost() }
-
-// PerfConfig describes one deployment for the step-time model.
-type PerfConfig = core.PerfConfig
-
-// StepResult is a simulated step (time, schedule spans, class totals).
-type StepResult = core.StepResult
-
-// DefaultPerf returns the calibrated configuration for a paper case.
-func DefaultPerf(n, nodes, tpn int, gran core.Granularity) PerfConfig {
-	return core.DefaultPerf(n, nodes, tpn, gran)
-}
-
-// SimulateGPUStep predicts one RK2 step of the asynchronous GPU code.
-func SimulateGPUStep(c PerfConfig) StepResult { return core.SimulateGPUStep(c) }
-
-// Paper artifacts.
-var (
-	Table3             = core.Table3
-	Table4             = core.Table4
-	Fig9               = core.Fig9
-	Fig10              = core.Fig10
-	StrongScaling18432 = core.StrongScaling18432
-	BestConfig         = core.BestConfig
-)
-
-// Timeline rendering (Fig 10 style).
-type Timeline = trace.Timeline
-
-// RenderTimelines draws several schedules on a shared normalized axis.
-func RenderTimelines(tls []Timeline, width int) string {
-	return trace.RenderComparison(tls, width)
-}
+// TryRun executes fn on p in-process ranks, recovering a panic on any
+// rank into a *RankError naming the rank that misbehaved. A clean run
+// returns nil.
+func TryRun(p int, fn func(*Comm)) error { return mpi.TryRun(p, fn) }
