@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/pfft"
@@ -56,6 +58,13 @@ func WithSingleComm() AsyncOption {
 // into reg instead of the communicator's registry.
 func WithMetrics(reg *MetricsRegistry) AsyncOption {
 	return func(o *AsyncOptions) { o.Metrics = reg }
+}
+
+// WithWaitDeadline bounds each wait on an all-to-all request: a
+// fragment that fails to arrive within d aborts the world with a typed
+// *StallError instead of hanging the pipeline. Zero waits forever.
+func WithWaitDeadline(d time.Duration) AsyncOption {
+	return func(o *AsyncOptions) { o.WaitDeadline = d }
 }
 
 // NewAsync builds the asynchronous engine for an N³ transform,

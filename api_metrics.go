@@ -41,9 +41,10 @@ func EnableMetrics() *MetricsRegistry { return metrics.Enable() }
 func DisableMetrics() { metrics.Disable() }
 
 // RunWithMetrics is Run with an explicit registry for the world and an
-// error contract (panics surface as *RankError).
-func RunWithMetrics(p int, reg *MetricsRegistry, fn func(*Comm)) error {
-	return mpi.RunWith(p, reg, fn)
+// error contract (panics surface as *RankError, stalls as
+// *StallError).
+func RunWithMetrics(p int, reg *MetricsRegistry, fn func(*Comm), opts ...RunOption) error {
+	return mpi.RunWith(p, reg, fn, opts...)
 }
 
 // MetricsSnapshotNow publishes the FFT-layer totals into the default

@@ -33,6 +33,11 @@ type Particles = spectral.Particles
 // synchronous reference and the asynchronous pipeline satisfy it.
 type Transform = spectral.Transform
 
+// StepStallError is a communication stall annotated with the solver
+// step and simulation time at which it fired; it wraps the underlying
+// *StallError and surfaces through TryRun.
+type StepStallError = spectral.StepStallError
+
 // Time-integration schemes.
 const (
 	RK2 = spectral.RK2

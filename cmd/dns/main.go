@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +47,16 @@ func main() {
 		ckptDir = flag.String("ckpt", "", "write a checkpoint directory at the end (for cmd/postproc)")
 		metOn   = flag.Bool("metrics", false, "record runtime metrics over the step loop and print the per-phase breakdown")
 		metJSON = flag.String("metrics-json", "", "also dump the full metrics snapshot as JSON to this path (implies -metrics)")
+
+		watchOn      = flag.Bool("watchdog", true, "run the MPI stall watchdog (deadlock detection)")
+		deadlockWin  = flag.Duration("deadlock-after", 0, "declare a deadlock after this quiescent window (0 = runtime default 2s)")
+		opDeadline   = flag.Duration("op-deadline", 0, "abort if any single blocking MPI operation exceeds this (0 = off)")
+		waitDeadline = flag.Duration("wait-deadline", 0, "async engine: bound each all-to-all wait; blown deadline aborts with a StallError (0 = off)")
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injection: RNG seed (deterministic per seed)")
+		faultDrop    = flag.Float64("fault-drop", 0, "fault injection: per-message drop probability in [0,1]")
+		faultDup     = flag.Float64("fault-dup", 0, "fault injection: per-message duplication probability in [0,1]")
+		faultDelay   = flag.Duration("fault-delay", 0, "fault injection: fixed extra latency per message")
+		faultCrash   = flag.String("fault-crash", "", "fault injection: crash schedule as rank:op (1-based operation index)")
 	)
 	flag.Parse()
 	if *metJSON != "" {
@@ -64,17 +75,44 @@ func main() {
 		granularity = core.PerPencil
 	}
 
+	runOpts := []mpi.RunOption{mpi.WithWatchdog(mpi.Watchdog{
+		Off:           !*watchOn,
+		Deadline:      *opDeadline,
+		DeadlockAfter: *deadlockWin,
+	})}
+	if *faultDrop > 0 || *faultDup > 0 || *faultDelay > 0 || *faultCrash != "" {
+		f := &mpi.Faults{Seed: *faultSeed}
+		if *faultDrop > 0 || *faultDup > 0 || *faultDelay > 0 {
+			rule := mpi.MatchAll()
+			rule.DropProb = *faultDrop
+			rule.DupProb = *faultDup
+			rule.Delay = *faultDelay
+			f.Rules = []mpi.FaultRule{rule}
+		}
+		if *faultCrash != "" {
+			var rank, op int
+			if _, err := fmt.Sscanf(*faultCrash, "%d:%d", &rank, &op); err != nil {
+				log.Fatalf("-fault-crash must be rank:op, got %q", *faultCrash)
+			}
+			f.Crash = map[int]int{rank: op}
+		}
+		runOpts = append(runOpts, mpi.WithFaults(f))
+	}
+
 	fmt.Printf("DNS %d³ on %d ranks, %s, engine=%s ν=%g dt=%g\n",
 		*n, *ranks, *scheme, *engine, *nu, *dt)
 
-	mpi.Run(*ranks, func(c *mpi.Comm) {
+	err := mpi.TryRun(*ranks, func(c *mpi.Comm) {
 		cfg := spectral.Config{N: *n, Nu: *nu, Scheme: sch, Dealias: spectral.Dealias23}
 		if *forced {
 			cfg.Forcing = spectral.NewForcing(2)
 		}
 		var solver *spectral.Solver
 		if *engine == "async" {
-			tr := core.NewAsyncSlabReal(c, *n, core.Options{NP: *np, Granularity: granularity, NGPU: *ngpu})
+			tr := core.NewAsyncSlabReal(c, *n, core.Options{
+				NP: *np, Granularity: granularity, NGPU: *ngpu,
+				WaitDeadline: *waitDeadline,
+			})
 			defer tr.Close()
 			solver = spectral.NewSolverWithTransform(c, cfg, tr)
 		} else {
@@ -173,7 +211,19 @@ func main() {
 				fmt.Printf("wrote %s\n", *pngOut)
 			}
 		}
-	})
+	}, runOpts...)
+	if err != nil {
+		var st *mpi.StallError
+		var se *spectral.StepStallError
+		switch {
+		case errors.As(err, &se):
+			log.Fatalf("stall during time stepping: %v", se)
+		case errors.As(err, &st):
+			log.Fatalf("watchdog: %v", st)
+		default:
+			log.Fatalf("run failed: %v", err)
+		}
+	}
 
 	if *metOn {
 		fft.PublishMetrics(metrics.Default())

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cuda"
 	"repro/internal/fft"
@@ -42,6 +43,12 @@ type Options struct {
 	// (the one Run/TryRun installed), so instrumentation follows the
 	// world by default.
 	Metrics *metrics.Registry
+	// WaitDeadline, when positive, bounds each wait on a per-pencil
+	// all-to-all request: a fragment that fails to arrive within the
+	// deadline aborts the world with a typed mpi.StallError instead of
+	// hanging the pipeline (the engine-level analogue of the runtime's
+	// stall watchdog). Zero waits indefinitely.
+	WaitDeadline time.Duration
 }
 
 // span is a half-open index range.
@@ -110,6 +117,8 @@ type AsyncSlabReal struct {
 	nxh  int
 	np   int
 	gran Granularity
+	// waitDeadline bounds each all-to-all wait (Options.WaitDeadline).
+	waitDeadline time.Duration
 
 	gpus []*gpuCtx
 	xr   []span // region y/z pencil x-ranges over nxh
@@ -149,14 +158,15 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 	}
 	s := grid.NewSlab(n, comm.Size(), comm.Rank())
 	a := &AsyncSlabReal{
-		comm: comm,
-		s:    s,
-		n:    n,
-		nxh:  nxh,
-		np:   opt.NP,
-		gran: opt.Granularity,
-		xr:   splitRange(nxh, opt.NP),
-		zr:   splitRange(n, opt.NP),
+		comm:         comm,
+		s:            s,
+		n:            n,
+		nxh:          nxh,
+		np:           opt.NP,
+		gran:         opt.Granularity,
+		waitDeadline: opt.WaitDeadline,
+		xr:           splitRange(nxh, opt.NP),
+		zr:           splitRange(n, opt.NP),
 	}
 	mz, my := s.MZ(), s.MY()
 
@@ -394,9 +404,9 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 	if a.gran == PerSlab {
 		stop = a.met.a2a.Start()
 		if a.single {
-			mpi.Alltoall(a.comm, a.send32, a.recv32)
+			a.wait(mpi.Ialltoall(a.comm, a.send32, a.recv32))
 		} else {
-			mpi.Alltoall(a.comm, a.sendAll, a.recvAll)
+			a.wait(mpi.Ialltoall(a.comm, a.sendAll, a.recvAll))
 		}
 		stop()
 		defer a.met.unpack.Start()()
@@ -415,7 +425,7 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 		return
 	}
 	stop = a.met.a2a.Start()
-	mpi.WaitAll(reqs)
+	a.waitAll(reqs)
 	stop()
 	defer a.met.unpack.Start()()
 	// Unpack per-pencil blocks [s][mz][my][wp] into mid (on real
@@ -534,9 +544,9 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 	if a.gran == PerSlab {
 		stop = a.met.a2a.Start()
 		if a.single {
-			mpi.Alltoall(a.comm, a.send32, a.recv32)
+			a.wait(mpi.Ialltoall(a.comm, a.send32, a.recv32))
 		} else {
-			mpi.Alltoall(a.comm, a.sendAll, a.recvAll)
+			a.wait(mpi.Ialltoall(a.comm, a.sendAll, a.recvAll))
 		}
 		stop()
 		defer a.met.unpack.Start()()
@@ -554,7 +564,7 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 		return
 	}
 	stop = a.met.a2a.Start()
-	mpi.WaitAll(reqs)
+	a.waitAll(reqs)
 	stop()
 	defer a.met.unpack.Start()()
 	for ip, full := range a.xr {
@@ -759,5 +769,23 @@ func (a *AsyncSlabReal) pipeline(ops func(ip, g int) pencilOps, afterD2H func(ip
 	for _, g := range a.gpus {
 		g.transfer.Synchronize()
 		g.compute.Synchronize()
+	}
+}
+
+// wait blocks on one all-to-all request, bounding the block by the
+// engine's wait deadline when one is configured.
+func (a *AsyncSlabReal) wait(r *mpi.Request) {
+	if a.waitDeadline > 0 {
+		r.WaitWithin(a.waitDeadline)
+		return
+	}
+	r.Wait()
+}
+
+// waitAll waits on every per-pencil request in order, each under the
+// engine's wait deadline.
+func (a *AsyncSlabReal) waitAll(reqs []*mpi.Request) {
+	for _, r := range reqs {
+		a.wait(r)
 	}
 }

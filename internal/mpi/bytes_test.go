@@ -1,0 +1,72 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestSenderSideByteConvention pins the accounting convention of
+// doc.go: every operation charges sender-side wire bytes, excluding
+// loopback copies to self. With p=4 ranks and 6-word (48-byte) blocks
+// each collective family has a closed-form expectation per rank.
+func TestSenderSideByteConvention(t *testing.T) {
+	reg := metrics.NewRegistry()
+	const p = 4
+	const words = 6
+	const blk = words * 8 // float64 block bytes
+	if err := RunWith(p, reg, func(c *Comm) {
+		buf := make([]float64, words)
+		all := make([]float64, p*words)
+
+		Bcast(c, 0, buf)                           // root 0: (p-1)*blk; others: 0
+		Allgather(c, buf, all)                     // every rank: (p-1)*blk
+		Gather(c, 0, buf, all)                     // non-root: blk; root: 0
+		Scatter(c, 0, all, buf)                    // root: (p-1)*blk; others: 0
+		Alltoall(c, all, make([]float64, p*words)) // every rank: (p-1)*blk
+
+		counts := make([]int, p)
+		displs := make([]int, p)
+		for i := range counts {
+			counts[i] = words
+			displs[i] = i * words
+		}
+		recv := make([]float64, p*words)
+		Alltoallv(c, all, counts, displs, recv, counts, displs) // every rank: (p-1)*blk
+
+		if c.Rank() == 0 {
+			Send(c, 1, 1, buf) // sender: blk
+		}
+		if c.Rank() == 1 {
+			Recv(c, 0, 1, buf)
+			Send(c, 1, 2, buf) // self-send: 0 wire bytes
+			Recv(c, 1, 2, buf)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	wantColl := func(r int) float64 {
+		// Bcast + Allgather + Gather + Scatter contributions.
+		if r == 0 {
+			return float64((p-1)*blk + (p-1)*blk + 0 + (p-1)*blk)
+		}
+		return float64(0 + (p-1)*blk + blk + 0)
+	}
+	for r := 0; r < p; r++ {
+		if e, _ := snap.Get("mpi.coll.bytes", r); e.Value != wantColl(r) {
+			t.Errorf("rank %d coll bytes = %v, want %v", r, e.Value, wantColl(r))
+		}
+		// Alltoall + Alltoallv, each (p-1)*blk.
+		if e, _ := snap.Get("mpi.a2a.bytes", r); e.Value != float64(2*(p-1)*blk) {
+			t.Errorf("rank %d a2a bytes = %v, want %v", r, e.Value, 2*(p-1)*blk)
+		}
+	}
+	if e, _ := snap.Get("mpi.p2p.bytes", 0); e.Value != float64(blk) {
+		t.Errorf("rank 0 p2p bytes = %v, want %v", e.Value, blk)
+	}
+	if e, _ := snap.Get("mpi.p2p.bytes", 1); e.Value != 0 {
+		t.Errorf("rank 1 p2p bytes = %v, want 0 (self-send is loopback)", e.Value)
+	}
+}

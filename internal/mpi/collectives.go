@@ -2,6 +2,8 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/metrics"
@@ -17,20 +19,25 @@ func sliceBytes[T any](n int) int64 {
 // Send delivers a copy of buf to dst with the given tag. It is
 // buffered: it returns as soon as the copy is queued, so the caller may
 // reuse buf immediately (MPI_Bsend semantics, which is how Spectrum MPI
-// behaves below the eager limit).
+// behaves below the eager limit). Self-sends are delivered but not
+// charged as wire bytes (see the accounting convention in doc.go).
 func Send[T any](c *Comm, dst, tag int, buf []T) {
+	c.maybeCrash()
 	m := c.m()
 	m.p2pMsgs.Inc()
-	m.p2pBytes.Add(sliceBytes[T](len(buf)))
+	if dst != c.rank {
+		m.p2pBytes.Add(sliceBytes[T](len(buf)))
+	}
 	cp := make([]T, len(buf))
 	copy(cp, buf)
-	c.box(c.rank, dst).put(message{key: matchKey{tag: tag}, data: cp})
+	c.box(c.rank, dst).put(message{key: matchKey{tag: tag}, data: cp, bytes: sliceBytes[T](len(cp))})
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // copies it into buf, returning the element count received.
 func Recv[T any](c *Comm, src, tag int, buf []T) int {
-	data := c.box(src, c.rank).get(matchKey{tag: tag}).([]T)
+	c.maybeCrash()
+	data := c.box(src, c.rank).get(matchKey{tag: tag}, false).([]T)
 	if len(data) > len(buf) {
 		panic(fmt.Sprintf("mpi: rank %d: recv from %d (tag %d): buffer too small: %d < %d",
 			c.rank, src, tag, len(buf), len(data)))
@@ -45,8 +52,10 @@ func Sendrecv[T any](c *Comm, dst, dtag int, sendbuf []T, src, stag int, recvbuf
 	return Recv(c, src, stag, recvbuf)
 }
 
-// Bcast copies buf from root to every rank (collective).
+// Bcast copies buf from root to every rank (collective). The root is
+// charged (Size-1)×len wire bytes: one copy per remote rank.
 func Bcast[T any](c *Comm, root int, buf []T) {
+	c.maybeCrash()
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
 	m := c.m()
@@ -57,19 +66,21 @@ func Bcast[T any](c *Comm, root int, buf []T) {
 		copy(cp, buf)
 		for r := 0; r < c.Size(); r++ {
 			if r != root {
-				c.box(c.rank, r).put(message{key: key, data: cp})
+				c.box(c.rank, r).put(message{key: key, data: cp, bytes: sliceBytes[T](len(cp))})
 			}
 		}
 		return
 	}
-	data := c.box(root, c.rank).get(key).([]T)
+	data := c.box(root, c.rank).get(key, false).([]T)
 	copy(buf, data)
 }
 
 // Allgather concatenates each rank's equally-sized send block into
 // recv on every rank: recv[r*len(send):(r+1)*len(send)] holds rank r's
-// contribution.
+// contribution. Each rank is charged (Size-1)×len wire bytes; the
+// loopback copy to itself is free.
 func Allgather[T any](c *Comm, send []T, recv []T) {
+	c.maybeCrash()
 	p := c.Size()
 	if len(recv) != p*len(send) {
 		panic(fmt.Sprintf("mpi: rank %d: allgather recv length %d != %d",
@@ -77,17 +88,17 @@ func Allgather[T any](c *Comm, send []T, recv []T) {
 	}
 	m := c.m()
 	m.collMsgs.Inc()
-	m.collBytes.Add(sliceBytes[T](len(send)) * int64(p))
+	m.collBytes.Add(sliceBytes[T](len(send)) * int64(p-1))
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
 	cp := make([]T, len(send))
 	copy(cp, send)
 	for r := 0; r < p; r++ {
-		c.box(c.rank, r).put(message{key: key, data: cp})
+		c.box(c.rank, r).put(message{key: key, data: cp, bytes: sliceBytes[T](len(cp))})
 	}
 	n := len(send)
 	for r := 0; r < p; r++ {
-		data := c.box(r, c.rank).get(key).([]T)
+		data := c.box(r, c.rank).get(key, false).([]T)
 		copy(recv[r*n:(r+1)*n], data)
 	}
 }
@@ -136,17 +147,20 @@ func Alltoall[T any](c *Comm, send, recv []T) {
 // returns a Request. The exchange makes progress on a background
 // goroutine; recv must not be read, nor send overwritten, until Wait
 // returns. Matching follows initiation order, so ranks must initiate
-// collectives in the same order even when some are non-blocking.
+// collectives in the same order even when some are non-blocking. The
+// rank is charged len(send)-bs elements of wire bytes: everything but
+// its own diagonal block.
 func Ialltoall[T any](c *Comm, send, recv []T) *Request {
+	c.maybeCrash()
 	p := c.Size()
 	if len(send)%p != 0 || len(recv) != len(send) {
 		panic(fmt.Sprintf("mpi: rank %d: alltoall buffer sizes %d/%d invalid for %d ranks",
 			c.rank, len(send), len(recv), p))
 	}
+	bs := len(send) / p
 	m := c.m()
 	m.a2aMsgs.Inc()
-	m.a2aBytes.Add(sliceBytes[T](len(send)))
-	bs := len(send) / p
+	m.a2aBytes.Add(sliceBytes[T](len(send) - bs))
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
 	// Post all sends eagerly on the caller goroutine so buffered-send
@@ -154,9 +168,9 @@ func Ialltoall[T any](c *Comm, send, recv []T) *Request {
 	for dst := 0; dst < p; dst++ {
 		blk := make([]T, bs)
 		copy(blk, send[dst*bs:(dst+1)*bs])
-		c.box(c.rank, dst).put(message{key: key, data: blk})
+		c.box(c.rank, dst).put(message{key: key, data: blk, bytes: sliceBytes[T](bs)})
 	}
-	req := &Request{done: make(chan struct{}), wait: m.a2aWait}
+	req := newRequest(c, seq, m.a2aWait)
 	go func() {
 		defer close(req.done)
 		defer func() {
@@ -171,7 +185,7 @@ func Ialltoall[T any](c *Comm, send, recv []T) *Request {
 			}
 		}()
 		for src := 0; src < p; src++ {
-			data := c.box(src, c.rank).get(key).([]T)
+			data := c.box(src, c.rank).get(key, true).([]T)
 			copy(recv[src*bs:(src+1)*bs], data)
 		}
 	}()
@@ -180,8 +194,10 @@ func Ialltoall[T any](c *Comm, send, recv []T) *Request {
 
 // Alltoallv is the varying-counts all-to-all: sendcounts[dst] elements
 // beginning at senddispls[dst] go to dst; recvcounts[src] elements from
-// src land at recvdispls[src].
+// src land at recvdispls[src]. Wire bytes exclude the rank's own
+// diagonal block.
 func Alltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T, recvcounts, recvdispls []int) {
+	c.maybeCrash()
 	p := c.Size()
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
@@ -192,12 +208,12 @@ func Alltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T,
 		total += sendcounts[dst]
 		blk := make([]T, sendcounts[dst])
 		copy(blk, send[senddispls[dst]:senddispls[dst]+sendcounts[dst]])
-		c.box(c.rank, dst).put(message{key: key, data: blk})
+		c.box(c.rank, dst).put(message{key: key, data: blk, bytes: sliceBytes[T](len(blk))})
 	}
-	m.a2aBytes.Add(sliceBytes[T](total))
+	m.a2aBytes.Add(sliceBytes[T](total - sendcounts[c.rank]))
 	stop := m.a2aWait.Start()
 	for src := 0; src < p; src++ {
-		data := c.box(src, c.rank).get(key).([]T)
+		data := c.box(src, c.rank).get(key, false).([]T)
 		if len(data) != recvcounts[src] {
 			panic(fmt.Sprintf("mpi: rank %d: alltoallv count mismatch from %d: got %d want %d",
 				c.rank, src, len(data), recvcounts[src]))
@@ -215,16 +231,70 @@ type Request struct {
 	// blocked inside Wait — the exposed (non-overlapped) communication
 	// time of the asynchronous pipeline.
 	wait *metrics.Histogram
+
+	// waited makes Wait idempotent: only the first Wait records a
+	// histogram sample and re-raises an abort; later calls return
+	// silently once the operation is done.
+	waited atomic.Bool
+
+	// Identity for watchdog registration and StallError attribution.
+	w    *world
+	rank int
+	tag  int
+}
+
+func newRequest(c *Comm, tag int, wait *metrics.Histogram) *Request {
+	return &Request{done: make(chan struct{}), wait: wait, w: c.w, rank: c.rank, tag: tag}
 }
 
 // Wait blocks until the operation completes (MPI_WAIT). It panics with
-// the abort sentinel if the world was aborted while in flight.
+// the abort sentinel if the world was aborted while in flight. Wait is
+// idempotent: calling it again after it has returned (or panicked) is a
+// no-op that records no extra histogram sample and does not re-panic.
 func (r *Request) Wait() {
+	if r.waited.Swap(true) {
+		<-r.done
+		return
+	}
 	stop := r.wait.Start()
+	tok := r.w.watchEnter(r.rank, opWait, -1, r.tag, true, false)
 	<-r.done
+	r.w.watchExit(tok)
 	stop()
 	if r.aborted {
 		panic(errAborted)
+	}
+}
+
+// WaitWithin is Wait with a deadline: if the operation has not
+// completed after d, the world is aborted and the call panics with a
+// *StallError naming the blocked rank and collective, which TryRun
+// recovers into its error return (wrapped in a *RankError). A
+// non-positive d means no deadline. Like Wait, it is idempotent.
+func (r *Request) WaitWithin(d time.Duration) {
+	if d <= 0 {
+		r.Wait()
+		return
+	}
+	if r.waited.Swap(true) {
+		<-r.done
+		return
+	}
+	stop := r.wait.Start()
+	tok := r.w.watchEnter(r.rank, opWait, -1, r.tag, true, false)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		r.w.watchExit(tok)
+		stop()
+		if r.aborted {
+			panic(errAborted)
+		}
+	case <-t.C:
+		r.w.watchExit(tok)
+		stop()
+		panic(&StallError{Rank: r.rank, Op: opWait, Peer: -1, Tag: r.tag, Coll: true, Waited: d})
 	}
 }
 

@@ -4,16 +4,21 @@ import "fmt"
 
 // Gather collects each rank's equally-sized block at root:
 // on root, recv[r*len(send):(r+1)*len(send)] holds rank r's block;
-// on other ranks recv is ignored and may be nil (collective).
+// on other ranks recv is ignored and may be nil (collective). Each
+// non-root rank is charged len(send) wire bytes; the root's loopback
+// contribution is free.
 func Gather[T any](c *Comm, root int, send []T, recv []T) {
+	c.maybeCrash()
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
 	m := c.m()
 	m.collMsgs.Inc()
-	m.collBytes.Add(sliceBytes[T](len(send)))
+	if c.rank != root {
+		m.collBytes.Add(sliceBytes[T](len(send)))
+	}
 	cp := make([]T, len(send))
 	copy(cp, send)
-	c.box(c.rank, root).put(message{key: key, data: cp})
+	c.box(c.rank, root).put(message{key: key, data: cp, bytes: sliceBytes[T](len(cp))})
 	if c.rank != root {
 		return
 	}
@@ -23,15 +28,17 @@ func Gather[T any](c *Comm, root int, send []T, recv []T) {
 	}
 	n := len(send)
 	for r := 0; r < p; r++ {
-		data := c.box(r, root).get(key).([]T)
+		data := c.box(r, root).get(key, false).([]T)
 		copy(recv[r*n:(r+1)*n], data)
 	}
 }
 
 // Scatter distributes equally-sized blocks from root: rank r receives
 // send[r*len(recv):(r+1)*len(recv)]; on non-root ranks send is ignored
-// (collective).
+// (collective). The root is charged (Size-1)×len(recv) wire bytes; its
+// own block is a free loopback.
 func Scatter[T any](c *Comm, root int, send []T, recv []T) {
+	c.maybeCrash()
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
 	p := c.Size()
@@ -41,15 +48,15 @@ func Scatter[T any](c *Comm, root int, send []T, recv []T) {
 		if len(send) != p*len(recv) {
 			panic(fmt.Sprintf("mpi: rank %d: scatter send length %d != %d", c.rank, len(send), p*len(recv)))
 		}
-		m.collBytes.Add(sliceBytes[T](len(send)))
 		n := len(recv)
+		m.collBytes.Add(sliceBytes[T](n) * int64(p-1))
 		for r := 0; r < p; r++ {
 			blk := make([]T, n)
 			copy(blk, send[r*n:(r+1)*n])
-			c.box(root, r).put(message{key: key, data: blk})
+			c.box(root, r).put(message{key: key, data: blk, bytes: sliceBytes[T](n)})
 		}
 	}
-	data := c.box(root, c.rank).get(key).([]T)
+	data := c.box(root, c.rank).get(key, false).([]T)
 	copy(recv, data)
 }
 
@@ -94,8 +101,10 @@ func ExScan(c *Comm, v []int) {
 
 // IAlltoallv starts a non-blocking variable-count all-to-all and
 // returns a Request (the per-pencil exchange variant the paper's
-// algorithm would need with y-divided pencils).
+// algorithm would need with y-divided pencils). Wire bytes exclude the
+// rank's own diagonal block.
 func IAlltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T, recvcounts, recvdispls []int) *Request {
+	c.maybeCrash()
 	p := c.Size()
 	seq := c.nextSeq()
 	key := matchKey{tag: seq, coll: true}
@@ -106,12 +115,12 @@ func IAlltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T
 		total += sendcounts[dst]
 		blk := make([]T, sendcounts[dst])
 		copy(blk, send[senddispls[dst]:senddispls[dst]+sendcounts[dst]])
-		c.box(c.rank, dst).put(message{key: key, data: blk})
+		c.box(c.rank, dst).put(message{key: key, data: blk, bytes: sliceBytes[T](len(blk))})
 	}
-	m.a2aBytes.Add(sliceBytes[T](total))
+	m.a2aBytes.Add(sliceBytes[T](total - sendcounts[c.rank]))
 	rc := append([]int(nil), recvcounts...)
 	rd := append([]int(nil), recvdispls...)
-	req := &Request{done: make(chan struct{}), wait: m.a2aWait}
+	req := newRequest(c, seq, m.a2aWait)
 	rank := c.rank
 	go func() {
 		defer close(req.done)
@@ -125,7 +134,7 @@ func IAlltoallv[T any](c *Comm, send []T, sendcounts, senddispls []int, recv []T
 			}
 		}()
 		for src := 0; src < p; src++ {
-			data := c.box(src, c.rank).get(key).([]T)
+			data := c.box(src, c.rank).get(key, true).([]T)
 			if len(data) != rc[src] {
 				panic(fmt.Sprintf("mpi: rank %d: ialltoallv count mismatch from %d: got %d want %d",
 					rank, src, len(data), rc[src]))

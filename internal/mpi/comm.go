@@ -4,29 +4,46 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 )
 
 // world owns the shared state of one communicator: the P×P mailbox
 // matrix, a reusable barrier, the abort flag raised when any rank
-// panics, and the metrics registry the ranks record traffic into.
+// panics, the metrics registry the ranks record traffic into, and the
+// robustness layer (stall watchdog + fault injection) when installed.
 type world struct {
 	size    int
 	boxes   []*mailbox // boxes[src*size+dst]
 	barrier *barrier
 	reg     *metrics.Registry
 
+	// watch is the stall watchdog's bookkeeping; nil on unmonitored
+	// worlds (sub-communicators created by Split).
+	watch *watchState
+	// faults is the compiled fault-injection plan; nil when none.
+	faults *faultState
+
+	// progress counts mailbox deliveries and removals; the deadlock
+	// detector uses it as a quiescence marker.
+	progress atomic.Int64
+	// pending counts fault-delayed messages still on a timer.
+	pending atomic.Int64
+
 	mu       sync.Mutex
 	children []*world // sub-communicators created by Split
 	aborted  bool
 }
 
-func newWorld(p int, reg *metrics.Registry) *world {
-	w := &world{size: p, barrier: newBarrier(p), reg: reg}
+func newWorld(p int, reg *metrics.Registry, f *faultState) *world {
+	w := &world{size: p, reg: reg, faults: f}
+	w.barrier = newBarrier(p)
 	w.boxes = make([]*mailbox, p*p)
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			w.boxes[src*p+dst] = newMailbox(w, src, dst)
+		}
 	}
 	return w
 }
@@ -51,6 +68,12 @@ func (w *world) abortAll() {
 	}
 }
 
+func (w *world) isAborted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.aborted
+}
+
 // adoptChild registers a sub-communicator for cascading aborts.
 func (w *world) adoptChild(c *world) {
 	w.mu.Lock()
@@ -73,6 +96,9 @@ type Comm struct {
 	// must initiate collectives in the same order (as in MPI), so the
 	// rank-local counter agrees across ranks without coordination.
 	seq int
+	// ops counts operation initiations for the fault layer's crash
+	// schedules (see Faults.Crash).
+	ops int
 	// met caches the rank-labelled metric handles; built lazily by the
 	// owning goroutine on first instrumented operation.
 	met *commMetrics
@@ -143,14 +169,46 @@ func (e *RankError) Error() string {
 // Unwrap exposes the cause for errors.Is/As chains.
 func (e *RankError) Unwrap() error { return e.Err }
 
+// runConfig is the assembled configuration of one world.
+type runConfig struct {
+	reg    *metrics.Registry
+	wd     Watchdog
+	faults *Faults
+}
+
+// RunOption customizes Run/TryRun.
+type RunOption func(*runConfig)
+
+// WithRegistry directs the world's traffic accounting into an explicit
+// metrics registry (nil disables instrumentation).
+func WithRegistry(reg *metrics.Registry) RunOption {
+	return func(c *runConfig) { c.reg = reg }
+}
+
+// WithWatchdog customizes the world's stall watchdog (deadlock window,
+// per-operation deadline, poll period, or Off to disable). The
+// watchdog runs by default with deadlock detection only.
+func WithWatchdog(wd Watchdog) RunOption {
+	return func(c *runConfig) { c.wd = wd }
+}
+
+// WithFaults installs a deterministic fault-injection plan on the
+// world: per-(src,dst,tag) message drops, duplicates and delays, plus
+// scheduled rank crashes. See Faults.
+func WithFaults(f *Faults) RunOption {
+	return func(c *runConfig) { c.faults = f }
+}
+
 // Run executes fn on p ranks, each on its own goroutine, and returns
 // after all ranks finish. A panic on any rank aborts the whole world
 // (blocked peers are woken, as with MPI_Abort) and is re-raised on the
 // caller with the rank attached, so test failures point at the rank
-// that misbehaved rather than deadlocking. Use TryRun to receive the
-// failure as an error instead of a panic.
-func Run(p int, fn func(*Comm)) {
-	if err := RunWith(p, metrics.Default(), fn); err != nil {
+// that misbehaved rather than deadlocking. A detected deadlock or
+// stall likewise aborts the world and re-raises as the watchdog's
+// StallError message. Use TryRun to receive the failure as an error
+// instead of a panic.
+func Run(p int, fn func(*Comm), opts ...RunOption) {
+	if err := run(p, fn, metrics.Default(), opts); err != nil {
 		panic(err.Error())
 	}
 }
@@ -158,24 +216,43 @@ func Run(p int, fn func(*Comm)) {
 // TryRun is Run with an error contract: a panic on any rank is
 // recovered into a *RankError naming the first rank that misbehaved
 // (cascade casualties are not reported), instead of crashing the
-// calling process. A clean run returns nil.
-func TryRun(p int, fn func(*Comm)) error {
-	return RunWith(p, metrics.Default(), fn)
+// calling process. A watchdog-detected deadlock or stall is returned
+// as a *StallError naming the blocked rank, peer and tag. A clean run
+// returns nil.
+func TryRun(p int, fn func(*Comm), opts ...RunOption) error {
+	return run(p, fn, metrics.Default(), opts)
 }
 
 // RunWith is TryRun recording traffic into an explicit metrics
 // registry (nil disables instrumentation for the world).
-func RunWith(p int, reg *metrics.Registry, fn func(*Comm)) error {
+func RunWith(p int, reg *metrics.Registry, fn func(*Comm), opts ...RunOption) error {
+	return run(p, fn, reg, opts)
+}
+
+func run(p int, fn func(*Comm), reg *metrics.Registry, opts []RunOption) error {
 	if p < 1 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", p))
 	}
-	w := newWorld(p, reg)
+	cfg := runConfig{reg: reg}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fs, err := compileFaults(cfg.faults, p, cfg.reg)
+	if err != nil {
+		return err
+	}
+	w := newWorld(p, cfg.reg, fs)
+	if !cfg.wd.Off {
+		w.watch = newWatchState(cfg.wd.withDefaults(), p)
+		go w.watch.monitor(w)
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, p)
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer w.watch.rankDone(rank)
 			defer func() {
 				if e := recover(); e != nil {
 					panics[rank] = e
@@ -186,12 +263,20 @@ func RunWith(p int, reg *metrics.Registry, fn func(*Comm)) error {
 		}(r)
 	}
 	wg.Wait()
+	if w.watch != nil {
+		close(w.watch.stop)
+		<-w.watch.done
+	}
 	// Report the primary panic, skipping ranks that died from the
 	// cascade itself.
 	for r, e := range panics {
 		if e != nil && e != any(errAborted) {
 			return &RankError{Rank: r, Err: panicErr(e)}
 		}
+	}
+	// No rank misbehaved on its own: a watchdog stall is the cause.
+	if st := w.stallErr(); st != nil {
+		return st
 	}
 	for r, e := range panics {
 		if e != nil {
@@ -226,7 +311,7 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+func (b *barrier) wait(w *world, rank int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.aborted {
@@ -240,6 +325,13 @@ func (b *barrier) wait() {
 		b.cv.Broadcast()
 		return
 	}
+	var tok *blockedOp
+	defer func() {
+		if tok != nil {
+			w.watchExit(tok)
+		}
+	}()
+	tok = w.watchEnter(rank, opBarrier, -1, 0, true, false)
 	for b.phase == phase {
 		if b.aborted {
 			panic(errAborted)
@@ -259,14 +351,17 @@ func (b *barrier) abort() {
 // The per-rank time spent inside the barrier is recorded; its spread
 // across ranks is the barrier skew.
 func (c *Comm) Barrier() {
+	c.maybeCrash()
 	stop := c.m().barrierWait.Start()
-	c.w.barrier.wait()
+	c.w.barrier.wait(c.w, c.rank)
 	stop()
 }
 
 // Split partitions the communicator into sub-communicators by color,
 // ordering ranks within each new communicator by (key, old rank) as
 // MPI_Comm_split does. Every rank must call Split collectively.
+// Sub-communicators inherit the parent's abort cascade but are not
+// covered by the parent world's watchdog or fault injection.
 func (c *Comm) Split(color, key int) *Comm {
 	type entry struct{ color, key, rank int }
 	mine := entry{color, key, c.rank}
@@ -296,7 +391,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	// distributes it to its group members over the parent communicator.
 	var nw *world
 	if group[0].rank == c.rank {
-		nw = newWorld(len(group), c.w.reg)
+		nw = newWorld(len(group), c.w.reg, nil)
 		c.w.adoptChild(nw) // cascade aborts into the sub-communicator
 		for _, e := range group[1:] {
 			Send(c, e.rank, splitTag, []*world{nw})

@@ -10,4 +10,44 @@
 // receive), collectives must be initiated in the same order on every
 // rank of a communicator, and non-blocking collectives complete only
 // when their Request is waited on.
+//
+// # Byte accounting convention
+//
+// Every operation charges sender-side wire bytes: the bytes a rank
+// pushes onto the network, excluding loopback copies to itself.
+// Concretely, for a communicator of P ranks:
+//
+//   - Send charges len(buf) to the sender, except self-sends (0).
+//   - Bcast charges the root (P-1)×len; non-roots charge 0.
+//   - Allgather charges every rank (P-1)×len(send).
+//   - Gather charges each non-root rank len(send); the root charges 0.
+//   - Scatter charges the root (P-1)×len(recv); non-roots charge 0.
+//   - Alltoall/Ialltoall charge each rank len(send)-len(send)/P: all
+//     blocks except its own diagonal block.
+//   - Alltoallv/IAlltoallv charge Σ sendcounts minus sendcounts[self].
+//
+// Summing a counter over ranks therefore gives total traffic offered
+// to the interconnect, with no double counting and no phantom loopback
+// volume — the quantity the paper's network model (internal/simnet)
+// takes as input.
+//
+// # Failure model
+//
+// Three failure shapes surface through TryRun as typed errors:
+//
+//   - A rank panic (its own bug, or an injected *CrashError) aborts
+//     the world — every blocked peer is woken, as with MPI_Abort — and
+//     returns a *RankError naming the first rank that misbehaved.
+//   - A stall or deadlock detected by the watchdog (see Watchdog)
+//     aborts the world and returns a *StallError naming the blocked
+//     rank, operation, peer and tag. The watchdog is on by default
+//     with deadlock detection only; WithWatchdog configures deadlines
+//     or disables it.
+//   - Request.WaitWithin bounds a single wait; on timeout it panics
+//     with a *StallError, which arrives wrapped in a *RankError.
+//
+// WithFaults injects deterministic message pathologies (drop,
+// duplicate, delay, rank crashes) for chaos testing; see Faults.
+// Sub-communicators created by Split share the parent's abort cascade
+// but are not covered by the parent's watchdog or fault plan.
 package mpi

@@ -94,7 +94,9 @@ func TestRunWithRecordsIntoExplicitRegistry(t *testing.T) {
 		if !ok || e.Value == 0 {
 			t.Fatalf("rank %d recorded no a2a bytes", r)
 		}
-		wantBytes := fmt.Sprintf("%d", p*words*8) // send-side float64 bytes
+		// Sender-side wire bytes: every block except the rank's own
+		// diagonal block (loopback is free; see doc.go).
+		wantBytes := fmt.Sprintf("%d", (p-1)*words*8)
 		if got := fmt.Sprintf("%.0f", e.Value); got != wantBytes {
 			t.Errorf("rank %d a2a bytes = %s, want %s", r, got, wantBytes)
 		}

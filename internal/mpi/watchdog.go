@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Watchdog configures the stall watchdog of a world. The watchdog
+// runs on its own monitor goroutine and watches two failure shapes the
+// abort cascade (RankError) is blind to:
+//
+//   - True deadlock: every live rank is blocked in a receive, wait or
+//     barrier, no message has been delivered since the quiescent window
+//     began, and no fault-delayed message is still in flight. Nothing
+//     can ever make progress again, so the world is aborted after
+//     DeadlockAfter with a StallError (Deadlock=true).
+//   - Per-operation stall: any single blocking operation has been
+//     blocked longer than Deadline. This catches stragglers even while
+//     the rest of the world is making progress (Deadlock=false).
+//
+// The zero value is the default configuration: deadlock detection on
+// with a 2s quiescence window, no per-operation deadline.
+type Watchdog struct {
+	// Off disables monitoring entirely (no monitor goroutine).
+	Off bool
+	// Deadline, when positive, bounds how long any single blocking
+	// operation (Recv, a collective's receive leg, Request.Wait,
+	// Barrier) may stay blocked before the world is aborted with a
+	// StallError. Zero disables the per-operation deadline.
+	Deadline time.Duration
+	// DeadlockAfter is how long the world must stay globally quiescent
+	// before a deadlock is declared. Zero means 2s.
+	DeadlockAfter time.Duration
+	// Poll is the monitor's sampling period. Zero means 25ms.
+	Poll time.Duration
+}
+
+const (
+	defaultDeadlockAfter = 2 * time.Second
+	defaultPoll          = 25 * time.Millisecond
+)
+
+func (wd Watchdog) withDefaults() Watchdog {
+	if wd.DeadlockAfter == 0 {
+		wd.DeadlockAfter = defaultDeadlockAfter
+	}
+	if wd.Poll == 0 {
+		wd.Poll = defaultPoll
+	}
+	return wd
+}
+
+// Blocking operation kinds reported in StallError.Op.
+const (
+	opRecv    = "recv"
+	opWait    = "wait"
+	opBarrier = "barrier"
+)
+
+// StallError is the typed failure the watchdog (or a deadline-aware
+// Request.WaitWithin) surfaces through TryRun when the world stops
+// making progress: the blocked rank, the operation it is stuck in, the
+// peer and tag it is waiting on, and how long it waited.
+type StallError struct {
+	Rank int    // the blocked rank
+	Op   string // "recv", "wait" or "barrier"
+	Peer int    // message source rank, -1 when not applicable
+	Tag  int    // message tag (collective sequence number when Coll)
+	Coll bool   // collective-space tag rather than a user tag
+	// Waited is how long the operation had been blocked when the
+	// stall was declared.
+	Waited time.Duration
+	// Deadlock reports whether the error came from global quiescence
+	// detection (every live rank blocked, nothing in flight) rather
+	// than a per-operation deadline.
+	Deadlock bool
+}
+
+func (e *StallError) Error() string {
+	kind := "stalled"
+	if e.Deadlock {
+		kind = "deadlocked"
+	}
+	space := "tag"
+	if e.Coll {
+		space = "collective seq"
+	}
+	if e.Peer >= 0 {
+		return fmt.Sprintf("mpi: %s: rank %d blocked in %s from peer %d (%s %d) for %v",
+			kind, e.Rank, e.Op, e.Peer, space, e.Tag, e.Waited.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("mpi: %s: rank %d blocked in %s (%s %d) for %v",
+		kind, e.Rank, e.Op, space, e.Tag, e.Waited.Round(time.Millisecond))
+}
+
+// blockedOp is one goroutine blocked in a receive, wait or barrier.
+// Helper ops (the drain goroutines of non-blocking collectives) are
+// tracked for deadline purposes but do not count a rank as blocked:
+// the rank's own goroutine may still be computing.
+type blockedOp struct {
+	rank      int
+	op        string
+	peer, tag int
+	coll      bool
+	helper    bool
+	since     time.Time
+}
+
+// watchState is the bookkeeping behind one world's watchdog: the set
+// of currently blocked operations, per-rank non-helper blocked counts,
+// rank liveness, and the quiescence window.
+type watchState struct {
+	cfg Watchdog
+
+	mu      sync.Mutex
+	ops     map[*blockedOp]struct{}
+	rankOps []int // non-helper blocked ops per rank
+	live    []bool
+	nlive   int
+	stall   *StallError
+
+	quiet    bool
+	quietAt  time.Time
+	lastProg int64
+
+	stop, done chan struct{}
+}
+
+func newWatchState(cfg Watchdog, p int) *watchState {
+	ws := &watchState{
+		cfg:     cfg,
+		ops:     map[*blockedOp]struct{}{},
+		rankOps: make([]int, p),
+		live:    make([]bool, p),
+		nlive:   p,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := range ws.live {
+		ws.live[i] = true
+	}
+	return ws
+}
+
+func (ws *watchState) enter(rank int, op string, peer, tag int, coll, helper bool) *blockedOp {
+	b := &blockedOp{rank: rank, op: op, peer: peer, tag: tag, coll: coll, helper: helper, since: time.Now()}
+	ws.mu.Lock()
+	ws.ops[b] = struct{}{}
+	if !helper {
+		ws.rankOps[rank]++
+	}
+	ws.mu.Unlock()
+	return b
+}
+
+func (ws *watchState) exit(b *blockedOp) {
+	ws.mu.Lock()
+	delete(ws.ops, b)
+	if !b.helper {
+		ws.rankOps[b.rank]--
+	}
+	ws.mu.Unlock()
+}
+
+// rankDone marks a rank's function as returned (or panicked): it no
+// longer counts toward the all-live-ranks-blocked deadlock condition.
+// Nil-safe so run can defer it unconditionally.
+func (ws *watchState) rankDone(rank int) {
+	if ws == nil {
+		return
+	}
+	ws.mu.Lock()
+	if ws.live[rank] {
+		ws.live[rank] = false
+		ws.nlive--
+	}
+	ws.mu.Unlock()
+}
+
+func (ws *watchState) stalled() *StallError {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.stall
+}
+
+// monitor polls the blocked-op set until the world finishes or a stall
+// is declared. It runs on its own goroutine; run closes ws.stop after
+// all ranks return and waits on ws.done.
+func (ws *watchState) monitor(w *world) {
+	defer close(ws.done)
+	t := time.NewTicker(ws.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ws.stop:
+			return
+		case <-t.C:
+		}
+		if w.isAborted() {
+			return
+		}
+		if st := ws.check(w, time.Now()); st != nil {
+			// Abort outside ws.mu: abortAll takes mailbox locks, which
+			// rank goroutines hold while calling enter/exit.
+			w.abortAll()
+			return
+		}
+	}
+}
+
+// check evaluates both detectors against the current blocked-op set
+// and records (and returns) a StallError if one fires.
+func (ws *watchState) check(w *world, now time.Time) *StallError {
+	prog := w.progress.Load()
+	pending := w.pending.Load()
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.stall != nil {
+		return nil
+	}
+	// Per-operation deadline: any op blocked too long, even while the
+	// rest of the world makes progress.
+	if d := ws.cfg.Deadline; d > 0 {
+		for b := range ws.ops {
+			if wt := now.Sub(b.since); wt >= d {
+				ws.stall = stallFrom(b, wt, false)
+				return ws.stall
+			}
+		}
+	}
+	// Global quiescence: every live rank blocked in a non-helper op,
+	// nothing delivered since the window began, nothing still in
+	// flight on a fault-injection timer. Under the one-goroutine-per-
+	// rank contract no future delivery is possible in that state.
+	allBlocked := ws.nlive > 0
+	for r, lv := range ws.live {
+		if lv && ws.rankOps[r] == 0 {
+			allBlocked = false
+			break
+		}
+	}
+	if !allBlocked || pending != 0 || (ws.quiet && prog != ws.lastProg) {
+		ws.quiet = false
+		return nil
+	}
+	if !ws.quiet {
+		ws.quiet = true
+		ws.quietAt = now
+		ws.lastProg = prog
+		return nil
+	}
+	if now.Sub(ws.quietAt) < ws.cfg.DeadlockAfter {
+		return nil
+	}
+	// Blame the longest-blocked rank-level op (helpers as fallback).
+	var oldest *blockedOp
+	for b := range ws.ops {
+		if b.helper {
+			continue
+		}
+		if oldest == nil || b.since.Before(oldest.since) {
+			oldest = b
+		}
+	}
+	if oldest == nil {
+		for b := range ws.ops {
+			if oldest == nil || b.since.Before(oldest.since) {
+				oldest = b
+			}
+		}
+	}
+	if oldest == nil {
+		ws.quiet = false // raced with the last exit; re-arm
+		return nil
+	}
+	ws.stall = stallFrom(oldest, now.Sub(oldest.since), true)
+	return ws.stall
+}
+
+func stallFrom(b *blockedOp, waited time.Duration, deadlock bool) *StallError {
+	return &StallError{
+		Rank: b.rank, Op: b.op, Peer: b.peer, Tag: b.tag, Coll: b.coll,
+		Waited: waited, Deadlock: deadlock,
+	}
+}
+
+// --- nil-safe world-level hooks -----------------------------------------
+
+func (w *world) watchEnter(rank int, op string, peer, tag int, coll, helper bool) *blockedOp {
+	if w == nil || w.watch == nil {
+		return nil
+	}
+	return w.watch.enter(rank, op, peer, tag, coll, helper)
+}
+
+func (w *world) watchExit(tok *blockedOp) {
+	if tok == nil || w == nil || w.watch == nil {
+		return
+	}
+	w.watch.exit(tok)
+}
+
+func (w *world) stallErr() *StallError {
+	if w.watch == nil {
+		return nil
+	}
+	return w.watch.stalled()
+}

@@ -180,6 +180,7 @@ func (s *Solver) applyScalarIF(f []complex128, kappa, dt float64) {
 // production codes. Only RK2 is supported for the coupled step (the
 // configuration the paper times).
 func (s *Solver) StepWithScalar(sc *Scalar, dt float64) {
+	defer s.annotateStall()
 	if s.cfg.Scheme != RK2 {
 		panic("spectral: StepWithScalar requires the RK2 scheme")
 	}

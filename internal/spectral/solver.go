@@ -199,10 +199,43 @@ func (s *Solver) Transform() Transform {
 	return s.tr
 }
 
+// StepStallError is a communication stall annotated with where the
+// simulation was when it fired: a deadline-bounded transform wait (see
+// core.Options.WaitDeadline) blew its budget during this step. It
+// reaches the caller through mpi.TryRun wrapped in a *mpi.RankError;
+// errors.As extracts it, and Unwrap exposes the underlying
+// *mpi.StallError naming the blocked rank and collective.
+type StepStallError struct {
+	Step int     // completed-step count when the stall fired
+	Time float64 // simulation time at the start of the failed step
+	Err  *mpi.StallError
+}
+
+func (e *StepStallError) Error() string {
+	return fmt.Sprintf("spectral: step %d (t=%.6g): %v", e.Step, e.Time, e.Err)
+}
+
+func (e *StepStallError) Unwrap() error { return e.Err }
+
+// annotateStall re-raises a *mpi.StallError escaping a step as a
+// *StepStallError carrying the solver's step counter and clock; every
+// other panic value passes through untouched.
+func (s *Solver) annotateStall() {
+	e := recover()
+	if e == nil {
+		return
+	}
+	if st, ok := e.(*mpi.StallError); ok {
+		panic(&StepStallError{Step: s.step, Time: s.time, Err: st})
+	}
+	panic(e)
+}
+
 // Step advances the solution by dt using the configured scheme. With
 // metrics enabled it records the step wall time (phase.step) and the
 // wall time not spent inside transforms (phase.compute).
 func (s *Solver) Step(dt float64) {
+	defer s.annotateStall()
 	if !s.met.step.Enabled() {
 		s.stepInner(dt)
 		return

@@ -56,12 +56,60 @@ type Request = mpi.Request
 // TryRun, with the recovered value as the wrapped cause.
 type RankError = mpi.RankError
 
+// StallError reports a watchdog-detected deadlock or stall: the
+// blocked rank, the operation it was stuck in, and the peer and tag it
+// was waiting on. TryRun returns it when the world stops making
+// progress instead of hanging forever.
+type StallError = mpi.StallError
+
+// CrashError is the typed panic value of a scheduled rank crash
+// (Faults.Crash); it reaches the caller wrapped in a *RankError.
+type CrashError = mpi.CrashError
+
+// Watchdog configures the runtime's stall watchdog (on by default with
+// deadlock detection only). Pass it through WithWatchdog.
+type Watchdog = mpi.Watchdog
+
+// Faults is a deterministic fault-injection plan: seeded per-(src,dst,
+// tag) message drops, duplicates and delays, plus scheduled rank
+// crashes. Pass it through WithFaults.
+type Faults = mpi.Faults
+
+// FaultRule describes one class of injected message pathology.
+type FaultRule = mpi.FaultRule
+
+// Fault-rule traffic scopes.
+const (
+	FaultScopeAll  = mpi.ScopeAll
+	FaultScopeP2P  = mpi.ScopeP2P
+	FaultScopeColl = mpi.ScopeColl
+)
+
+// Wildcards for FaultRule rank and tag filters.
+const (
+	AnyRank = mpi.AnyRank
+	AnyTag  = mpi.AnyTag
+)
+
+// RunOption customizes Run/TryRun (watchdog configuration, fault
+// injection).
+type RunOption = mpi.RunOption
+
+// WithWatchdog customizes the world's stall watchdog: per-operation
+// deadlines, the deadlock quiescence window, or Off to disable it.
+func WithWatchdog(wd Watchdog) RunOption { return mpi.WithWatchdog(wd) }
+
+// WithFaults installs a deterministic fault-injection plan on the
+// world for chaos testing.
+func WithFaults(f *Faults) RunOption { return mpi.WithFaults(f) }
+
 // Run executes fn on p in-process ranks and returns when all finish.
 // A panic on any rank aborts the world and re-panics on the caller;
 // use TryRun to receive the failure as an error instead.
-func Run(p int, fn func(*Comm)) { mpi.Run(p, fn) }
+func Run(p int, fn func(*Comm), opts ...RunOption) { mpi.Run(p, fn, opts...) }
 
 // TryRun executes fn on p in-process ranks, recovering a panic on any
-// rank into a *RankError naming the rank that misbehaved. A clean run
-// returns nil.
-func TryRun(p int, fn func(*Comm)) error { return mpi.TryRun(p, fn) }
+// rank into a *RankError naming the rank that misbehaved. A
+// watchdog-detected deadlock or stall is returned as a *StallError
+// naming the blocked rank, peer and tag. A clean run returns nil.
+func TryRun(p int, fn func(*Comm), opts ...RunOption) error { return mpi.TryRun(p, fn, opts...) }

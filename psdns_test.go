@@ -1,9 +1,11 @@
 package repro_test
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -88,4 +90,56 @@ func TestPublicAPIRegridAndSlices(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestPublicAPIChaos exercises the robustness surface end to end from
+// the facade: fault injection and the watchdog through TryRun options,
+// the engine wait deadline through NewAsync options, and the typed
+// error chain StepStallError → StallError through errors.As.
+func TestPublicAPIChaos(t *testing.T) {
+	drop := repro.FaultRule{
+		Src: 1, Dst: 0, Tag: repro.AnyTag,
+		Scope: repro.FaultScopeColl, MinBytes: 1024, DropProb: 1,
+	}
+	err := repro.TryRun(2, func(c *repro.Comm) {
+		tr := repro.NewAsync(c, 16,
+			repro.WithNP(3),
+			repro.WithGranularity(repro.PerPencil),
+			repro.WithWaitDeadline(200*time.Millisecond),
+		)
+		defer tr.Close()
+		s := repro.NewSolverWithTransform(c, repro.SolverConfig{
+			N: 16, Nu: 0.02, Scheme: repro.RK2, Dealias: repro.Dealias23,
+		}, tr)
+		s.SetTaylorGreen()
+		s.Step(0.004)
+	},
+		repro.WithFaults(&repro.Faults{Rules: []repro.FaultRule{drop}}),
+		repro.WithWatchdog(repro.Watchdog{Off: true}),
+	)
+	var se *repro.StepStallError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T (%v) does not wrap *StepStallError", err, err)
+	}
+	var st *repro.StallError
+	if !errors.As(err, &st) || st.Rank != 0 {
+		t.Fatalf("underlying StallError not reachable or wrong: %v", err)
+	}
+}
+
+// TestPublicAPIWatchdogDeadlock: the default-on watchdog surfaces a
+// plain deadlock (no faults involved) as a typed *StallError.
+func TestPublicAPIWatchdogDeadlock(t *testing.T) {
+	err := repro.TryRun(2, func(c *repro.Comm) {
+		if c.Rank() == 0 {
+			c.Barrier() // rank 1 never arrives
+		}
+	}, repro.WithWatchdog(repro.Watchdog{DeadlockAfter: 150 * time.Millisecond, Poll: 5 * time.Millisecond}))
+	var st *repro.StallError
+	if !errors.As(err, &st) {
+		t.Fatalf("error %T (%v) is not *StallError", err, err)
+	}
+	if st.Rank != 0 || st.Op != "barrier" || !st.Deadlock {
+		t.Fatalf("StallError = %+v", st)
+	}
 }
