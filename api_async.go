@@ -54,6 +54,14 @@ func WithSingleComm() AsyncOption {
 	return func(o *AsyncOptions) { o.SingleComm = true }
 }
 
+// WithWorkers sets the per-rank worker-team size (the paper's OpenMP
+// threads per rank): batched FFT loops and host pack/unpack kernels
+// split across n persistent workers, with bitwise-identical results
+// for any n. Zero or one means serial.
+func WithWorkers(n int) AsyncOption {
+	return func(o *AsyncOptions) { o.Workers = n }
+}
+
 // WithMetrics directs the engine's phase timings and transfer bytes
 // into reg instead of the communicator's registry.
 func WithMetrics(reg *MetricsRegistry) AsyncOption {

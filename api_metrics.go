@@ -6,6 +6,8 @@ import (
 	"repro/internal/fft"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/par"
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -47,11 +49,14 @@ func RunWithMetrics(p int, reg *MetricsRegistry, fn func(*Comm), opts ...RunOpti
 	return mpi.RunWith(p, reg, fn, opts...)
 }
 
-// MetricsSnapshotNow publishes the FFT-layer totals into the default
-// registry and returns its snapshot — the one-call way to read
+// MetricsSnapshotNow publishes the FFT-layer, buffer-arena and
+// worker-team totals (fft.*, pool.hit/miss, par.workers.*) into the
+// default registry and returns its snapshot — the one-call way to read
 // everything the runtime has recorded.
 func MetricsSnapshotNow() MetricsSnapshot {
 	fft.PublishMetrics(metrics.Default())
+	pool.PublishMetrics(metrics.Default())
+	par.PublishMetrics(metrics.Default())
 	return metrics.Default().Snapshot()
 }
 

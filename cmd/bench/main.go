@@ -1,0 +1,293 @@
+// Command bench runs the repository's pinned performance workloads and
+// emits a machine-readable baseline (BENCH_step.json) with ns/op,
+// allocs/op and bytes/op per workload. The committed baseline plus the
+// -baseline/-check flags turn it into a regression gate: CI re-runs
+// the workloads and fails when a workload slows down beyond the
+// tolerance or starts allocating on a previously allocation-free path.
+//
+// Workloads (fixed geometry so numbers are comparable across commits):
+//
+//   - slab_fwd_inv_n64_p4 / n128: distributed forward+inverse real
+//     transform on the synchronous worker-team slab engine;
+//   - dns_rk2_step_n32_p2: one full Navier–Stokes RK2 step;
+//   - mailbox_fanin_p8: point-to-point fan-in through the in-process
+//     runtime's mailboxes;
+//   - pack_unpack_yz: the host transpose pack/unpack kernel pair.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/pfft"
+	"repro/internal/spectral"
+	"repro/internal/transpose"
+)
+
+// Result is one workload's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// File is the BENCH_step.json schema.
+type File struct {
+	Schema    int      `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	Quick     bool     `json:"quick"`
+	Workers   int      `json:"workers"`
+	Results   []Result `json:"results"`
+}
+
+// sample is the raw loop measurement a workload reports: wall time and
+// process-wide heap traffic across the timed iterations.
+type sample struct {
+	ns     int64
+	allocs int64
+	bytes  int64
+}
+
+// timeLoop runs f iters times bracketed by GC + memstats reads, after
+// warm warmup calls. It is the single measurement primitive, so every
+// workload is sampled the same way.
+func timeLoop(iters, warm int, f func()) sample {
+	for i := 0; i < warm; i++ {
+		f()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return sample{
+		ns:     el.Nanoseconds(),
+		allocs: int64(m1.Mallocs - m0.Mallocs),
+		bytes:  int64(m1.TotalAlloc - m0.TotalAlloc),
+	}
+}
+
+type workload struct {
+	name        string
+	full, quick int
+	run         func(iters, workers int) sample
+}
+
+// slabTransform measures one forward+inverse cycle of the synchronous
+// worker-team slab transform at fixed N and P. Rank 0 samples; peers
+// run the same collective loop (their allocations are part of the
+// process-wide measurement, which at steady state is zero anyway).
+func slabTransform(n, p int) func(iters, workers int) sample {
+	return func(iters, workers int) sample {
+		var s sample
+		mpi.Run(p, func(c *mpi.Comm) {
+			f := pfft.NewSlabRealWorkers(c, n, workers)
+			defer f.Close()
+			four := make([]complex128, f.FourierLen())
+			phys := make([]float64, f.PhysicalLen())
+			for i := range phys {
+				phys[i] = float64(i%17) * 0.5
+			}
+			cycle := func() {
+				f.PhysicalToFourier(four, phys)
+				f.FourierToPhysical(phys, four)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				s = timeLoop(iters, 2, cycle)
+			} else {
+				for i := 0; i < iters+2; i++ {
+					cycle()
+				}
+			}
+		})
+		return s
+	}
+}
+
+func dnsStep(n, p int) func(iters, workers int) sample {
+	return func(iters, workers int) sample {
+		var s sample
+		mpi.Run(p, func(c *mpi.Comm) {
+			sol := spectral.NewSolverWithTransform(c, spectral.Config{
+				N: n, Nu: 0.01, Scheme: spectral.RK2, Dealias: spectral.Dealias23,
+			}, pfft.NewSlabRealWorkers(c, n, workers))
+			sol.SetRandomIsotropic(3, 0.5, 1)
+			step := func() { sol.Step(1e-4) }
+			c.Barrier()
+			if c.Rank() == 0 {
+				s = timeLoop(iters, 2, step)
+			} else {
+				for i := 0; i < iters+2; i++ {
+					step()
+				}
+			}
+		})
+		return s
+	}
+}
+
+// mailboxFanIn drives p−1 tagged sends into rank 0 per op, the fan-in
+// pattern the runtime's per-key mailbox signalling exists for.
+func mailboxFanIn(p, words int) func(iters, workers int) sample {
+	return func(iters, _ int) sample {
+		var s sample
+		mpi.Run(p, func(c *mpi.Comm) {
+			buf := make([]float64, words)
+			if c.Rank() == 0 {
+				op := func() {
+					for src := 1; src < p; src++ {
+						mpi.Recv(c, src, 7, buf)
+					}
+				}
+				s = timeLoop(iters, 2, op)
+			} else {
+				for i := 0; i < iters+2; i++ {
+					mpi.Send(c, 0, 7, buf)
+				}
+			}
+		})
+		return s
+	}
+}
+
+func packUnpack(nxh, ny, mz, p int) func(iters, workers int) sample {
+	return func(iters, _ int) sample {
+		src := make([]complex128, mz*ny*nxh)
+		dst := make([]complex128, mz*ny*nxh)
+		back := make([]complex128, mz*ny*nxh)
+		for i := range src {
+			src[i] = complex(float64(i%11), 1)
+		}
+		my, nz := ny/p, mz*p
+		return timeLoop(iters, 2, func() {
+			transpose.PackYZ(dst, src, nxh, ny, mz, p)
+			transpose.UnpackYZ(back, dst, nxh, my, nz, p)
+		})
+	}
+}
+
+var workloads = []workload{
+	{"slab_fwd_inv_n64_p4", 40, 8, slabTransform(64, 4)},
+	{"slab_fwd_inv_n128_p4", 10, 2, slabTransform(128, 4)},
+	{"dns_rk2_step_n32_p2", 30, 6, dnsStep(32, 2)},
+	{"mailbox_fanin_p8", 2000, 400, mailboxFanIn(8, 128)},
+	{"pack_unpack_yz", 4000, 800, packUnpack(33, 64, 16, 4)},
+}
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "fewer iterations per workload (CI mode)")
+		out       = flag.String("out", "BENCH_step.json", "output path for the measurement file")
+		baseline  = flag.String("baseline", "", "committed baseline to compare against")
+		check     = flag.Bool("check", false, "exit non-zero on regression vs -baseline")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth vs baseline")
+		workers   = flag.Int("workers", 1, "worker-team size for transform workloads")
+		only      = flag.String("only", "", "run only the named workload")
+	)
+	flag.Parse()
+
+	f := File{Schema: 1, GoVersion: runtime.Version(), Quick: *quick, Workers: *workers}
+	for _, w := range workloads {
+		if *only != "" && w.name != *only {
+			continue
+		}
+		iters := w.full
+		if *quick {
+			iters = w.quick
+		}
+		s := w.run(iters, *workers)
+		r := Result{
+			Name:        w.name,
+			Iters:       iters,
+			NsPerOp:     float64(s.ns) / float64(iters),
+			AllocsPerOp: float64(s.allocs) / float64(iters),
+			BytesPerOp:  float64(s.bytes) / float64(iters),
+		}
+		f.Results = append(f.Results, r)
+		fmt.Printf("%-22s %10d iters %14.0f ns/op %10.1f allocs/op %12.0f B/op\n",
+			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		log.Fatalf("bench: read baseline: %v", err)
+	}
+	failed := compare(f.Results, base, *tolerance)
+	if failed && *check {
+		os.Exit(1)
+	}
+}
+
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	m := make(map[string]Result, len(f.Results))
+	for _, r := range f.Results {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// allocSlack is the absolute allocs/op growth the gate tolerates. The
+// measurement is process-wide, so background ticker fires (the stall
+// watchdog's) leak a few allocations into long loops; a genuine hot
+// path regression (one make per plane or per pencil) adds tens to
+// hundreds per op and still trips the gate.
+const allocSlack = 16
+
+// compare prints a verdict per workload and reports whether any failed
+// the gate: ns/op beyond the tolerance, or allocs/op growing by more
+// than the absolute slack.
+func compare(results []Result, base map[string]Result, tol float64) bool {
+	failed := false
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-22s no baseline entry (new workload)\n", r.Name)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = fmt.Sprintf("FAIL ns/op regression %.0f%% > %.0f%%", (ratio-1)*100, tol*100)
+			failed = true
+		}
+		if r.AllocsPerOp > b.AllocsPerOp+allocSlack {
+			verdict = fmt.Sprintf("FAIL allocs/op grew %.1f -> %.1f", b.AllocsPerOp, r.AllocsPerOp)
+			failed = true
+		}
+		fmt.Printf("%-22s %6.2fx vs baseline  %s\n", r.Name, ratio, verdict)
+	}
+	return failed
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/pfft"
 	"repro/internal/spectral"
 	"repro/internal/stats"
 )
@@ -37,6 +38,7 @@ func main() {
 		np      = flag.Int("np", 3, "pencils per slab (async engine)")
 		gran    = flag.String("gran", "slab", "all-to-all granularity: pencil or slab (async)")
 		ngpu    = flag.Int("ngpu", 1, "devices per rank (async engine)")
+		workers = flag.Int("workers", 1, "worker-team size per rank (FFT batch + pack/unpack parallelism; results identical for any value)")
 		forced  = flag.Bool("forced", false, "apply low-wavenumber band forcing")
 		k0      = flag.Float64("k0", 3, "initial spectrum peak wavenumber")
 		e0      = flag.Float64("e0", 0.5, "initial kinetic energy")
@@ -111,12 +113,15 @@ func main() {
 		if *engine == "async" {
 			tr := core.NewAsyncSlabReal(c, *n, core.Options{
 				NP: *np, Granularity: granularity, NGPU: *ngpu,
+				Workers:      *workers,
 				WaitDeadline: *waitDeadline,
 			})
 			defer tr.Close()
 			solver = spectral.NewSolverWithTransform(c, cfg, tr)
 		} else {
-			solver = spectral.NewSolver(c, cfg)
+			tr := pfft.NewSlabRealWorkers(c, *n, *workers)
+			defer tr.Close()
+			solver = spectral.NewSolverWithTransform(c, cfg, tr)
 		}
 		solver.SetRandomIsotropic(*k0, *e0, *seed)
 		var th *spectral.Scalar

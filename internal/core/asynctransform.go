@@ -9,6 +9,8 @@ import (
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/par"
+	"repro/internal/pool"
 	"repro/internal/transpose"
 )
 
@@ -34,6 +36,12 @@ type Options struct {
 	// NGPU is the number of devices per MPI rank (Fig 5); each pencil
 	// is split vertically across them. Zero means 1.
 	NGPU int
+	// Workers is the per-rank worker-team size (the paper's OpenMP
+	// threads per rank): the batched FFT loops inside each device's
+	// compute launches and the host-side unpack kernels are split
+	// across the team. Zero means 1. Results are bitwise identical for
+	// any team size.
+	Workers int
 	// SingleComm stages all-to-all payloads through complex64 buffers,
 	// matching the paper's single-precision wire format (half the
 	// bytes, ~1e-7 relative rounding per transform).
@@ -80,10 +88,15 @@ type gpuCtx struct {
 	dev      *cuda.Device
 	transfer *cuda.Stream
 	compute  *cuda.Stream
-	// Triple-buffered device slots (§3.5's factor of 3 on buffers).
+	// Triple-buffered device slots (§3.5's factor of 3 on buffers),
+	// checked out of the process buffer arena at construction.
 	slots  [3][]complex128
 	rslots [3][]float64
-	plans  *fft.BatchCache
+	// team splits the batched FFT loops inside this device's compute
+	// launches; plans[w] is worker w's plan cache (plans carry scratch
+	// and are not concurrency-safe, so each worker owns a full set).
+	team  *par.Team
+	plans []*fft.BatchCache
 }
 
 // asyncMetrics are the per-rank instrumentation handles of the
@@ -130,7 +143,18 @@ type AsyncSlabReal struct {
 	sendP   [][]complex128 // per-pencil views into sendAll
 	recvP   [][]complex128
 
-	met *asyncMetrics
+	// team splits the host-side unpack kernels across workers; it is
+	// shared by both transposing regions and reused across steps.
+	team *par.Team
+	// Per-step pipeline state, hoisted to construction so the hot path
+	// does not allocate: one request slot, event record and op record
+	// per (pencil, device).
+	reqs   []*mpi.Request
+	pstate [][]pencilEvs
+	pops   [][]pencilOps
+
+	met    *asyncMetrics
+	closed bool
 
 	// Single-precision staging (Options.SingleComm).
 	single  bool
@@ -151,6 +175,9 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 	}
 	if opt.NGPU == 0 {
 		opt.NGPU = 1
+	}
+	if opt.Workers == 0 {
+		opt.Workers = 1
 	}
 	nxh := n/2 + 1
 	if opt.NP < 1 || opt.NP > nxh || opt.NP > n {
@@ -189,40 +216,56 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 			dev:      dev,
 			transfer: dev.NewStream(fmt.Sprintf("gpu%d/transfer", g)),
 			compute:  dev.NewStream(fmt.Sprintf("gpu%d/compute", g)),
-			plans:    fft.NewBatchCache(),
+			team:     par.NewTeam(opt.Workers),
+			plans:    make([]*fft.BatchCache, opt.Workers),
+		}
+		for w := range ctx.plans {
+			ctx.plans[w] = fft.NewBatchCache()
 		}
 		for i := range ctx.slots {
-			ctx.slots[i] = make([]complex128, slotC)
-			ctx.rslots[i] = make([]float64, slotR)
+			ctx.slots[i] = pool.GetComplex(slotC)
+			ctx.rslots[i] = pool.GetFloat(slotR)
 		}
 		a.gpus = append(a.gpus, ctx)
+	}
+	a.team = par.NewTeam(opt.Workers)
+	a.reqs = make([]*mpi.Request, a.np)
+	a.pstate = make([][]pencilEvs, a.np)
+	a.pops = make([][]pencilOps, a.np)
+	for ip := range a.pstate {
+		a.pstate[ip] = make([]pencilEvs, opt.NGPU)
+		a.pops[ip] = make([]pencilOps, opt.NGPU)
 	}
 	// Pre-build plans for every width that can occur, including the
 	// vertical GPU sub-splits of Fig 5, so plan construction stays out
 	// of the timed regions (runtime lookups are then all cache hits).
+	// Every worker's cache gets the full set: which planes a worker
+	// draws depends only on the chunking, but the widths are shared.
 	for _, ctx := range a.gpus {
-		for _, xs := range a.xr {
-			for _, sub := range splitRange(xs.width(), opt.NGPU) {
-				if w := sub.width(); w > 0 {
-					ctx.plans.Batch(n, w, w, 1, w, 1)
+		for _, cache := range ctx.plans {
+			for _, xs := range a.xr {
+				for _, sub := range splitRange(xs.width(), opt.NGPU) {
+					if w := sub.width(); w > 0 {
+						cache.Batch(n, w, w, 1, w, 1)
+					}
 				}
 			}
-		}
-		for _, zs := range a.zr {
-			for _, sub := range splitRange(zs.width(), opt.NGPU) {
-				if zw := sub.width(); zw > 0 {
-					ctx.plans.RealBatch(n, zw, 1, n, 1, nxh)
+			for _, zs := range a.zr {
+				for _, sub := range splitRange(zs.width(), opt.NGPU) {
+					if zw := sub.width(); zw > 0 {
+						cache.RealBatch(n, zw, 1, n, 1, nxh)
+					}
 				}
 			}
 		}
 	}
 
-	a.mid = make([]complex128, my*n*nxh)
+	a.mid = pool.GetComplex(my * n * nxh)
 	a.single = opt.SingleComm
 	p := comm.Size()
 	if a.single {
-		a.send32 = make([]complex64, mz*n*nxh)
-		a.recv32 = make([]complex64, mz*n*nxh)
+		a.send32 = pool.GetComplex64(mz * n * nxh)
+		a.recv32 = pool.GetComplex64(mz * n * nxh)
 		a.sendP32 = make([][]complex64, a.np)
 		a.recvP32 = make([][]complex64, a.np)
 		off := 0
@@ -233,8 +276,8 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 			off += size
 		}
 	} else {
-		a.sendAll = make([]complex128, mz*n*nxh)
-		a.recvAll = make([]complex128, mz*n*nxh)
+		a.sendAll = pool.GetComplex(mz * n * nxh)
+		a.recvAll = pool.GetComplex(mz * n * nxh)
 		a.sendP = make([][]complex128, a.np)
 		a.recvP = make([][]complex128, a.np)
 		off := 0
@@ -248,12 +291,41 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 	return a
 }
 
-// Close releases the device worker goroutines.
+// Close releases the device worker goroutines, the worker teams, the
+// cached FFT plans and every arena-backed buffer. Idempotent.
 func (a *AsyncSlabReal) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
 	for _, g := range a.gpus {
 		g.dev.Close()
+		g.team.Close()
+		for _, cache := range g.plans {
+			cache.Release()
+		}
+		for i := range g.slots {
+			pool.PutComplex(g.slots[i])
+			pool.PutFloat(g.rslots[i])
+			g.slots[i], g.rslots[i] = nil, nil
+		}
+	}
+	a.team.Close()
+	pool.PutComplex(a.mid)
+	a.mid = nil
+	if a.single {
+		pool.PutComplex64(a.send32)
+		pool.PutComplex64(a.recv32)
+		a.send32, a.recv32 = nil, nil
+	} else {
+		pool.PutComplex(a.sendAll)
+		pool.PutComplex(a.recvAll)
+		a.sendAll, a.recvAll = nil, nil
 	}
 }
+
+// Workers reports the per-rank worker-team size.
+func (a *AsyncSlabReal) Workers() int { return a.team.Size() }
 
 // Slab reports the decomposition geometry.
 func (a *AsyncSlabReal) Slab() grid.Slab { return a.s }
@@ -337,7 +409,7 @@ func (a *AsyncSlabReal) regionY(four []complex128, dir fft.Direction) {
 // the mid slab.
 func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
-	reqs := make([]*mpi.Request, a.np)
+	reqs := a.reqs
 	var afterD2H func(ip int)
 	if a.gran == PerPencil {
 		afterD2H = func(ip int) {
@@ -410,9 +482,12 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 		}
 		stop()
 		defer a.met.unpack.Start()()
-		// Unpack [s][mz][my][nxh] blocks into mid=[my][nz][nxh].
-		for s := 0; s < p; s++ {
-			for iz := 0; iz < mz; iz++ {
+		// Unpack [s][mz][my][nxh] blocks into mid=[my][nz][nxh]. Each
+		// (s,iz) unit owns a distinct set of destination rows, so the
+		// flattened loop splits across the worker team conflict-free.
+		a.team.ForWorkers(p*mz, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				s, iz := u/mz, u%mz
 				if a.single {
 					widenStrided(a.mid[(s*mz+iz)*nxh:], n*nxh,
 						a.recv32[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
@@ -421,7 +496,7 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 						a.recvAll[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
 				}
 			}
-		}
+		})
 		return
 	}
 	stop = a.met.a2a.Start()
@@ -431,18 +506,20 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 	// Unpack per-pencil blocks [s][mz][my][wp] into mid (on real
 	// hardware this is the zero-copy scatter kernel of §4.2).
 	for ip, full := range a.xr {
-		wp := full.width()
-		for s := 0; s < p; s++ {
-			for iz := 0; iz < mz; iz++ {
+		ip, wp := ip, full.width()
+		base := full.lo
+		a.team.ForWorkers(p*mz, func(_, ulo, uhi int) {
+			for u := ulo; u < uhi; u++ {
+				s, iz := u/mz, u%mz
 				if a.single {
-					widenStrided(a.mid[(s*mz+iz)*nxh+full.lo:], n*nxh,
+					widenStrided(a.mid[(s*mz+iz)*nxh+base:], n*nxh,
 						a.recvP32[ip][s*mz*my*wp+iz*my*wp:], wp, wp, my)
 				} else {
-					transpose.CopyStrided(a.mid[(s*mz+iz)*nxh+full.lo:], n*nxh,
+					transpose.CopyStrided(a.mid[(s*mz+iz)*nxh+base:], n*nxh,
 						a.recvP[ip][s*mz*my*wp+iz*my*wp:], wp, wp, my)
 				}
 			}
-		}
+		})
 	}
 }
 
@@ -480,7 +557,7 @@ func (a *AsyncSlabReal) regionZ(dir fft.Direction) {
 // unpack into the Fourier slab.
 func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
-	reqs := make([]*mpi.Request, a.np)
+	reqs := a.reqs
 	var afterD2H func(ip int)
 	if a.gran == PerPencil {
 		afterD2H = func(ip int) {
@@ -550,8 +627,11 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 		}
 		stop()
 		defer a.met.unpack.Start()()
-		for s := 0; s < p; s++ {
-			for iy := 0; iy < my; iy++ {
+		// Each (s,iy) unit owns distinct rows of four: conflict-free
+		// split across the team, mirroring the y-region unpack.
+		a.team.ForWorkers(p*my, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				s, iy := u/my, u%my
 				if a.single {
 					widenStrided(four[(s*my+iy)*nxh:], n*nxh,
 						a.recv32[s*my*mz*nxh+iy*mz*nxh:], nxh, nxh, mz)
@@ -560,7 +640,7 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 						a.recvAll[s*my*mz*nxh+iy*mz*nxh:], nxh, nxh, mz)
 				}
 			}
-		}
+		})
 		return
 	}
 	stop = a.met.a2a.Start()
@@ -568,18 +648,20 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 	stop()
 	defer a.met.unpack.Start()()
 	for ip, full := range a.xr {
-		wp := full.width()
-		for s := 0; s < p; s++ {
-			for iy := 0; iy < my; iy++ {
+		ip, wp := ip, full.width()
+		base := full.lo
+		a.team.ForWorkers(p*my, func(_, ulo, uhi int) {
+			for u := ulo; u < uhi; u++ {
+				s, iy := u/my, u%my
 				if a.single {
-					widenStrided(four[(s*my+iy)*nxh+full.lo:], n*nxh,
+					widenStrided(four[(s*my+iy)*nxh+base:], n*nxh,
 						a.recvP32[ip][s*my*mz*wp+iy*mz*wp:], wp, wp, mz)
 				} else {
-					transpose.CopyStrided(four[(s*my+iy)*nxh+full.lo:], n*nxh,
+					transpose.CopyStrided(four[(s*my+iy)*nxh+base:], n*nxh,
 						a.recvP[ip][s*my*mz*wp+iy*mz*wp:], wp, wp, mz)
 				}
 			}
-		}
+		})
 	}
 }
 
@@ -601,12 +683,14 @@ func (a *AsyncSlabReal) regionXInverse(phys []float64) {
 					a.mid[zs.lo*nxh:], n*nxh, zw*nxh, my)
 			},
 			compute: func(slot int) {
-				plan := ctx.plans.RealBatch(n, zw, 1, n, 1, nxh)
 				cbuf, rbuf := ctx.slots[slot], ctx.rslots[slot]
 				ctx.compute.Launch("fftx-c2r", func() {
-					for iy := 0; iy < my; iy++ {
-						plan.Inverse(rbuf[iy*zw*n:(iy+1)*zw*n], cbuf[iy*zw*nxh:(iy+1)*zw*nxh])
-					}
+					ctx.team.ForWorkers(my, func(wk, lo, hi int) {
+						plan := ctx.plans[wk].RealBatch(n, zw, 1, n, 1, nxh)
+						for iy := lo; iy < hi; iy++ {
+							plan.Inverse(rbuf[iy*zw*n:(iy+1)*zw*n], cbuf[iy*zw*nxh:(iy+1)*zw*nxh])
+						}
+					})
 				})
 			},
 			d2h: func(slot int) {
@@ -637,12 +721,14 @@ func (a *AsyncSlabReal) regionXForward(phys []float64) {
 					phys[zs.lo*n:], n*n, zw*n, my)
 			},
 			compute: func(slot int) {
-				plan := ctx.plans.RealBatch(n, zw, 1, n, 1, nxh)
 				cbuf, rbuf := ctx.slots[slot], ctx.rslots[slot]
 				ctx.compute.Launch("fftx-r2c", func() {
-					for iy := 0; iy < my; iy++ {
-						plan.Forward(cbuf[iy*zw*nxh:(iy+1)*zw*nxh], rbuf[iy*zw*n:(iy+1)*zw*n])
-					}
+					ctx.team.ForWorkers(my, func(wk, lo, hi int) {
+						plan := ctx.plans[wk].RealBatch(n, zw, 1, n, 1, nxh)
+						for iy := lo; iy < hi; iy++ {
+							plan.Forward(cbuf[iy*zw*nxh:(iy+1)*zw*nxh], rbuf[iy*zw*n:(iy+1)*zw*n])
+						}
+					})
 				})
 			},
 			d2h: func(slot int) {
@@ -656,21 +742,26 @@ func (a *AsyncSlabReal) regionXForward(phys []float64) {
 }
 
 // lineFFT returns a compute launcher running nplanes strided line
-// transforms of width w on the slot buffer.
+// transforms of width w on the slot buffer, split across the device's
+// worker team (the hybrid MPI+OpenMP batch loop). Planes are
+// independent and every worker runs an identical plan, so the output
+// is bitwise invariant under the team size.
 func (a *AsyncSlabReal) lineFFT(ctx *gpuCtx, w, nplanes int, dir fft.Direction) func(slot int) {
 	n := a.n
 	return func(slot int) {
-		plan := ctx.plans.Batch(n, w, w, 1, w, 1)
 		buf := ctx.slots[slot]
 		ctx.compute.Launch("fft-line", func() {
-			for pl := 0; pl < nplanes; pl++ {
-				plane := buf[pl*n*w : (pl+1)*n*w]
-				if dir == fft.Forward {
-					plan.Forward(plane, plane)
-				} else {
-					plan.Inverse(plane, plane)
+			ctx.team.ForWorkers(nplanes, func(wk, lo, hi int) {
+				plan := ctx.plans[wk].Batch(n, w, w, 1, w, 1)
+				for pl := lo; pl < hi; pl++ {
+					plane := buf[pl*n*w : (pl+1)*n*w]
+					if dir == fft.Forward {
+						plan.Forward(plane, plane)
+					} else {
+						plan.Inverse(plane, plane)
+					}
 				}
-			}
+			})
 		})
 	}
 }
@@ -687,6 +778,11 @@ type pencilOps struct {
 	d2hBytes int64
 }
 
+// pencilEvs are the inter-stream ordering events of one (pencil,
+// device) cell of the pipeline; the matrix is hoisted to construction
+// and zeroed per region so the hot path does not allocate.
+type pencilEvs struct{ h2d, comp, d2h *cuda.Event }
+
 // pipeline drives np pencils through every device with the Fig 4
 // launch order: D2H of the previous pencil first (prioritizing copies
 // out of the GPU so exchanges can start early), then compute of the
@@ -698,13 +794,10 @@ type pencilOps struct {
 // MPI_IALLTOALL.
 func (a *AsyncSlabReal) pipeline(ops func(ip, g int) pencilOps, afterD2H func(ip int)) {
 	ngpu := len(a.gpus)
-	type evs struct{ h2d, comp, d2h *cuda.Event }
-	state := make([][]evs, a.np)
-	pops := make([][]pencilOps, a.np)
+	state, pops := a.pstate, a.pops
 	for ip := 0; ip < a.np; ip++ {
-		state[ip] = make([]evs, ngpu)
-		pops[ip] = make([]pencilOps, ngpu)
 		for g := 0; g < ngpu; g++ {
+			state[ip][g] = pencilEvs{}
 			pops[ip][g] = ops(ip, g)
 		}
 	}

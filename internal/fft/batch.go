@@ -1,6 +1,10 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/pool"
+)
 
 // Batch executes many transforms of the same length over strided data,
 // mirroring the cufftPlanMany advanced-layout semantics the paper's GPU
@@ -26,9 +30,18 @@ func NewBatch(n, howmany, istride, idist, ostride, odist int) *Batch {
 		howmany: howmany,
 		istride: istride, idist: idist,
 		ostride: ostride, odist: odist,
-		in:  make([]complex128, n),
-		out: make([]complex128, n),
+		in:  pool.GetComplex(n),
+		out: pool.GetComplex(n),
 	}
+}
+
+// Release returns the batch's scratch (and its plan's) to the process
+// buffer arena. The batch must not be used afterwards.
+func (b *Batch) Release() {
+	b.p.Release()
+	pool.PutComplex(b.in)
+	pool.PutComplex(b.out)
+	b.in, b.out = nil, nil
 }
 
 // NewContiguousBatch is shorthand for howmany back-to-back unit-stride
@@ -88,9 +101,18 @@ func NewRealBatch(n, howmany, rstride, rdist, cstride, cdist int) *RealBatch {
 		howmany: howmany,
 		rstride: rstride, rdist: rdist,
 		cstride: cstride, cdist: cdist,
-		rbuf: make([]float64, n),
-		cbuf: make([]complex128, n/2+1),
+		rbuf: pool.GetFloat(n),
+		cbuf: pool.GetComplex(n/2 + 1),
 	}
+}
+
+// Release returns the batch's scratch (and its plan's) to the process
+// buffer arena. The batch must not be used afterwards.
+func (b *RealBatch) Release() {
+	b.p.Release()
+	pool.PutFloat(b.rbuf)
+	pool.PutComplex(b.cbuf)
+	b.rbuf, b.cbuf = nil, nil
 }
 
 // Forward transforms howmany real sequences from src into half-spectra

@@ -1,50 +1,44 @@
 package fft
 
 import (
-	"math"
 	"math/cmplx"
+
+	"repro/internal/pool"
 )
 
 // bluestein implements the chirp-z method for transform lengths whose
 // prime factors are too large for direct butterflies. The length-n DFT
 // is re-expressed as a circular convolution of length m (a power of two
-// ≥ 2n−1), which is evaluated with the radix-2/4 machinery.
+// ≥ 2n−1), which is evaluated with the radix-2/4 machinery. The chirp
+// and its precomputed FFT are read-only and shared across all plans of
+// the same length via the package table cache; only the two scratch
+// lines are per-plan.
 type bluestein struct {
 	n    int
 	m    int
 	pm   *Plan        // power-of-two plan of length m
-	w    []complex128 // w[j] = exp(−iπ·j²/n), forward chirp
-	fb   []complex128 // FFT of the padded conjugate chirp
+	w    []complex128 // shared: w[j] = exp(−iπ·j²/n), forward chirp
+	fb   []complex128 // shared: FFT of the padded conjugate chirp
 	ax   []complex128 // scratch, length m
 	conv []complex128 // scratch, length m
 }
 
 func newBluestein(n int) *bluestein {
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	b := &bluestein{n: n, m: m}
-	b.pm = NewPlan(m)
-	b.w = make([]complex128, n)
-	for j := 0; j < n; j++ {
-		// j² mod 2n keeps the argument small for large n.
-		jj := (j * j) % (2 * n)
-		b.w[j] = cmplx.Exp(complex(0, -math.Pi*float64(jj)/float64(n)))
-	}
-	// Padded kernel: c[j] = conj(w[j]) for |j| < n, wrapped at m.
-	c := make([]complex128, m)
-	for j := 0; j < n; j++ {
-		c[j] = cmplx.Conj(b.w[j])
-		if j > 0 {
-			c[m-j] = cmplx.Conj(b.w[j])
-		}
-	}
-	b.fb = make([]complex128, m)
-	b.pm.Forward(b.fb, c)
-	b.ax = make([]complex128, m)
-	b.conv = make([]complex128, m)
+	t := blueTablesFor(n)
+	b := &bluestein{n: n, m: t.m, w: t.w, fb: t.fb}
+	b.pm = NewPlan(b.m)
+	b.ax = pool.GetComplex(b.m)
+	b.conv = pool.GetComplex(b.m)
 	return b
+}
+
+// release returns the per-plan scratch to the buffer arena; the shared
+// chirp tables stay cached.
+func (b *bluestein) release() {
+	b.pm.Release()
+	pool.PutComplex(b.ax)
+	pool.PutComplex(b.conv)
+	b.ax, b.conv = nil, nil
 }
 
 // transform computes the unnormalized DFT of src into dst; the caller

@@ -29,6 +29,8 @@ func PublishMetrics(reg *metrics.Registry) {
 	reg.Counter("fft.real.transforms").Store(realTransforms.Load())
 	reg.Counter("fft.plancache.hits").Store(cacheHits.Load())
 	reg.Counter("fft.plancache.misses").Store(cacheMisses.Load())
+	reg.Counter("fft.twiddle.hits").Store(twiddleHits.Load())
+	reg.Counter("fft.twiddle.misses").Store(twiddleMisses.Load())
 }
 
 // batchKey identifies one advanced-layout batch configuration; for
@@ -91,4 +93,18 @@ func (bc *BatchCache) RealBatch(n, howmany, rstride, rdist, cstride, cdist int) 
 	b := NewRealBatch(n, howmany, rstride, rdist, cstride, cdist)
 	bc.reals[k] = b
 	return b
+}
+
+// Release returns every cached plan's scratch to the buffer arena and
+// empties the cache. The cache itself remains usable (plans rebuild on
+// next lookup).
+func (bc *BatchCache) Release() {
+	for k, b := range bc.batches {
+		b.Release()
+		delete(bc.batches, k)
+	}
+	for k, b := range bc.reals {
+		b.Release()
+		delete(bc.reals, k)
+	}
 }

@@ -2,8 +2,9 @@ package fft
 
 import (
 	"fmt"
-	"math"
 	"math/cmplx"
+
+	"repro/internal/pool"
 )
 
 // Direction selects the sign of the transform exponent.
@@ -52,20 +53,31 @@ func NewPlan(n int) *Plan {
 		p.blue = newBluestein(n)
 		return p
 	}
-	p.w = make([]complex128, n)
-	for j := 0; j < n; j++ {
-		p.w[j] = cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(n)))
-	}
-	p.scratch = make([]complex128, n)
-	p.scratch2 = make([]complex128, n)
+	p.w = twiddles(n)
+	p.scratch = pool.GetComplex(n)
+	p.scratch2 = pool.GetComplex(n)
 	maxF := 0
 	for _, f := range p.factors {
 		if f > maxF {
 			maxF = f
 		}
 	}
-	p.gen = make([]complex128, maxF)
+	p.gen = pool.GetComplex(maxF)
 	return p
+}
+
+// Release returns the plan's scratch buffers to the process buffer
+// arena. The plan must not be used afterwards. Twiddle tables are
+// shared and stay cached.
+func (p *Plan) Release() {
+	if p.blue != nil {
+		p.blue.release()
+		p.blue = nil
+	}
+	pool.PutComplex(p.scratch)
+	pool.PutComplex(p.scratch2)
+	pool.PutComplex(p.gen)
+	p.scratch, p.scratch2, p.gen = nil, nil, nil
 }
 
 // Len reports the transform length of the plan.

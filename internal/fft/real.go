@@ -2,8 +2,9 @@ package fft
 
 import (
 	"fmt"
-	"math"
 	"math/cmplx"
+
+	"repro/internal/pool"
 )
 
 // RealPlan transforms real sequences of length n to their n/2+1
@@ -27,18 +28,31 @@ func NewRealPlan(n int) *RealPlan {
 	p := &RealPlan{n: n}
 	if n == 1 || n%2 == 1 {
 		p.full = NewPlan(n)
-		p.zs = make([]complex128, n)
-		p.zs2 = make([]complex128, n)
+		p.zs = pool.GetComplex(n)
+		p.zs2 = pool.GetComplex(n)
 		return p
 	}
 	p.half = NewPlan(n / 2)
-	p.wr = make([]complex128, n/2)
-	for k := 0; k < n/2; k++ {
-		p.wr[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
-	}
-	p.zs = make([]complex128, n/2)
-	p.zs2 = make([]complex128, n/2)
+	// wr[k] = exp(−2πi·k/n) for k < n/2 is a prefix of the shared
+	// length-n twiddle table.
+	p.wr = twiddles(n)[:n/2]
+	p.zs = pool.GetComplex(n / 2)
+	p.zs2 = pool.GetComplex(n / 2)
 	return p
+}
+
+// Release returns the plan's scratch buffers to the process buffer
+// arena. The plan must not be used afterwards.
+func (p *RealPlan) Release() {
+	if p.full != nil {
+		p.full.Release()
+	}
+	if p.half != nil {
+		p.half.Release()
+	}
+	pool.PutComplex(p.zs)
+	pool.PutComplex(p.zs2)
+	p.zs, p.zs2 = nil, nil
 }
 
 // Len reports the real length n of the plan.

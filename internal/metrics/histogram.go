@@ -52,6 +52,12 @@ func (h *Histogram) Observe(x float64) {
 	h.mean += d / float64(h.n)
 	h.m2 += d * (x - h.mean)
 	h.sum += x
+	if h.samples == nil {
+		// Reserve the full ring up front so steady-state observation
+		// never grows the buffer (append regrowth would put heap
+		// allocations inside instrumented hot loops).
+		h.samples = make([]float64, 0, histCap)
+	}
 	if len(h.samples) < histCap {
 		h.samples = append(h.samples, x)
 	} else {
@@ -59,6 +65,23 @@ func (h *Histogram) Observe(x float64) {
 		h.next = (h.next + 1) % histCap
 	}
 	h.mu.Unlock()
+}
+
+// ObserveSince observes the seconds elapsed since t0. Unlike Start it
+// needs no closure, so instrumented hot paths can time a section with
+// zero allocations:
+//
+//	t0 := time.Now()
+//	... section ...
+//	h.ObserveSince(t0)
+//
+// Like all Histogram methods it is nil-safe and a no-op while the
+// owning registry is disabled.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if !h.Enabled() {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
 }
 
 // Enabled reports whether observations would currently be recorded;

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestObserveSinceRecords(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t.obs")
+	t0 := time.Now().Add(-50 * time.Millisecond)
+	h.ObserveSince(t0)
+	st := h.Stat()
+	if st.Count != 1 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.Mean < 0.04 || st.Mean > 5 {
+		t.Fatalf("mean %v not in a plausible range", st.Mean)
+	}
+}
+
+func TestObserveSinceDisabledIsNoop(t *testing.T) {
+	r := NewRegistry()
+	r.SetOn(false)
+	h := r.Histogram("t.off")
+	h.ObserveSince(time.Now())
+	if st := h.Stat(); st.Count != 0 {
+		t.Fatalf("disabled registry recorded %d samples", st.Count)
+	}
+	var nilH *Histogram
+	nilH.ObserveSince(time.Now()) // nil-safe
+}
+
+// Once the first enabled Observe reserved the ring, further
+// observations must not allocate (the samples buffer never regrows).
+func TestObserveSteadyStateAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t.alloc")
+	h.Observe(1) // reserves the ring
+	avg := testing.AllocsPerRun(500, func() { h.Observe(2.5) })
+	if avg != 0 {
+		t.Fatalf("steady-state Observe allocates %.2f per run", avg)
+	}
+}

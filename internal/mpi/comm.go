@@ -34,6 +34,11 @@ type world struct {
 	mu       sync.Mutex
 	children []*world // sub-communicators created by Split
 	aborted  bool
+	// plans maps a collective sequence number to the shared state of a
+	// persistent collective (see A2APlan); planBars are their private
+	// barriers, kept separately so abortAll can wake them.
+	plans    map[int]any
+	planBars []*barrier
 }
 
 func newWorld(p int, reg *metrics.Registry, f *faultState) *world {
@@ -58,11 +63,15 @@ func (w *world) abortAll() {
 	}
 	w.aborted = true
 	children := append([]*world(nil), w.children...)
+	planBars := append([]*barrier(nil), w.planBars...)
 	w.mu.Unlock()
 	for _, b := range w.boxes {
 		b.abort()
 	}
 	w.barrier.abort()
+	for _, b := range planBars {
+		b.abort()
+	}
 	for _, c := range children {
 		c.abortAll()
 	}

@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// A2APlan is a persistent all-to-all: the software analogue of the
+// MPI_Alltoall_init persistent collective (and of the paper's
+// pre-registered communication buffers — §3.5 allocates every wire
+// buffer once at startup and reuses it every step). The send and recv
+// buffers are registered once, collectively, at plan time; each Do()
+// then exchanges them with zero per-call allocations.
+//
+// The one-shot Alltoall pays, per call and per destination, a block
+// copy into a fresh slice, an interface boxing of that slice, a
+// request, a drain goroutine and the mailbox rendezvous. A plan
+// instead shares the registered send buffers across ranks (ranks are
+// goroutines in one address space) and turns the exchange into
+// barrier → direct peer-to-peer copies → barrier. Both barriers are
+// watchdog-registered, abortable and reusable, so plans participate in
+// the abort cascade and deadlock detection like every other blocking
+// operation.
+//
+// Contract (as for MPI persistent collectives): every rank constructs
+// the plan at the same point in its collective order, every rank calls
+// Do collectively, the registered buffers must not be replaced (their
+// contents are rewritten freely between calls), and send must not
+// alias recv. Because data never crosses the mailbox layer, per-message
+// fault injection (drops, duplicates, delays) does not apply to plan
+// exchanges; crash schedules still fire via the operation counter.
+type A2APlan[T any] struct {
+	c    *Comm
+	sh   *a2aShared[T]
+	send []T
+	recv []T
+	bs   int   // block size in elements
+	wire int64 // wire bytes charged per Do: everything but the diagonal
+	free bool
+}
+
+// a2aShared is the world-side state of one plan: every rank's
+// registered send buffer plus the plan's private reusable barrier.
+type a2aShared[T any] struct {
+	sends [][]T
+	bar   *barrier
+	refs  int
+}
+
+// NewA2APlan registers send and recv for a persistent all-to-all over
+// c. Collective: every rank must construct the plan at the same point
+// in its collective-operation order, with equal buffer lengths
+// divisible by the communicator size. The call blocks until all ranks
+// have registered.
+func NewA2APlan[T any](c *Comm, send, recv []T) *A2APlan[T] {
+	p := c.Size()
+	if len(send)%p != 0 || len(recv) != len(send) {
+		panic(fmt.Sprintf("mpi: rank %d: a2a plan buffer sizes %d/%d invalid for %d ranks",
+			c.rank, len(send), len(recv), p))
+	}
+	bs := len(send) / p
+	seq := c.nextSeq()
+	w := c.w
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		panic(errAborted)
+	}
+	if w.plans == nil {
+		w.plans = map[int]any{}
+	}
+	var sh *a2aShared[T]
+	if v, ok := w.plans[seq]; ok {
+		sh = v.(*a2aShared[T])
+	} else {
+		sh = &a2aShared[T]{sends: make([][]T, p), bar: newBarrier(p)}
+		w.plans[seq] = sh
+		w.planBars = append(w.planBars, sh.bar)
+	}
+	if len(sh.sends[c.rank]) != 0 && bs*p != len(sh.sends[0]) {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: rank %d: a2a plan length %d disagrees with peers (%d)",
+			c.rank, bs*p, len(sh.sends[0])))
+	}
+	sh.sends[c.rank] = send
+	sh.refs++
+	w.mu.Unlock()
+	pl := &A2APlan[T]{
+		c: c, sh: sh, send: send, recv: recv, bs: bs,
+		wire: sliceBytes[T](len(send) - bs),
+	}
+	// All ranks must have registered before the first Do reads a peer's
+	// buffer slot.
+	sh.bar.wait(w, c.rank)
+	return pl
+}
+
+// Do executes one exchange of the registered buffers: after it returns
+// on every rank, recv[src*bs:(src+1)*bs] holds what rank src had in
+// send[me*bs:(me+1)*bs] — exactly Alltoall's semantics. Collective and
+// allocation-free; blocked time is recorded in mpi.a2a.wait and wire
+// bytes (everything but the diagonal block) in mpi.a2a.bytes.
+func (pl *A2APlan[T]) Do() {
+	if pl.free {
+		panic("mpi: A2APlan used after Free")
+	}
+	c := pl.c
+	c.maybeCrash()
+	m := c.m()
+	m.a2aMsgs.Inc()
+	m.a2aBytes.Add(pl.wire)
+	enabled := m.a2aWait.Enabled()
+	var t0 time.Time
+	if enabled {
+		t0 = time.Now()
+	}
+	// Entry barrier: every rank's send contents are final and no rank is
+	// still reading last cycle's recv slices of our send buffer.
+	pl.sh.bar.wait(c.w, c.rank)
+	bs, me := pl.bs, c.rank
+	for src := 0; src < c.w.size; src++ {
+		copy(pl.recv[src*bs:(src+1)*bs], pl.sh.sends[src][me*bs:(me+1)*bs])
+	}
+	// Exit barrier: all ranks are done reading, so callers may overwrite
+	// their send buffers the moment Do returns.
+	pl.sh.bar.wait(c.w, c.rank)
+	if enabled {
+		m.a2aWait.ObserveSince(t0)
+	}
+	// The world's progress marker normally advances on mailbox traffic;
+	// plan exchanges bypass mailboxes, so mark progress here to keep the
+	// deadlock detector's quiescence window honest.
+	c.w.progress.Add(1)
+}
+
+// Send returns the registered send buffer.
+func (pl *A2APlan[T]) Send() []T { return pl.send }
+
+// Recv returns the registered recv buffer.
+func (pl *A2APlan[T]) Recv() []T { return pl.recv }
+
+// Free releases the plan (collective). After every rank has called
+// Free the world drops its reference to the shared state; the plan
+// must not be used afterwards.
+func (pl *A2APlan[T]) Free() {
+	if pl.free {
+		return
+	}
+	pl.free = true
+	w := pl.c.w
+	w.mu.Lock()
+	pl.sh.refs--
+	if pl.sh.refs == 0 {
+		for seq, v := range w.plans {
+			if v == any(pl.sh) {
+				delete(w.plans, seq)
+			}
+		}
+	}
+	w.mu.Unlock()
+}

@@ -1,0 +1,145 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// A plan exchange must be element-for-element identical to Alltoall.
+func TestA2APlanMatchesAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			const bs = 5
+			Run(p, func(c *Comm) {
+				send := make([]complex128, p*bs)
+				recvPlan := make([]complex128, p*bs)
+				recvRef := make([]complex128, p*bs)
+				plan := NewA2APlan(c, send, recvPlan)
+				for iter := 0; iter < 3; iter++ {
+					for i := range send {
+						send[i] = complex(float64(c.Rank()*1000+iter*100+i), float64(iter))
+					}
+					plan.Do()
+					Alltoall(c, send, recvRef)
+					for i := range recvPlan {
+						if recvPlan[i] != recvRef[i] {
+							panic(fmt.Sprintf("rank %d iter %d: plan[%d]=%v ref=%v",
+								c.Rank(), iter, i, recvPlan[i], recvRef[i]))
+						}
+					}
+				}
+				plan.Free()
+			})
+		})
+	}
+}
+
+// Two plans on the same communicator must keep separate shared state.
+func TestA2APlanTwoPlansIndependent(t *testing.T) {
+	const p, bs = 3, 4
+	Run(p, func(c *Comm) {
+		sa := make([]float64, p*bs)
+		ra := make([]float64, p*bs)
+		sb := make([]float64, p*bs)
+		rb := make([]float64, p*bs)
+		pa := NewA2APlan(c, sa, ra)
+		pb := NewA2APlan(c, sb, rb)
+		for i := range sa {
+			sa[i] = float64(c.Rank()*100 + i)
+			sb[i] = -sa[i]
+		}
+		pa.Do()
+		pb.Do()
+		for src := 0; src < p; src++ {
+			for j := 0; j < bs; j++ {
+				want := float64(src*100 + c.Rank()*bs + j)
+				if ra[src*bs+j] != want {
+					panic(fmt.Sprintf("rank %d: plan A got %v want %v", c.Rank(), ra[src*bs+j], want))
+				}
+				if rb[src*bs+j] != -want {
+					panic(fmt.Sprintf("rank %d: plan B got %v want %v", c.Rank(), rb[src*bs+j], -want))
+				}
+			}
+		}
+		pa.Free()
+		pb.Free()
+	})
+}
+
+// A rank panicking while peers are blocked inside Do must cascade the
+// abort through the plan's private barrier instead of deadlocking.
+func TestA2APlanAbortWakesBlockedRanks(t *testing.T) {
+	const p = 4
+	err := TryRun(p, func(c *Comm) {
+		send := make([]float64, p)
+		recv := make([]float64, p)
+		plan := NewA2APlan(c, send, recv)
+		if c.Rank() == 2 {
+			panic(errors.New("boom"))
+		}
+		plan.Do() // ranks 0,1,3 block in the entry barrier forever
+	})
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 2 {
+		t.Fatalf("expected RankError from rank 2, got %v", err)
+	}
+}
+
+// Steady-state Do must not allocate, even with the default watchdog
+// registering every barrier wait.
+func TestA2APlanSteadyStateAllocFree(t *testing.T) {
+	const p, bs, runs = 4, 64, 200
+	Run(p, func(c *Comm) {
+		send := make([]complex128, p*bs)
+		recv := make([]complex128, p*bs)
+		for i := range send {
+			send[i] = complex(float64(i), 0)
+		}
+		plan := NewA2APlan(c, send, recv)
+		for w := 0; w < 3; w++ {
+			plan.Do() // warm up (metric handles, watchdog freelist)
+		}
+		if c.Rank() == 0 {
+			// AllocsPerRun executes the body runs+1 times; peers must
+			// match that call count for the collective to line up.
+			avg := testing.AllocsPerRun(runs, func() { plan.Do() })
+			if avg > 0.05 {
+				panic(fmt.Sprintf("steady-state A2APlan.Do allocates %.3f per call", avg))
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				plan.Do()
+			}
+		}
+		plan.Free()
+	})
+}
+
+// Wire bytes must follow the same convention as Alltoall: everything
+// but the diagonal block, charged to the sender.
+func TestA2APlanBytesAccounting(t *testing.T) {
+	const p, bs = 3, 8
+	reg := metrics.NewRegistry()
+	err := RunWith(p, reg, func(c *Comm) {
+		send := make([]float64, p*bs)
+		recv := make([]float64, p*bs)
+		plan := NewA2APlan(c, send, recv)
+		plan.Do()
+		plan.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for r := 0; r < p; r++ {
+		total += reg.CounterRank("mpi.a2a.bytes", r).Value()
+	}
+	want := int64(p) * int64(p-1) * int64(bs) * 8
+	if total != want {
+		t.Fatalf("a2a bytes = %d, want %d", total, want)
+	}
+}

@@ -119,6 +119,10 @@ type watchState struct {
 	live    []bool
 	nlive   int
 	stall   *StallError
+	// free recycles blockedOp tokens so steady-state enter/exit (which
+	// sits inside every barrier and wait of the watchdog-on-by-default
+	// world) does not allocate per blocked operation.
+	free []*blockedOp
 
 	quiet    bool
 	quietAt  time.Time
@@ -144,8 +148,17 @@ func newWatchState(cfg Watchdog, p int) *watchState {
 }
 
 func (ws *watchState) enter(rank int, op string, peer, tag int, coll, helper bool) *blockedOp {
-	b := &blockedOp{rank: rank, op: op, peer: peer, tag: tag, coll: coll, helper: helper, since: time.Now()}
+	now := time.Now()
 	ws.mu.Lock()
+	var b *blockedOp
+	if n := len(ws.free); n > 0 {
+		b = ws.free[n-1]
+		ws.free[n-1] = nil
+		ws.free = ws.free[:n-1]
+	} else {
+		b = new(blockedOp)
+	}
+	*b = blockedOp{rank: rank, op: op, peer: peer, tag: tag, coll: coll, helper: helper, since: now}
 	ws.ops[b] = struct{}{}
 	if !helper {
 		ws.rankOps[rank]++
@@ -154,11 +167,21 @@ func (ws *watchState) enter(rank int, op string, peer, tag int, coll, helper boo
 	return b
 }
 
+// maxFreeOps bounds the token freelist; beyond it exited tokens fall to
+// the GC. The bound only needs to cover the peak number of concurrently
+// blocked ops, which is O(ranks + in-flight requests).
+const maxFreeOps = 1024
+
 func (ws *watchState) exit(b *blockedOp) {
 	ws.mu.Lock()
 	delete(ws.ops, b)
 	if !b.helper {
 		ws.rankOps[b.rank]--
+	}
+	// A stall verdict may hold a pointer into b (stallFrom copies, so
+	// only the ops map references it); safe to recycle once delisted.
+	if len(ws.free) < maxFreeOps {
+		ws.free = append(ws.free, b)
 	}
 	ws.mu.Unlock()
 }

@@ -2,11 +2,14 @@ package pfft
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/par"
+	"repro/internal/pool"
 	"repro/internal/transpose"
 )
 
@@ -123,39 +126,131 @@ func (f *SlabC2C) checkLen(phys, four []complex128) {
 
 // SlabReal is the DNS transform pair: real physical fields, conjugate-
 // symmetric half-spectra (nxh = n/2+1 in x) in Fourier space.
+//
+// It is the unified single- and multi-worker implementation of the
+// paper's hybrid MPI+OpenMP layer: each rank owns a persistent
+// par.Team that splits the y/z/x FFT batch loops and the transpose
+// pack/unpack kernels across workers, with one set of FFT plans per
+// worker (plans carry scratch and are not concurrency-safe). Results
+// are bitwise identical for any team size, because the plane-level
+// work units are independent and executed by identical plans.
+//
+// The steady-state transform path performs zero heap allocations:
+// pack/recv/mid buffers come from the process buffer arena at plan
+// time, the all-to-all runs through a persistent mpi.A2APlan (barrier
+// + direct copies, no per-call messages), the worker bodies are
+// precomputed closures dispatched through the reusable team, and phase
+// timings use allocation-free ObserveSince instrumentation.
 type SlabReal struct {
-	comm *mpi.Comm
-	s    grid.Slab
-	n    int
-	nxh  int
-	by   *fft.Batch     // along y on [mz][ny][nxh]
-	bz   *fft.Batch     // along z on [my][nz][nxh]
-	bx   *fft.RealBatch // along x: half-spectrum ↔ real line
-	pack []complex128
-	recv []complex128
-	mid  []complex128 // [my][nz][nxh] intermediate
-	met  *phaseMetrics
+	comm   *mpi.Comm
+	s      grid.Slab
+	n      int
+	nxh    int
+	team   *par.Team
+	layout transpose.SlabLayout
+	by     []*fft.Batch     // per worker: along y on [mz][ny][nxh]
+	bz     []*fft.Batch     // per worker: along z on [my][nz][nxh]
+	bx     []*fft.RealBatch // per worker: half-spectrum ↔ real line
+	pack   []complex128
+	recv   []complex128
+	mid    []complex128 // [my][nz][nxh] intermediate
+	a2a    *mpi.A2APlan[complex128]
+	met    *phaseMetrics
+	closed bool
+
+	// Staging fields for the precomputed worker bodies: the transform
+	// entry points publish the current operand slices here so the team
+	// bodies (built once in the constructor) reference them without a
+	// per-call closure allocation.
+	curFour []complex128
+	curPhys []float64
+
+	invYBody, fwdYBody    func(w, lo, hi int) // over iz planes
+	invZXBody, fwdXZBody  func(w, lo, hi int) // over iy planes
+	packYZBody, unpZYBody func(w, lo, hi int) // over iz
+	packZYBody, unpYZBody func(w, lo, hi int) // over iy
 }
 
-// NewSlabReal builds the DNS transform for an N³ real field (even N).
+// NewSlabReal builds the DNS transform for an N³ real field (even N)
+// with a single worker per rank.
 func NewSlabReal(comm *mpi.Comm, n int) *SlabReal {
+	return NewSlabRealWorkers(comm, n, 1)
+}
+
+// NewSlabRealWorkers builds the DNS transform with a team of workers
+// per rank (workers ≥ 1). Collective: every rank must construct the
+// transform at the same point in its collective order (the persistent
+// all-to-all registers buffers across ranks).
+func NewSlabRealWorkers(comm *mpi.Comm, n, workers int) *SlabReal {
 	if n%2 != 0 {
 		panic(fmt.Sprintf("pfft: SlabReal requires even N, got %d", n))
 	}
 	s := grid.NewSlab(n, comm.Size(), comm.Rank())
 	nxh := n/2 + 1
-	return &SlabReal{
-		comm: comm,
-		s:    s,
-		n:    n,
-		nxh:  nxh,
-		by:   fft.NewBatch(n, nxh, nxh, 1, nxh, 1),
-		bz:   fft.NewBatch(n, nxh, nxh, 1, nxh, 1),
-		bx:   fft.NewRealBatch(n, n, 1, n, 1, nxh),
-		pack: make([]complex128, s.MZ()*n*nxh),
-		recv: make([]complex128, s.MZ()*n*nxh),
-		mid:  make([]complex128, s.MY()*n*nxh),
-		met:  newPhaseMetrics(comm),
+	f := &SlabReal{
+		comm:   comm,
+		s:      s,
+		n:      n,
+		nxh:    nxh,
+		team:   par.NewTeam(workers),
+		layout: transpose.NewSlabLayout(nxh, n, s.MZ(), comm.Size()),
+		pack:   pool.GetComplex(s.MZ() * n * nxh),
+		recv:   pool.GetComplex(s.MZ() * n * nxh),
+		mid:    pool.GetComplex(s.MY() * n * nxh),
+		met:    newPhaseMetrics(comm),
+	}
+	for w := 0; w < workers; w++ {
+		f.by = append(f.by, fft.NewBatch(n, nxh, nxh, 1, nxh, 1))
+		f.bz = append(f.bz, fft.NewBatch(n, nxh, nxh, 1, nxh, 1))
+		f.bx = append(f.bx, fft.NewRealBatch(n, n, 1, n, 1, nxh))
+	}
+	f.a2a = mpi.NewA2APlan(comm, f.pack, f.recv)
+	f.buildBodies()
+	return f
+}
+
+// buildBodies precomputes the team worker closures once, so transform
+// calls dispatch them with zero allocations.
+func (f *SlabReal) buildBodies() {
+	n, nxh := f.n, f.nxh
+	f.invYBody = func(w, lo, hi int) {
+		for iz := lo; iz < hi; iz++ {
+			plane := f.curFour[iz*n*nxh : (iz+1)*n*nxh]
+			f.by[w].Inverse(plane, plane)
+		}
+	}
+	f.fwdYBody = func(w, lo, hi int) {
+		for iz := lo; iz < hi; iz++ {
+			plane := f.curFour[iz*n*nxh : (iz+1)*n*nxh]
+			f.by[w].Forward(plane, plane)
+		}
+	}
+	f.invZXBody = func(w, lo, hi int) {
+		for iy := lo; iy < hi; iy++ {
+			plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
+			f.bz[w].Inverse(plane, plane)
+			// complex-to-real along x: [nz][nxh] → [nz][nx].
+			f.bx[w].Inverse(f.curPhys[iy*n*n:(iy+1)*n*n], plane)
+		}
+	}
+	f.fwdXZBody = func(w, lo, hi int) {
+		for iy := lo; iy < hi; iy++ {
+			plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
+			f.bx[w].Forward(plane, f.curPhys[iy*n*n:(iy+1)*n*n])
+			f.bz[w].Forward(plane, plane)
+		}
+	}
+	f.packYZBody = func(_, lo, hi int) {
+		transpose.PackYZRange(&f.layout, f.pack, f.curFour, lo, hi)
+	}
+	f.unpYZBody = func(_, lo, hi int) {
+		transpose.UnpackYZRange(&f.layout, f.mid, f.recv, lo, hi)
+	}
+	f.packZYBody = func(_, lo, hi int) {
+		transpose.PackZYRange(&f.layout, f.pack, f.mid, lo, hi)
+	}
+	f.unpZYBody = func(_, lo, hi int) {
+		transpose.UnpackZYRange(&f.layout, f.curFour, f.recv, lo, hi)
 	}
 }
 
@@ -171,68 +266,84 @@ func (f *SlabReal) FourierLen() int { return f.s.MZ() * f.n * f.nxh }
 // PhysicalLen is the real element count of one local physical slab.
 func (f *SlabReal) PhysicalLen() int { return f.s.MY() * f.n * f.n }
 
+// Threads reports the worker-team size.
+func (f *SlabReal) Threads() int { return f.team.Size() }
+
+// Workers reports the worker-team size (alias of Threads).
+func (f *SlabReal) Workers() int { return f.team.Size() }
+
+// Close releases the worker team, the persistent all-to-all and every
+// pooled buffer back to the arena. The transform must not be used
+// afterwards. Safe to call once per rank, in any order across ranks.
+func (f *SlabReal) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.team.Close()
+	f.a2a.Free()
+	for w := range f.by {
+		f.by[w].Release()
+		f.bz[w].Release()
+		f.bx[w].Release()
+	}
+	pool.PutComplex(f.pack)
+	pool.PutComplex(f.recv)
+	pool.PutComplex(f.mid)
+	f.pack, f.recv, f.mid = nil, nil, nil
+}
+
 // FourierToPhysical transforms four=[mz][ny][nxh] (complex) into
 // phys=[my][nz][nx] (real), with 1/N³ normalization. four is consumed
 // as scratch.
 func (f *SlabReal) FourierToPhysical(phys []float64, four []complex128) {
-	n, nxh, mz, my := f.n, f.nxh, f.s.MZ(), f.s.MY()
+	mz, my := f.s.MZ(), f.s.MY()
 	if len(four) != f.FourierLen() || len(phys) != f.PhysicalLen() {
 		panic(fmt.Sprintf("pfft: real slab wants four %d phys %d, got %d %d",
 			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
 	}
-	stop := f.met.fft.Start()
-	for iz := 0; iz < mz; iz++ {
-		plane := four[iz*n*nxh : (iz+1)*n*nxh]
-		f.by.Inverse(plane, plane)
-	}
-	stop()
-	stop = f.met.pack.Start()
-	transpose.PackYZ(f.pack, four, nxh, n, mz, f.comm.Size())
-	stop()
-	stop = f.met.a2a.Start()
-	mpi.Alltoall(f.comm, f.pack, f.recv)
-	stop()
-	stop = f.met.unpack.Start()
-	transpose.UnpackYZ(f.mid, f.recv, nxh, n, my, f.comm.Size())
-	stop()
-	stop = f.met.fft.Start()
-	for iy := 0; iy < my; iy++ {
-		plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
-		f.bz.Inverse(plane, plane)
-		// complex-to-real along x: [nz][nxh] → [nz][nx].
-		f.bx.Inverse(phys[iy*n*n:(iy+1)*n*n], plane)
-	}
-	stop()
+	f.curFour, f.curPhys = four, phys
+	t := time.Now()
+	f.team.ForWorkers(mz, f.invYBody)
+	f.met.fft.ObserveSince(t)
+	t = time.Now()
+	f.team.ForWorkers(mz, f.packYZBody)
+	f.met.pack.ObserveSince(t)
+	t = time.Now()
+	f.a2a.Do()
+	f.met.a2a.ObserveSince(t)
+	t = time.Now()
+	f.team.ForWorkers(my, f.unpYZBody)
+	f.met.unpack.ObserveSince(t)
+	t = time.Now()
+	f.team.ForWorkers(my, f.invZXBody)
+	f.met.fft.ObserveSince(t)
+	f.curFour, f.curPhys = nil, nil
 }
 
 // PhysicalToFourier transforms phys=[my][nz][nx] (real) into
 // four=[mz][ny][nxh] (complex), unnormalized.
 func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
-	n, nxh, mz, my := f.n, f.nxh, f.s.MZ(), f.s.MY()
+	mz, my := f.s.MZ(), f.s.MY()
 	if len(four) != f.FourierLen() || len(phys) != f.PhysicalLen() {
 		panic(fmt.Sprintf("pfft: real slab wants four %d phys %d, got %d %d",
 			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
 	}
-	stop := f.met.fft.Start()
-	for iy := 0; iy < my; iy++ {
-		plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
-		f.bx.Forward(plane, phys[iy*n*n:(iy+1)*n*n])
-		f.bz.Forward(plane, plane)
-	}
-	stop()
-	stop = f.met.pack.Start()
-	transpose.PackZY(f.pack, f.mid, nxh, n, my, f.comm.Size())
-	stop()
-	stop = f.met.a2a.Start()
-	mpi.Alltoall(f.comm, f.pack, f.recv)
-	stop()
-	stop = f.met.unpack.Start()
-	transpose.UnpackZY(four, f.recv, nxh, n, mz, f.comm.Size())
-	stop()
-	stop = f.met.fft.Start()
-	for iz := 0; iz < mz; iz++ {
-		plane := four[iz*n*nxh : (iz+1)*n*nxh]
-		f.by.Forward(plane, plane)
-	}
-	stop()
+	f.curFour, f.curPhys = four, phys
+	t := time.Now()
+	f.team.ForWorkers(my, f.fwdXZBody)
+	f.met.fft.ObserveSince(t)
+	t = time.Now()
+	f.team.ForWorkers(my, f.packZYBody)
+	f.met.pack.ObserveSince(t)
+	t = time.Now()
+	f.a2a.Do()
+	f.met.a2a.ObserveSince(t)
+	t = time.Now()
+	f.team.ForWorkers(mz, f.unpZYBody)
+	f.met.unpack.ObserveSince(t)
+	t = time.Now()
+	f.team.ForWorkers(mz, f.fwdYBody)
+	f.met.fft.ObserveSince(t)
+	f.curFour, f.curPhys = nil, nil
 }

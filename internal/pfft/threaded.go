@@ -1,122 +1,17 @@
 package pfft
 
-import (
-	"fmt"
+import "repro/internal/mpi"
 
-	"repro/internal/fft"
-	"repro/internal/grid"
-	"repro/internal/mpi"
-	"repro/internal/par"
-	"repro/internal/transpose"
-)
-
-// SlabRealThreaded is SlabReal with an OpenMP-style worker team inside
-// each rank — the paper's hybrid MPI+OpenMP design (§1: "a hybrid
-// MPI+OpenMP approach to further reduce the number of MPI ranks for
-// the same problem size"). Plane loops are distributed over the team;
-// each worker owns its own FFT plans (plans carry scratch and are not
-// concurrency-safe). Results are identical to SlabReal for any team
-// size.
-type SlabRealThreaded struct {
-	comm *mpi.Comm
-	s    grid.Slab
-	n    int
-	nxh  int
-	pool *par.Pool
-
-	by   []*fft.Batch     // per worker
-	bz   []*fft.Batch     // per worker
-	bx   []*fft.RealBatch // per worker
-	pack []complex128
-	recv []complex128
-	mid  []complex128
-}
+// SlabRealThreaded is the historical name of the hybrid MPI+OpenMP
+// transform (§1: "a hybrid MPI+OpenMP approach to further reduce the
+// number of MPI ranks for the same problem size"). The worker-team
+// machinery now lives directly in SlabReal — a single implementation
+// whose team size is 1 for the plain constructor — so the threaded
+// type is an alias kept for the existing call sites.
+type SlabRealThreaded = SlabReal
 
 // NewSlabRealThreaded builds the hybrid transform with a team of
-// threads workers per rank.
+// threads workers per rank. Equivalent to NewSlabRealWorkers.
 func NewSlabRealThreaded(comm *mpi.Comm, n, threads int) *SlabRealThreaded {
-	if n%2 != 0 {
-		panic(fmt.Sprintf("pfft: SlabRealThreaded requires even N, got %d", n))
-	}
-	s := grid.NewSlab(n, comm.Size(), comm.Rank())
-	nxh := n/2 + 1
-	pool := par.NewPool(threads)
-	f := &SlabRealThreaded{
-		comm: comm, s: s, n: n, nxh: nxh, pool: pool,
-		pack: make([]complex128, s.MZ()*n*nxh),
-		recv: make([]complex128, s.MZ()*n*nxh),
-		mid:  make([]complex128, s.MY()*n*nxh),
-	}
-	for w := 0; w < threads; w++ {
-		f.by = append(f.by, fft.NewBatch(n, nxh, nxh, 1, nxh, 1))
-		f.bz = append(f.bz, fft.NewBatch(n, nxh, nxh, 1, nxh, 1))
-		f.bx = append(f.bx, fft.NewRealBatch(n, n, 1, n, 1, nxh))
-	}
-	return f
-}
-
-// Slab reports the decomposition geometry.
-func (f *SlabRealThreaded) Slab() grid.Slab { return f.s }
-
-// NXH is the stored x extent of the half-spectrum.
-func (f *SlabRealThreaded) NXH() int { return f.nxh }
-
-// FourierLen is the complex element count of one local Fourier slab.
-func (f *SlabRealThreaded) FourierLen() int { return f.s.MZ() * f.n * f.nxh }
-
-// PhysicalLen is the real element count of one local physical slab.
-func (f *SlabRealThreaded) PhysicalLen() int { return f.s.MY() * f.n * f.n }
-
-// Threads reports the team size.
-func (f *SlabRealThreaded) Threads() int { return f.pool.Size() }
-
-// FourierToPhysical transforms four=[mz][ny][nxh] into phys=[my][nz][nx]
-// with plane loops parallelized over the worker team.
-func (f *SlabRealThreaded) FourierToPhysical(phys []float64, four []complex128) {
-	n, nxh, mz, my := f.n, f.nxh, f.s.MZ(), f.s.MY()
-	if len(four) != f.FourierLen() || len(phys) != f.PhysicalLen() {
-		panic(fmt.Sprintf("pfft: threaded slab wants %d/%d, got %d/%d",
-			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
-	}
-	f.pool.ForWorkers(mz, func(w, lo, hi int) {
-		for iz := lo; iz < hi; iz++ {
-			plane := four[iz*n*nxh : (iz+1)*n*nxh]
-			f.by[w].Inverse(plane, plane)
-		}
-	})
-	transpose.PackYZ(f.pack, four, nxh, n, mz, f.comm.Size())
-	mpi.Alltoall(f.comm, f.pack, f.recv)
-	transpose.UnpackYZ(f.mid, f.recv, nxh, n, my, f.comm.Size())
-	f.pool.ForWorkers(my, func(w, lo, hi int) {
-		for iy := lo; iy < hi; iy++ {
-			plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
-			f.bz[w].Inverse(plane, plane)
-			f.bx[w].Inverse(phys[iy*n*n:(iy+1)*n*n], plane)
-		}
-	})
-}
-
-// PhysicalToFourier is the reverse direction.
-func (f *SlabRealThreaded) PhysicalToFourier(four []complex128, phys []float64) {
-	n, nxh, mz, my := f.n, f.nxh, f.s.MZ(), f.s.MY()
-	if len(four) != f.FourierLen() || len(phys) != f.PhysicalLen() {
-		panic(fmt.Sprintf("pfft: threaded slab wants %d/%d, got %d/%d",
-			f.FourierLen(), f.PhysicalLen(), len(four), len(phys)))
-	}
-	f.pool.ForWorkers(my, func(w, lo, hi int) {
-		for iy := lo; iy < hi; iy++ {
-			plane := f.mid[iy*n*nxh : (iy+1)*n*nxh]
-			f.bx[w].Forward(plane, phys[iy*n*n:(iy+1)*n*n])
-			f.bz[w].Forward(plane, plane)
-		}
-	})
-	transpose.PackZY(f.pack, f.mid, nxh, n, my, f.comm.Size())
-	mpi.Alltoall(f.comm, f.pack, f.recv)
-	transpose.UnpackZY(four, f.recv, nxh, n, mz, f.comm.Size())
-	f.pool.ForWorkers(mz, func(w, lo, hi int) {
-		for iz := lo; iz < hi; iz++ {
-			plane := four[iz*n*nxh : (iz+1)*n*nxh]
-			f.by[w].Forward(plane, plane)
-		}
-	})
+	return NewSlabRealWorkers(comm, n, threads)
 }

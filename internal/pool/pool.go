@@ -1,0 +1,182 @@
+// Package pool is the per-process buffer arena of the hot path:
+// size-classed freelists of []complex128, []float64 and []complex64
+// slices that the transform engines (internal/fft plans, the transpose
+// pack/unpack staging, the pfft and core pipeline buffers) check out at
+// plan time and recycle across cycles instead of allocating afresh.
+//
+// The paper's code never allocates inside a time step — every pencil,
+// staging and wire buffer is carved out of arenas sized at start-up
+// (§3.5 triple-buffering). This package is the software analogue for
+// the Go port: steady-state transform and step execution performs zero
+// heap allocations because every transient buffer comes from (and
+// returns to) a freelist.
+//
+// Buffers are grouped in power-of-two size classes. Get returns a
+// slice of exactly the requested length backed by a class-sized
+// capacity; the memory is NOT zeroed — callers are expected to
+// overwrite it fully, as every pack/transform kernel in this codebase
+// does. Put recycles a slice; per-class retention is bounded so a
+// burst cannot pin memory forever.
+//
+// Hits and misses accumulate in package atomics (the same pattern as
+// internal/fft's counters) and PublishMetrics copies them into a
+// registry as pool.hit / pool.miss, so buffer-reuse efficiency is
+// observable rather than asserted.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// maxPerClass bounds how many free buffers one size class retains;
+// beyond it Put drops the buffer for the GC to take.
+const maxPerClass = 64
+
+// minClassBits is the smallest class (2^6 = 64 elements); requests
+// below it share the 64-element class so tiny scratch lines still
+// recycle.
+const minClassBits = 6
+
+// nClasses covers lengths up to 2^34 elements, far beyond any slab.
+const nClasses = 35 - minClassBits
+
+var (
+	hits   atomic.Int64 // Gets served from a freelist
+	misses atomic.Int64 // Gets that fell through to make
+)
+
+// classFor returns the class index whose buffers have capacity
+// ≥ n, i.e. the ceiling power-of-two class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassBits
+	if c >= nClasses {
+		return -1 // oversize: unpooled
+	}
+	return c
+}
+
+// classSize is the capacity of buffers in class c.
+func classSize(c int) int { return 1 << (c + minClassBits) }
+
+// freelist is one element type's set of size-classed stacks.
+type freelist[T any] struct {
+	mu      sync.Mutex
+	classes [nClasses][][]T
+}
+
+func (f *freelist[T]) get(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c >= 0 {
+		f.mu.Lock()
+		if s := f.classes[c]; len(s) > 0 {
+			buf := s[len(s)-1]
+			s[len(s)-1] = nil
+			f.classes[c] = s[:len(s)-1]
+			f.mu.Unlock()
+			hits.Add(1)
+			return buf[:n]
+		}
+		f.mu.Unlock()
+	}
+	misses.Add(1)
+	if c >= 0 {
+		return make([]T, n, classSize(c))
+	}
+	return make([]T, n)
+}
+
+func (f *freelist[T]) put(buf []T) {
+	// File by the largest class the capacity fully covers, so a
+	// recycled buffer always satisfies any request routed to its class.
+	cp := cap(buf)
+	if cp < 1<<minClassBits {
+		return
+	}
+	c := bits.Len(uint(cp)) - 1 - minClassBits // floor class
+	if c < 0 {
+		return
+	}
+	if c >= nClasses {
+		c = nClasses - 1
+	}
+	f.mu.Lock()
+	if len(f.classes[c]) < maxPerClass {
+		f.classes[c] = append(f.classes[c], buf[:0])
+	}
+	f.mu.Unlock()
+}
+
+// Arena is one set of freelists. The zero value is ready to use; all
+// methods are safe for concurrent use by any number of rank and worker
+// goroutines.
+type Arena struct {
+	c128 freelist[complex128]
+	f64  freelist[float64]
+	c64  freelist[complex64]
+}
+
+// GetComplex checks out a []complex128 of length n (uninitialized).
+func (a *Arena) GetComplex(n int) []complex128 { return a.c128.get(n) }
+
+// PutComplex recycles a buffer obtained from GetComplex.
+func (a *Arena) PutComplex(buf []complex128) { a.c128.put(buf) }
+
+// GetFloat checks out a []float64 of length n (uninitialized).
+func (a *Arena) GetFloat(n int) []float64 { return a.f64.get(n) }
+
+// PutFloat recycles a buffer obtained from GetFloat.
+func (a *Arena) PutFloat(buf []float64) { a.f64.put(buf) }
+
+// GetComplex64 checks out a []complex64 of length n (uninitialized) —
+// the single-precision wire-staging element type.
+func (a *Arena) GetComplex64(n int) []complex64 { return a.c64.get(n) }
+
+// PutComplex64 recycles a buffer obtained from GetComplex64.
+func (a *Arena) PutComplex64(buf []complex64) { a.c64.put(buf) }
+
+// def is the process-wide arena every engine shares; in-process MPI
+// ranks are goroutines, so one arena serves all of them and a buffer
+// released by one rank can be reused by another.
+var def Arena
+
+// Default returns the process-wide arena.
+func Default() *Arena { return &def }
+
+// GetComplex checks a []complex128 of length n out of the default arena.
+func GetComplex(n int) []complex128 { return def.GetComplex(n) }
+
+// PutComplex recycles buf into the default arena.
+func PutComplex(buf []complex128) { def.PutComplex(buf) }
+
+// GetFloat checks a []float64 of length n out of the default arena.
+func GetFloat(n int) []float64 { return def.GetFloat(n) }
+
+// PutFloat recycles buf into the default arena.
+func PutFloat(buf []float64) { def.PutFloat(buf) }
+
+// GetComplex64 checks a []complex64 of length n out of the default arena.
+func GetComplex64(n int) []complex64 { return def.GetComplex64(n) }
+
+// PutComplex64 recycles buf into the default arena.
+func PutComplex64(buf []complex64) { def.PutComplex64(buf) }
+
+// Stats reports the cumulative hit/miss totals.
+func Stats() (hit, miss int64) { return hits.Load(), misses.Load() }
+
+// PublishMetrics copies the package totals into reg as the pool.hit
+// and pool.miss counters. Repeated calls overwrite, so the published
+// values stay cumulative (same convention as fft.PublishMetrics).
+func PublishMetrics(reg *metrics.Registry) {
+	reg.Counter("pool.hit").Store(hits.Load())
+	reg.Counter("pool.miss").Store(misses.Load())
+}

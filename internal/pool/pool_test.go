@@ -1,0 +1,122 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassRouting(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2}, {1024, 4}, {1025, 5},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	if classSize(0) != 64 || classSize(3) != 512 {
+		t.Fatalf("classSize wrong: %d %d", classSize(0), classSize(3))
+	}
+}
+
+func TestReuseSameBacking(t *testing.T) {
+	var a Arena
+	b1 := a.GetComplex(100)
+	if len(b1) != 100 || cap(b1) != 128 {
+		t.Fatalf("len/cap = %d/%d", len(b1), cap(b1))
+	}
+	b1[0] = 7
+	a.PutComplex(b1)
+	b2 := a.GetComplex(120) // same class (128): must reuse b1's backing
+	if len(b2) != 120 {
+		t.Fatalf("len = %d", len(b2))
+	}
+	if &b1[0] != &b2[0] {
+		t.Fatal("expected recycled backing array")
+	}
+}
+
+func TestGetSmallerThanStored(t *testing.T) {
+	var a Arena
+	b1 := a.GetFloat(128)
+	a.PutFloat(b1)
+	// A 65-element request routes to the 128 class and must be served
+	// by the stored buffer.
+	b2 := a.GetFloat(65)
+	if cap(b2) < 65 {
+		t.Fatalf("cap %d too small", cap(b2))
+	}
+	if &b1[0] != &b2[0] {
+		t.Fatal("expected recycled backing array")
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	var a Arena
+	h0, m0 := Stats()
+	b := a.GetComplex64(256) // miss
+	a.PutComplex64(b)
+	a.GetComplex64(256) // hit
+	h1, m1 := Stats()
+	if h1-h0 < 1 {
+		t.Errorf("expected ≥1 hit, got %d", h1-h0)
+	}
+	if m1-m0 < 1 {
+		t.Errorf("expected ≥1 miss, got %d", m1-m0)
+	}
+}
+
+func TestZeroLengthAndOversize(t *testing.T) {
+	var a Arena
+	if b := a.GetComplex(0); b != nil {
+		t.Fatal("zero-length get should be nil")
+	}
+	a.PutComplex(make([]complex128, 10)) // below min class: dropped, no panic
+}
+
+func TestRetentionBound(t *testing.T) {
+	var a Arena
+	for i := 0; i < 3*maxPerClass; i++ {
+		a.PutFloat(make([]float64, 64))
+	}
+	a.f64.mu.Lock()
+	n := len(a.f64.classes[0])
+	a.f64.mu.Unlock()
+	if n > maxPerClass {
+		t.Fatalf("class retained %d > %d", n, maxPerClass)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var a Arena
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 64 + (seed*131+i*17)%4000
+				b := a.GetComplex(n)
+				b[0], b[n-1] = 1, 2
+				a.PutComplex(b)
+				f := a.GetFloat(n)
+				f[n-1] = 3
+				a.PutFloat(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSteadyStateGetPutAllocFree(t *testing.T) {
+	var a Arena
+	// Warm the class, then Get/Put must not allocate.
+	a.PutComplex(a.GetComplex(1 << 12))
+	avg := testing.AllocsPerRun(200, func() {
+		b := a.GetComplex(1 << 12)
+		a.PutComplex(b)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.2f per run", avg)
+	}
+}

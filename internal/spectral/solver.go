@@ -85,6 +85,14 @@ type Solver struct {
 	work  []complex128
 	save  [3][]complex128 // RK substage storage
 	acc   [3][]complex128 // RK4 accumulator
+	// RK4 stage storage, hoisted out of the step loop (allocated once
+	// at construction when the scheme needs it, never per step):
+	// rk1..rk3 hold k1, k2 and E½·k3; rku holds the stage state the
+	// next nonlinear term is evaluated at.
+	rk1 [3][]complex128
+	rk2 [3][]complex128
+	rk3 [3][]complex128
+	rku [3][]complex128
 
 	// Wavenumber tables for the local Fourier slab.
 	kxs []float64 // length nxh
@@ -138,6 +146,14 @@ func NewSolverWithTransform(comm *mpi.Comm, cfg Config, tr Transform) *Solver {
 	}
 	s.prod = make([]float64, pl)
 	s.work = make([]complex128, fl)
+	if cfg.Scheme == RK4 {
+		for i := 0; i < 3; i++ {
+			s.rk1[i] = make([]complex128, fl)
+			s.rk2[i] = make([]complex128, fl)
+			s.rk3[i] = make([]complex128, fl)
+			s.rku[i] = make([]complex128, fl)
+		}
+	}
 
 	n, mz := cfg.N, s.slab.MZ()
 	s.kxs = make([]float64, s.nxh)
@@ -311,51 +327,47 @@ func (s *Solver) stepRK2(dt float64) {
 //	uⁿ⁺¹ = E·uⁿ + dt/6·(E·k1 + 2·E½·k2 + 2·E½·k3 + k4)
 func (s *Solver) stepRK4(dt float64) {
 	h := dt
-	for c := 0; c < 3; c++ {
-		copy(s.save[c], s.Uh[c]) // uⁿ
-	}
+	copyFields(&s.save, &s.Uh) // uⁿ
 	// Stage 1: k1 = N(uⁿ).
 	s.nonlinear(&s.Uh)
-	k1 := cloneFields(s.nl)
-	u2 := cloneFields(s.save)
-	addScaled(u2, k1, h/2)
-	s.applyIF(&u2, h/2)
+	copyFields(&s.rk1, &s.nl)
+	copyFields(&s.rku, &s.save)
+	addScaled(s.rku, s.rk1, h/2)
+	s.applyIF(&s.rku, h/2)
 	// Stage 2: k2 = N(E½·(uⁿ + h/2·k1)).
-	s.nonlinear(&u2)
-	k2 := cloneFields(s.nl)
-	u2 = cloneFields(s.save)
-	s.applyIF(&u2, h/2)
-	addScaled(u2, k2, h/2)
+	s.nonlinear(&s.rku)
+	copyFields(&s.rk2, &s.nl)
+	copyFields(&s.rku, &s.save)
+	s.applyIF(&s.rku, h/2)
+	addScaled(s.rku, s.rk2, h/2)
 	// Stage 3: k3 = N(E½·uⁿ + h/2·k2).
-	s.nonlinear(&u2)
-	k3 := cloneFields(s.nl)
-	u2 = cloneFields(s.save)
-	s.applyIF(&u2, h)
-	k3half := cloneFields(k3)
-	s.applyIF(&k3half, h/2)
-	addScaled(u2, k3half, h)
+	s.nonlinear(&s.rku)
+	copyFields(&s.rk3, &s.nl) // k3, folded to E½·k3 below
+	copyFields(&s.rku, &s.save)
+	s.applyIF(&s.rku, h)
+	s.applyIF(&s.rk3, h/2) // E½·k3
+	addScaled(s.rku, s.rk3, h)
 	// Stage 4: k4 = N(E·uⁿ + h·E½·k3).
-	s.nonlinear(&u2)
+	s.nonlinear(&s.rku)
 	// Assemble: uⁿ⁺¹ = E·uⁿ + h/6·(E·k1 + 2E½·k2 + 2E½·k3 + k4).
 	s.applyIF(&s.save, h) // E·uⁿ
-	s.applyIF(&k1, h)     // E·k1
-	s.applyIF(&k2, h/2)   // E½·k2
+	s.applyIF(&s.rk1, h)  // E·k1
+	s.applyIF(&s.rk2, h/2)
 	sixth := complex(h/6, 0)
 	for c := 0; c < 3; c++ {
 		for i := range s.Uh[c] {
-			s.Uh[c][i] = s.save[c][i] + sixth*(k1[c][i]+
-				2*k2[c][i]+2*k3half[c][i]+s.nl[c][i])
+			s.Uh[c][i] = s.save[c][i] + sixth*(s.rk1[c][i]+
+				2*s.rk2[c][i]+2*s.rk3[c][i]+s.nl[c][i])
 		}
 	}
 }
 
-func cloneFields(f [3][]complex128) [3][]complex128 {
-	var out [3][]complex128
+// copyFields copies all three components of src into the preallocated
+// dst (the zero-allocation replacement of the old per-stage clones).
+func copyFields(dst, src *[3][]complex128) {
 	for c := 0; c < 3; c++ {
-		out[c] = make([]complex128, len(f[c]))
-		copy(out[c], f[c])
+		copy(dst[c], src[c])
 	}
-	return out
 }
 
 // addScaled computes dst += a·src elementwise on all three components.

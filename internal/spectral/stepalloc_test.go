@@ -1,0 +1,55 @@
+package spectral
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// stepAllocs measures rank 0's steady-state heap allocations per Step
+// for the given configuration; peer ranks execute the same collective
+// sequence runs+1 times to match AllocsPerRun's call count.
+func stepAllocs(t *testing.T, cfg Config, p, runs int) float64 {
+	t.Helper()
+	var avg float64
+	mpi.Run(p, func(c *mpi.Comm) {
+		s := NewSolver(c, cfg)
+		s.SetTaylorGreen()
+		const dt = 1e-3
+		for i := 0; i < 3; i++ {
+			s.Step(dt) // warm up metric handles, twiddles, freelists
+		}
+		if c.Rank() == 0 {
+			avg = testing.AllocsPerRun(runs, func() { s.Step(dt) })
+		} else {
+			for i := 0; i < runs+1; i++ {
+				s.Step(dt)
+			}
+		}
+	})
+	return avg
+}
+
+// The DNS step loop must not allocate at steady state: every stage
+// buffer, transform scratch, pack buffer and metric sample ring is
+// hoisted to construction. This pins the hot path against regressions
+// (a single make() in a step stage shows up here immediately).
+func TestStepSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step DNS loop in -short mode")
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"rk2", Config{N: 16, Nu: 0.01, Scheme: RK2, Dealias: Dealias23}},
+		{"rk4", Config{N: 16, Nu: 0.01, Scheme: RK4, Dealias: Dealias23}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if avg := stepAllocs(t, tc.cfg, 2, 10); avg != 0 {
+				t.Fatalf("steady-state %s step allocates %.2f per call", tc.name, avg)
+			}
+		})
+	}
+}

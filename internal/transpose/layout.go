@@ -1,0 +1,134 @@
+package transpose
+
+import "fmt"
+
+// SlabLayout is the precomputed geometry of the slab y↔z transpose:
+// every stride, block size and bound the pack/unpack kernels need,
+// derived once at plan time instead of on every call. Plans (pfft,
+// core) hold one SlabLayout and the per-call kernels reduce to pure
+// copy loops; the *Range variants additionally restrict the outer loop
+// to a sub-interval of destination-disjoint indices so a worker team
+// can split one kernel across workers without write conflicts.
+//
+// Geometry (see the package comment): Fourier side [Mz][Ny][Nxh],
+// physical side [My][Nz][Nxh], with My = Ny/P and Nz = Mz·P.
+type SlabLayout struct {
+	Nxh, Ny, Nz int
+	My, Mz      int
+	P           int
+	Block       int // elements per per-rank block: Mz·My·Nxh
+	Total       int // elements per slab: Mz·Ny·Nxh = My·Nz·Nxh
+}
+
+// NewSlabLayout derives the slab transpose geometry for a Fourier-side
+// slab of shape [mz][ny][nxh] split across p ranks. ny must be
+// divisible by p.
+func NewSlabLayout(nxh, ny, mz, p int) SlabLayout {
+	if p < 1 || ny%p != 0 {
+		panic(fmt.Sprintf("transpose: ny=%d not divisible by p=%d", ny, p))
+	}
+	my := ny / p
+	return SlabLayout{
+		Nxh: nxh, Ny: ny, Nz: mz * p,
+		My: my, Mz: mz, P: p,
+		Block: mz * my * nxh,
+		Total: mz * ny * nxh,
+	}
+}
+
+func (l *SlabLayout) check(op string, dst, src int) {
+	if dst < l.Total || src < l.Total {
+		panic(fmt.Sprintf("transpose: %s needs %d elements, got dst %d src %d", op, l.Total, dst, src))
+	}
+}
+
+// PackYZRange packs z-planes [izLo,izHi) of the Fourier-side slab into
+// all p destination blocks. Distinct iz ranges write disjoint dst
+// elements, so concurrent calls over a partition of [0,Mz) are safe.
+func PackYZRange[T any](l *SlabLayout, dst, src []T, izLo, izHi int) {
+	nxh, ny, my, bs := l.Nxh, l.Ny, l.My, l.Block
+	for d := 0; d < l.P; d++ {
+		blk := dst[d*bs : (d+1)*bs]
+		for iz := izLo; iz < izHi; iz++ {
+			for iy := 0; iy < my; iy++ {
+				srcOff := (iz*ny + d*my + iy) * nxh
+				dstOff := (iz*my + iy) * nxh
+				copy(blk[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
+			}
+		}
+	}
+}
+
+// UnpackYZRange scatters received blocks into y-rows [iyLo,iyHi) of the
+// physical-side slab. Distinct iy ranges write disjoint dst elements.
+func UnpackYZRange[T any](l *SlabLayout, dst, src []T, iyLo, iyHi int) {
+	nxh, nz, my, mz, bs := l.Nxh, l.Nz, l.My, l.Mz, l.Block
+	for s := 0; s < l.P; s++ {
+		blk := src[s*bs : (s+1)*bs]
+		for iz := 0; iz < mz; iz++ {
+			for iy := iyLo; iy < iyHi; iy++ {
+				srcOff := (iz*my + iy) * nxh
+				dstOff := (iy*nz + s*mz + iz) * nxh
+				copy(dst[dstOff:dstOff+nxh], blk[srcOff:srcOff+nxh])
+			}
+		}
+	}
+}
+
+// PackZYRange packs y-rows [iyLo,iyHi) of the physical-side slab into
+// all p destination blocks. Distinct iy ranges write disjoint dst
+// elements.
+func PackZYRange[T any](l *SlabLayout, dst, src []T, iyLo, iyHi int) {
+	nxh, nz, mz, bs := l.Nxh, l.Nz, l.Mz, l.Block
+	for d := 0; d < l.P; d++ {
+		blk := dst[d*bs : (d+1)*bs]
+		for iy := iyLo; iy < iyHi; iy++ {
+			for iz := 0; iz < mz; iz++ {
+				srcOff := (iy*nz + d*mz + iz) * nxh
+				dstOff := (iy*mz + iz) * nxh
+				copy(blk[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
+			}
+		}
+	}
+}
+
+// UnpackZYRange scatters received blocks into z-planes [izLo,izHi) of
+// the Fourier-side slab. Distinct iz ranges write disjoint dst
+// elements.
+func UnpackZYRange[T any](l *SlabLayout, dst, src []T, izLo, izHi int) {
+	nxh, ny, my, mz, bs := l.Nxh, l.Ny, l.My, l.Mz, l.Block
+	for s := 0; s < l.P; s++ {
+		blk := src[s*bs : (s+1)*bs]
+		for iy := 0; iy < my; iy++ {
+			for iz := izLo; iz < izHi; iz++ {
+				srcOff := (iy*mz + iz) * nxh
+				dstOff := (iz*ny + s*my + iy) * nxh
+				copy(dst[dstOff:dstOff+nxh], blk[srcOff:srcOff+nxh])
+			}
+		}
+	}
+}
+
+// PackYZPencilInto is PackYZPencil writing the per-destination counts
+// into the caller-provided slice (length ≥ p) instead of allocating —
+// the steady-state form for the async engine's per-pencil exchanges.
+func PackYZPencilInto[T any](counts []int, dst, src []T, nxh, ny, mz, p, yLo, yHi int) {
+	my := ny / p
+	off := 0
+	for d := 0; d < p; d++ {
+		counts[d] = 0
+		lo := max(yLo, d*my)
+		hi := min(yHi, (d+1)*my)
+		if lo >= hi {
+			continue
+		}
+		for iz := 0; iz < mz; iz++ {
+			for iy := lo; iy < hi; iy++ {
+				srcOff := (iz*ny + iy) * nxh
+				copy(dst[off:off+nxh], src[srcOff:srcOff+nxh])
+				off += nxh
+			}
+		}
+		counts[d] = mz * (hi - lo) * nxh
+	}
+}

@@ -29,73 +29,33 @@ func CopyStrided[T any](dst []T, dstStride int, src []T, srcStride, rowLen, nrow
 // destination blocks of shape [mz][my][nxh]; block d carries y indices
 // [d·my,(d+1)·my). dst must have length mz·ny·nxh.
 func PackYZ[T any](dst, src []T, nxh, ny, mz, p int) {
-	my := ny / p
-	checkLen("PackYZ", len(dst), len(src), mz*ny*nxh)
-	bs := mz * my * nxh
-	for d := 0; d < p; d++ {
-		blk := dst[d*bs : (d+1)*bs]
-		for iz := 0; iz < mz; iz++ {
-			for iy := 0; iy < my; iy++ {
-				srcOff := (iz*ny + d*my + iy) * nxh
-				dstOff := (iz*my + iy) * nxh
-				copy(blk[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
-			}
-		}
-	}
+	l := NewSlabLayout(nxh, ny, mz, p)
+	l.check("PackYZ", len(dst), len(src))
+	PackYZRange(&l, dst, src, 0, mz)
 }
 
 // UnpackYZ scatters the received blocks (block s = [mz][my][nxh] from
 // rank s) into the physical-side slab dst=[my][nz][nxh].
 func UnpackYZ[T any](dst, src []T, nxh, nz, my, p int) {
-	mz := nz / p
-	checkLen("UnpackYZ", len(dst), len(src), my*nz*nxh)
-	bs := mz * my * nxh
-	for s := 0; s < p; s++ {
-		blk := src[s*bs : (s+1)*bs]
-		for iz := 0; iz < mz; iz++ {
-			for iy := 0; iy < my; iy++ {
-				srcOff := (iz*my + iy) * nxh
-				dstOff := (iy*nz + s*mz + iz) * nxh
-				copy(dst[dstOff:dstOff+nxh], blk[srcOff:srcOff+nxh])
-			}
-		}
-	}
+	l := NewSlabLayout(nxh, my*p, nz/p, p)
+	l.check("UnpackYZ", len(dst), len(src))
+	UnpackYZRange(&l, dst, src, 0, my)
 }
 
 // PackZY packs the physical-side slab src=[my][nz][nxh] into p blocks
 // of shape [my][mz][nxh]; block d carries z indices [d·mz,(d+1)·mz).
 func PackZY[T any](dst, src []T, nxh, nz, my, p int) {
-	mz := nz / p
-	checkLen("PackZY", len(dst), len(src), my*nz*nxh)
-	bs := my * mz * nxh
-	for d := 0; d < p; d++ {
-		blk := dst[d*bs : (d+1)*bs]
-		for iy := 0; iy < my; iy++ {
-			for iz := 0; iz < mz; iz++ {
-				srcOff := (iy*nz + d*mz + iz) * nxh
-				dstOff := (iy*mz + iz) * nxh
-				copy(blk[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
-			}
-		}
-	}
+	l := NewSlabLayout(nxh, my*p, nz/p, p)
+	l.check("PackZY", len(dst), len(src))
+	PackZYRange(&l, dst, src, 0, my)
 }
 
 // UnpackZY scatters the received blocks (block s = [my][mz][nxh] from
 // rank s) into the Fourier-side slab dst=[mz][ny][nxh].
 func UnpackZY[T any](dst, src []T, nxh, ny, mz, p int) {
-	my := ny / p
-	checkLen("UnpackZY", len(dst), len(src), mz*ny*nxh)
-	bs := my * mz * nxh
-	for s := 0; s < p; s++ {
-		blk := src[s*bs : (s+1)*bs]
-		for iy := 0; iy < my; iy++ {
-			for iz := 0; iz < mz; iz++ {
-				srcOff := (iy*mz + iz) * nxh
-				dstOff := (iz*ny + s*my + iy) * nxh
-				copy(dst[dstOff:dstOff+nxh], blk[srcOff:srcOff+nxh])
-			}
-		}
-	}
+	l := NewSlabLayout(nxh, ny, mz, p)
+	l.check("UnpackZY", len(dst), len(src))
+	UnpackZYRange(&l, dst, src, 0, mz)
 }
 
 // PackYZPencil packs only y indices [yLo,yHi) of the Fourier-side slab
@@ -106,24 +66,8 @@ func UnpackZY[T any](dst, src []T, nxh, ny, mz, p int) {
 // per-destination counts (in elements). This is the "pack one pencil,
 // all-to-all one pencil" message layout of configuration B.
 func PackYZPencil[T any](dst, src []T, nxh, ny, mz, p, yLo, yHi int) []int {
-	my := ny / p
 	counts := make([]int, p)
-	off := 0
-	for d := 0; d < p; d++ {
-		lo := max(yLo, d*my)
-		hi := min(yHi, (d+1)*my)
-		if lo >= hi {
-			continue
-		}
-		for iz := 0; iz < mz; iz++ {
-			for iy := lo; iy < hi; iy++ {
-				srcOff := (iz*ny + iy) * nxh
-				copy(dst[off:off+nxh], src[srcOff:srcOff+nxh])
-				off += nxh
-			}
-		}
-		counts[d] = mz * (hi - lo) * nxh
-	}
+	PackYZPencilInto(counts, dst, src, nxh, ny, mz, p, yLo, yHi)
 	return counts
 }
 
