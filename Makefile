@@ -1,0 +1,44 @@
+# Developer entry points. CI runs the same steps (see
+# .github/workflows/ci.yml); keep them in sync.
+
+GO ?= go
+PSDNSLINT := bin/psdnslint
+
+.PHONY: all build test lint fmt bench clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint = gofmt (fail on unformatted files) + go vet + the repo's own
+# psdnslint analyzer suite, plus staticcheck when it is installed
+# (local toolchains may not have it; CI installs it and makes it
+# blocking).
+lint: $(PSDNSLINT)
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) vet -vettool=$$PWD/$(PSDNSLINT) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# The vettool must be a prebuilt binary: go vet invokes it once per
+# package with the -V/-flags/cfg protocol, which `go run` cannot serve.
+$(PSDNSLINT): $(wildcard cmd/psdnslint/*.go) $(wildcard internal/analysis/*.go) go.mod
+	$(GO) build -o $@ ./cmd/psdnslint
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_step.json \
+		-baseline BENCH_step.json -check
+
+clean:
+	rm -rf bin bench-out

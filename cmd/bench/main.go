@@ -82,7 +82,12 @@ func timeLoop(iters, warm int, f func()) sample {
 type workload struct {
 	name        string
 	full, quick int
-	run         func(iters, workers int) sample
+	// hotpath marks workloads that drive //psdns:hotpath-annotated
+	// code paths. For these, allocs/op beyond the slack fails the run
+	// outright — no baseline needed — so the dynamic measurement
+	// cross-validates what psdnslint enforces statically.
+	hotpath bool
+	run     func(iters, workers int) sample
 }
 
 // slabTransform measures one forward+inverse cycle of the synchronous
@@ -139,6 +144,11 @@ func dnsStep(n, p int) func(iters, workers int) sample {
 	}
 }
 
+// fanInTag is the message tag of the fan-in workload's point-to-point
+// traffic. Tags must be named constants (see the mpireq analyzer) so
+// call sites can't silently collide in the mailbox key space.
+const fanInTag = 7
+
 // mailboxFanIn drives p−1 tagged sends into rank 0 per op, the fan-in
 // pattern the runtime's per-key mailbox signalling exists for.
 func mailboxFanIn(p, words int) func(iters, workers int) sample {
@@ -149,13 +159,13 @@ func mailboxFanIn(p, words int) func(iters, workers int) sample {
 			if c.Rank() == 0 {
 				op := func() {
 					for src := 1; src < p; src++ {
-						mpi.Recv(c, src, 7, buf)
+						mpi.Recv(c, src, fanInTag, buf)
 					}
 				}
 				s = timeLoop(iters, 2, op)
 			} else {
 				for i := 0; i < iters+2; i++ {
-					mpi.Send(c, 0, 7, buf)
+					mpi.Send(c, 0, fanInTag, buf)
 				}
 			}
 		})
@@ -180,11 +190,11 @@ func packUnpack(nxh, ny, mz, p int) func(iters, workers int) sample {
 }
 
 var workloads = []workload{
-	{"slab_fwd_inv_n64_p4", 40, 8, slabTransform(64, 4)},
-	{"slab_fwd_inv_n128_p4", 10, 2, slabTransform(128, 4)},
-	{"dns_rk2_step_n32_p2", 30, 6, dnsStep(32, 2)},
-	{"mailbox_fanin_p8", 2000, 400, mailboxFanIn(8, 128)},
-	{"pack_unpack_yz", 4000, 800, packUnpack(33, 64, 16, 4)},
+	{"slab_fwd_inv_n64_p4", 40, 8, true, slabTransform(64, 4)},
+	{"slab_fwd_inv_n128_p4", 10, 2, true, slabTransform(128, 4)},
+	{"dns_rk2_step_n32_p2", 30, 6, true, dnsStep(32, 2)},
+	{"mailbox_fanin_p8", 2000, 400, false, mailboxFanIn(8, 128)},
+	{"pack_unpack_yz", 4000, 800, true, packUnpack(33, 64, 16, 4)},
 }
 
 func main() {
@@ -230,17 +240,43 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *baseline == "" {
-		return
+	hotFailed := hotpathGate(f.Results, workloads)
+
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			log.Fatalf("bench: read baseline: %v", err)
+		}
+		if compare(f.Results, base, *tolerance) && *check {
+			os.Exit(1)
+		}
 	}
-	base, err := loadBaseline(*baseline)
-	if err != nil {
-		log.Fatalf("bench: read baseline: %v", err)
-	}
-	failed := compare(f.Results, base, *tolerance)
-	if failed && *check {
+	if hotFailed {
 		os.Exit(1)
 	}
+}
+
+// hotpathGate fails any hotpath-marked workload that reports more
+// than allocSlack allocs/op. Unlike compare it needs no baseline: the
+// annotated paths are allocation-free at steady state by design, and
+// the slack only absorbs process-wide background noise such as the
+// stall watchdog's ticker. This is the dynamic cross-check of the
+// psdnslint hotalloc analyzer.
+func hotpathGate(results []Result, ws []workload) bool {
+	hot := map[string]bool{}
+	for _, w := range ws {
+		hot[w.name] = w.hotpath
+	}
+	failed := false
+	for _, r := range results {
+		if !hot[r.Name] || r.AllocsPerOp <= allocSlack {
+			continue
+		}
+		fmt.Printf("%-22s FAIL hotpath workload allocates: %.1f allocs/op (slack %d)\n",
+			r.Name, r.AllocsPerOp, allocSlack)
+		failed = true
+	}
+	return failed
 }
 
 func loadBaseline(path string) (map[string]Result, error) {

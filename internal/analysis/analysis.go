@@ -1,0 +1,277 @@
+// Package analysis implements the psdnslint analyzer suite: five
+// static analyzers that enforce the invariants the runtime design
+// depends on and that so far were only guarded by AllocsPerRun tests
+// and the runtime watchdog:
+//
+//   - hotalloc:   no heap allocations in //psdns:hotpath functions,
+//     with propagation one level into same-package callees;
+//   - poolpair:   pool checkouts are released on every path or happen
+//     at plan/constructor time;
+//   - mpireq:     nonblocking requests reach Wait/WaitWithin on every
+//     path, and collective tags are named constants;
+//   - lockorder:  no mailbox entry points, channel sends, or nested
+//     cond.Wait while holding a mutex inside internal/mpi;
+//   - metricname: metric names are constants following the
+//     subsystem.noun[.verb] convention, each registered as one kind.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is self-contained: the repository
+// builds against a bare standard library, so the vet-protocol driver
+// in cmd/psdnslint and the analysistest harness are implemented
+// directly on go/ast, go/types and go/importer.
+//
+// Any finding can be suppressed at the site with
+//
+//	//psdns:allow <analyzer> <reason>
+//
+// on the offending line or the line above it. The reason is
+// mandatory; a bare directive suppresses nothing and is itself
+// reported. Findings in _test.go files are never reported: tests
+// exercise raw tags, throwaway metric names and deliberate leaks.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a single type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass is one analyzer's view of one package: its syntax, its type
+// information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that made
+// it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full psdnslint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{HotAlloc, PoolPair, MPIReq, LockOrder, MetricName}
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated, suitable for passing to types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+}
+
+const (
+	allowPrefix = "//psdns:allow"
+	hotpathMark = "//psdns:hotpath"
+)
+
+// An allowDirective is one parsed //psdns:allow comment.
+type allowDirective struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// collectAllows parses every //psdns:allow directive in the package.
+// The reason is everything after the analyzer name, truncated at an
+// embedded "//" so fixture files can carry a trailing // want
+// expectation on the directive line.
+func collectAllows(fset *token.FileSet, files []*ast.File) []allowDirective {
+	var out []allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //psdns:allowance
+				}
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				d := allowDirective{pos: c.Slash}
+				posn := fset.Position(c.Slash)
+				d.file, d.line = posn.Filename, posn.Line
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// isHotpath reports whether fd's doc comment carries the
+// //psdns:hotpath annotation.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMark {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to one type-checked package and returns
+// the surviving diagnostics in file/position order. Findings in
+// _test.go files are dropped, findings covered by a //psdns:allow
+// directive with a matching analyzer name and a non-empty reason are
+// suppressed, and reason-less directives for a known analyzer are
+// themselves reported.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		a.Run(pass)
+		all = append(all, pass.diags...)
+	}
+
+	allows := collectAllows(fset, files)
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, d := range all {
+		posn := fset.Position(d.Pos)
+		if strings.HasSuffix(posn.Filename, "_test.go") {
+			continue
+		}
+		if dir := matchAllow(allows, posn, d.Analyzer); dir != nil && dir.reason != "" {
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, dir := range allows {
+		if dir.reason == "" && known[dir.analyzer] && !strings.HasSuffix(dir.file, "_test.go") {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: dir.analyzer,
+				Message:  fmt.Sprintf("psdns:allow %s requires a non-empty reason", dir.analyzer),
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out
+}
+
+// matchAllow finds a directive covering a diagnostic: same file, same
+// analyzer, on the diagnostic's line or the line above it.
+func matchAllow(allows []allowDirective, posn token.Position, analyzer string) *allowDirective {
+	for i := range allows {
+		d := &allows[i]
+		if d.analyzer != analyzer || d.file != posn.Filename {
+			continue
+		}
+		if d.line == posn.Line || d.line == posn.Line-1 {
+			return d
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to the declared function or method it
+// invokes, or nil for builtins, conversions, and dynamic calls
+// through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// namedType unwraps pointers and reports the named type and its
+// package, or nil if t is not (a pointer to) a named type.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t is (a pointer to) the named type
+// pkgName.typeName.
+func isNamed(t types.Type, pkgName, typeName string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == pkgName && n.Obj().Name() == typeName
+}

@@ -1,0 +1,189 @@
+// Package analysistest runs psdnslint analyzers against fixture
+// packages under a testdata/src tree and checks the diagnostics they
+// produce against // want comments, mirroring the x/tools harness of
+// the same name on the bare standard library.
+//
+// Fixture packages are loaded hermetically: every import, including
+// ones shadowing standard library paths like "sync", is resolved
+// from testdata/src/<importpath>, so fixtures control the exact type
+// identities the analyzers match on and never depend on compiled
+// stdlib export data.
+//
+// Expectations are written as
+//
+//	expr // want `regexp` `another regexp`
+//
+// and each must be matched, at its file and line, by exactly one
+// diagnostic; unmatched expectations and unexpected diagnostics both
+// fail the test. A // want marker inside a //psdns:allow directive
+// comment is honored too, which is how fixtures assert the
+// empty-reason failure mode of the directive itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the canonical testdata directory of the calling
+// test's package.
+func TestData() string { return "testdata" }
+
+// Run loads each fixture package, applies the analyzer through the
+// full framework (including //psdns:allow filtering), and diffs the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, p := range pkgpaths {
+		runOne(t, filepath.Join(testdata, "src"), a, p)
+	}
+}
+
+func runOne(t *testing.T, root string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	im := &srcImporter{fset: fset, root: root, pkgs: map[string]*types.Package{}, infos: map[string]*pkgSyntax{}}
+	pkg, err := im.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture package %q: %v", pkgpath, err)
+	}
+	syn := im.infos[pkgpath]
+	diags := analysis.Run(fset, syn.files, pkg, syn.info, []*analysis.Analyzer{a})
+
+	wants := collectWants(t, fset, syn.files)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+// pkgSyntax carries the parsed files and type info of one fixture
+// package so the target package's syntax is available after loading.
+type pkgSyntax struct {
+	files []*ast.File
+	info  *types.Info
+}
+
+// srcImporter type-checks fixture packages from source, resolving
+// every import path against the testdata/src root.
+type srcImporter struct {
+	fset  *token.FileSet
+	root  string
+	pkgs  map[string]*types.Package
+	infos map[string]*pkgSyntax
+}
+
+func (im *srcImporter) Import(path string) (*types.Package, error) { return im.load(path) }
+
+func (im *srcImporter) load(path string) (*types.Package, error) {
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture import %q: no Go files in %s", path, dir)
+	}
+	info := analysis.NewInfo()
+	cfg := types.Config{Importer: im}
+	pkg, err := cfg.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %q: %w", path, err)
+	}
+	im.pkgs[path] = pkg
+	im.infos[path] = &pkgSyntax{files: files, info: info}
+	return pkg, nil
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants parses // want markers out of every comment,
+// including markers embedded in //psdns:allow directive comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Slash)
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q: %v", posn, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q: %v", posn, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.HotAlloc, "hotalloc")
+}
+
+func TestPoolPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.PoolPair, "poolpair")
+}
+
+func TestMPIReq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MPIReq, "mpireq")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockOrder, "lockorder/mpi")
+}
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MetricName, "metricname")
+}

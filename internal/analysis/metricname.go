@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the internal/metrics naming contract: every
+// name passed to Registry.Counter/Gauge/Histogram (and their
+// per-rank variants) is a compile-time string constant matching the
+// subsystem.noun[.verb] convention, and one package never registers
+// the same name as two different metric kinds. The snapshot merger
+// keys on names, so a dynamic or colliding name corrupts aggregated
+// output silently.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names must be constants matching subsystem.noun[.verb], one kind per name",
+	Run:  runMetricName,
+}
+
+// metricNameRE is the subsystem.noun[.verb] convention: two to four
+// lowercase alphanumeric dot-separated segments.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*){1,3}$`)
+
+// metricKind maps a Registry method to the kind it registers.
+func metricKind(name string) string {
+	switch name {
+	case "Counter", "CounterRank":
+		return "counter"
+	case "Gauge", "GaugeRank":
+		return "gauge"
+	case "Histogram", "HistogramRank":
+		return "histogram"
+	}
+	return ""
+}
+
+func runMetricName(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "metrics" {
+		return // the registry's own methods forward name parameters
+	}
+	type reg struct {
+		kind string
+		pos  token.Pos
+	}
+	seen := map[string]reg{}
+	for _, f := range pass.Files {
+		// Exclude test files from the one-kind-per-name ledger too:
+		// tests register throwaway names that must not collide with
+		// (or excuse) the package's real registrations.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "metrics" {
+				return true
+			}
+			kind := metricKind(fn.Name())
+			if kind == "" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isNamed(sig.Recv().Type(), "metrics", "Registry") {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "metric name must be a constant string, not a runtime value")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(arg.Pos(), "metric name %q does not match the subsystem.noun[.verb] convention (lowercase dot-separated segments)", name)
+				return true
+			}
+			if prev, ok := seen[name]; ok && prev.kind != kind {
+				pass.Reportf(arg.Pos(), "metric %q registered as both %s and %s in this package", name, prev.kind, kind)
+			} else if !ok {
+				seen[name] = reg{kind: kind, pos: arg.Pos()}
+			}
+			return true
+		})
+	}
+}

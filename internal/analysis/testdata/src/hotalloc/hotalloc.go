@@ -1,0 +1,90 @@
+// Package hotalloc exercises the hotalloc analyzer: allocations in
+// //psdns:hotpath functions, one-level propagation into callees,
+// panic-guard skipping, and the //psdns:allow suppression path.
+package hotalloc
+
+type state struct {
+	buf   []float64
+	sink  any
+	stage func()
+}
+
+// clean is annotated and allocation-free: pure index arithmetic,
+// guard clauses ending in panic, and stack struct values must all
+// pass.
+//
+//psdns:hotpath
+func clean(dst, src []float64) {
+	if len(dst) < len(src) {
+		panic("hotalloc: short destination")
+	}
+	type pair struct{ a, b float64 }
+	p := pair{a: 1, b: 2}
+	for i := range src {
+		dst[i] = src[i]*p.a + p.b
+	}
+}
+
+// alloc trips every allocation class the analyzer knows.
+//
+//psdns:hotpath
+func alloc(s *state, n int) {
+	tmp := make([]float64, n) // want `call to make allocates`
+	s.buf = append(s.buf, 1)  // want `append may grow its backing array`
+	q := new(state)           // want `call to new allocates`
+	m := map[int]int{}        // want `map literal allocates`
+	sl := []int{1, 2}         // want `slice literal allocates`
+	r := &state{}             // want `&composite literal escapes`
+	s.sink = n                // want `interface conversion of int allocates`
+	use(tmp, q, m, sl, r)
+}
+
+func use(a []float64, b *state, c map[int]int, d []int, e *state) {}
+
+// helper is not annotated itself but is called from a hotpath
+// function, so its body is checked one level deep.
+func helper(n int) []float64 {
+	return make([]float64, n) // want `call to make allocates in helper, called from //psdns:hotpath function propagates`
+}
+
+// second is two levels from any annotation and so is not checked.
+func second(n int) []float64 {
+	return make([]float64, n)
+}
+
+func indirect(n int) []float64 { return second(n) }
+
+//psdns:hotpath
+func propagates(s *state, n int) {
+	s.buf = helper(n)
+	s.buf = indirect(n)
+}
+
+// allowed demonstrates the suppression path: a real allocation with
+// a reasoned //psdns:allow directive is not reported.
+//
+//psdns:hotpath
+func allowed(s *state, n int) {
+	//psdns:allow hotalloc one-time lazy initialization, amortized across all steps
+	s.buf = make([]float64, n)
+}
+
+// emptyReason shows that a bare directive suppresses nothing and is
+// itself diagnosed.
+//
+//psdns:hotpath
+func emptyReason(s *state, n int) {
+	//psdns:allow hotalloc // want `psdns:allow hotalloc requires a non-empty reason`
+	s.buf = make([]float64, n) // want `call to make allocates`
+}
+
+// closures staged on the hot path are checked inside but their
+// creation is not flagged: engines build kernel closures at plan
+// time and the analyzer only sees annotated bodies.
+//
+//psdns:hotpath
+func staged(s *state, n int) {
+	s.stage = func() {
+		_ = make([]int, n) // want `call to make allocates`
+	}
+}

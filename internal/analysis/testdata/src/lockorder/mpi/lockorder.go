@@ -1,0 +1,90 @@
+// Package mpi (fixture) exercises the lockorder analyzer, which only
+// activates inside an mpi package: mailbox entry points, channel
+// sends, and nested cond.Wait under held mutexes.
+package mpi
+
+import "sync"
+
+type mailbox struct {
+	mu sync.Mutex
+	q  []int
+}
+
+// put and get are self-locking entry points, like the runtime's.
+func (m *mailbox) put(v int) {
+	m.mu.Lock()
+	m.q = append(m.q, v)
+	m.mu.Unlock()
+}
+
+func (m *mailbox) get() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v
+}
+
+type world struct {
+	mu    sync.Mutex
+	inner sync.Mutex
+	box   *mailbox
+	ch    chan int
+	cv    *sync.Cond
+}
+
+// nested calls mailbox entry points and sends with the world lock
+// held: both nest a second lock or block the holder.
+func (w *world) nested(v int) {
+	w.mu.Lock()
+	w.box.put(v)    // want `mailbox put while holding a mutex`
+	_ = w.box.get() // want `mailbox get while holding a mutex`
+	w.ch <- v       // want `channel send while holding a mutex`
+	w.mu.Unlock()
+}
+
+// nestedWait sleeps on a cond with a second mutex still held: Wait
+// only releases its own mutex.
+func (w *world) nestedWait() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inner.Lock()
+	w.cv.Wait() // want `cond.Wait while holding a second mutex`
+	w.inner.Unlock()
+}
+
+// unlocked copies what it needs under the lock and operates outside
+// it, the pattern the runtime's abort paths use.
+func (w *world) unlocked(v int) {
+	w.mu.Lock()
+	box := w.box
+	w.mu.Unlock()
+	box.put(v)
+	w.ch <- v
+}
+
+// ownWait holds exactly one mutex across Wait, which is the normal
+// condition-variable protocol.
+func (w *world) ownWait() {
+	w.mu.Lock()
+	w.cv.Wait()
+	w.mu.Unlock()
+}
+
+// deferredDelivery hands work to a goroutine body, which starts with
+// no locks held.
+func (w *world) deferredDelivery(v int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go func() {
+		w.box.put(v)
+		w.ch <- v
+	}()
+}
+
+// allowedSend documents a deliberate send under the lock.
+func (w *world) allowedSend(v int) {
+	w.mu.Lock()
+	w.ch <- v //psdns:allow lockorder buffered signal channel sized to the rank count
+	w.mu.Unlock()
+}

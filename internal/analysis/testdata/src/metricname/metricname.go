@@ -1,0 +1,28 @@
+// Package metricname exercises the metricname analyzer: the
+// subsystem.noun[.verb] convention, constant-only names, and the
+// one-kind-per-name rule.
+package metricname
+
+import "metrics"
+
+const planBuilds = "fft.plan.builds"
+
+func register(r *metrics.Registry, dynamic string) {
+	r.Counter("pool.hit")
+	r.Counter(planBuilds)
+	r.GaugeRank("par.workers.busy", 0)
+	r.Histogram("mpi.a2a.bytes")
+
+	r.Gauge("Pool.Hit")    // want `does not match the subsystem.noun`
+	r.Counter("pool")      // want `does not match the subsystem.noun`
+	r.Counter("a.b.c.d.e") // want `does not match the subsystem.noun`
+	r.Counter("pool.hit.") // want `does not match the subsystem.noun`
+	r.Histogram(dynamic)   // want `metric name must be a constant string`
+	r.Gauge("pool.hit")    // want `metric "pool.hit" registered as both counter and gauge`
+	r.CounterRank(planBuilds, 1)
+}
+
+// allowedLegacy keeps a pre-convention name with a reason.
+func allowedLegacy(r *metrics.Registry) {
+	r.Counter("LegacySteps") //psdns:allow metricname grandfathered name consumed by external dashboards
+}

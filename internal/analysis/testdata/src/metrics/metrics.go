@@ -1,0 +1,15 @@
+// Package metrics is a fixture stub with the registry API shape the
+// metricname analyzer matches on.
+package metrics
+
+type Registry struct{}
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name string) *Counter                   { return &Counter{} }
+func (r *Registry) CounterRank(name string, rank int) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge                       { return &Gauge{} }
+func (r *Registry) GaugeRank(name string, rank int) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram               { return &Histogram{} }
+func (r *Registry) HistogramRank(name string, rank int) *Histogram { return &Histogram{} }

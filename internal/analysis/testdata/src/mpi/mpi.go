@@ -1,0 +1,21 @@
+// Package mpi is a fixture stub with the runtime API shape the
+// mpireq analyzer matches on: package name "mpi", a Request type with
+// Wait/WaitWithin/Test, nonblocking constructors, and point-to-point
+// calls whose tag parameters are named tag/dtag/stag.
+package mpi
+
+type Comm struct{ rank int }
+
+func (c *Comm) Rank() int { return c.rank }
+
+type Request struct{ done chan struct{} }
+
+func (r *Request) Wait()                                  {}
+func (r *Request) WaitWithin(ns int64) error              { return nil }
+func (r *Request) Test() bool                             { return true }
+func WaitAll(rs ...*Request)                              {}
+func Ialltoall(c *Comm, send, recv []complex128) *Request { return &Request{} }
+
+func Send(c *Comm, dst, tag int, buf []float64)                                      {}
+func Recv(c *Comm, src, tag int, buf []float64)                                      {}
+func Sendrecv(c *Comm, dst, dtag int, send []float64, src, stag int, recv []float64) {}

@@ -1,0 +1,61 @@
+// Package mpireq exercises the mpireq analyzer: dropped nonblocking
+// requests, early-return paths that skip Wait, completion via
+// Wait/WaitWithin/Test/WaitAll, and raw tag literals.
+package mpireq
+
+import "mpi"
+
+const (
+	evTag   = 11
+	ackTag  = 12
+	dataTag = 13
+)
+
+// forget drops the request entirely.
+func forget(c *mpi.Comm, send, recv []complex128) {
+	req := mpi.Ialltoall(c, send, recv) // want `request from mpi.Ialltoall may not reach Wait/WaitWithin`
+	_ = req
+}
+
+// early skips Wait on the guard path.
+func early(c *mpi.Comm, send, recv []complex128, cond bool) {
+	req := mpi.Ialltoall(c, send, recv) // want `request from mpi.Ialltoall may not reach Wait/WaitWithin on this return path`
+	if cond {
+		return
+	}
+	req.Wait()
+}
+
+// waited completes on every path.
+func waited(c *mpi.Comm, send, recv []complex128) {
+	req := mpi.Ialltoall(c, send, recv)
+	defer req.Wait()
+}
+
+// within uses the watchdog-friendly bounded wait.
+func within(c *mpi.Comm, send, recv []complex128) error {
+	req := mpi.Ialltoall(c, send, recv)
+	return req.WaitWithin(1 << 30)
+}
+
+// fanout hands both requests to WaitAll: passing a request on is a
+// completion hand-off.
+func fanout(c *mpi.Comm, a, b []complex128) {
+	r1 := mpi.Ialltoall(c, a, a)
+	r2 := mpi.Ialltoall(c, b, b)
+	mpi.WaitAll(r1, r2)
+}
+
+// rawTags passes literal tags where named constants are required.
+func rawTags(c *mpi.Comm, buf []float64) {
+	mpi.Send(c, 0, 7, buf)                    // want `raw tag literal 7 in call to mpi.Send`
+	mpi.Recv(c, 1, -3, buf)                   // want `raw tag literal 3 in call to mpi.Recv`
+	mpi.Sendrecv(c, 0, 5, buf, 1, evTag, buf) // want `raw tag literal 5 in call to mpi.Sendrecv`
+	mpi.Recv(c, 1, evTag, buf)                // named constants pass
+	mpi.Sendrecv(c, 0, ackTag, buf, 1, dataTag, buf)
+}
+
+// allowedTag documents a deliberate literal with a reason.
+func allowedTag(c *mpi.Comm, buf []float64) {
+	mpi.Send(c, 0, 9, buf) //psdns:allow mpireq handshake tag fixed by the wire protocol
+}

@@ -1,0 +1,13 @@
+// Package pool is a fixture stub with the arena API shape the
+// poolpair analyzer matches on: package name "pool", Get*/Put* pairs.
+package pool
+
+type Arena struct{}
+
+func GetComplex(n int) []complex128 { return make([]complex128, n) }
+func GetFloat(n int) []float64      { return make([]float64, n) }
+func PutComplex(b []complex128)     {}
+func PutFloat(b []float64)          {}
+
+func (a *Arena) GetComplex(n int) []complex128 { return make([]complex128, n) }
+func (a *Arena) PutComplex(b []complex128)     {}

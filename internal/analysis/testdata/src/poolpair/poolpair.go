@@ -1,0 +1,91 @@
+// Package poolpair exercises the poolpair analyzer: leaked
+// checkouts, early-return leaks, release pairing via defer and
+// branches, ownership hand-off, and the plan-time exemption.
+package poolpair
+
+import "pool"
+
+type plan struct {
+	buf   []complex128
+	work  []float64
+	arena *pool.Arena
+}
+
+// leak never releases its checkout: element access does not count as
+// a hand-off.
+func leak(n int) float64 {
+	buf := pool.GetFloat(n) // want `buffer from pool.GetFloat may not be released`
+	buf[0] = 1
+	return buf[0]
+}
+
+// earlyReturn releases on the main path but not on the guard path.
+func earlyReturn(n int, cond bool) {
+	buf := pool.GetFloat(n) // want `buffer from pool.GetFloat may not be released .* on this return path`
+	if cond {
+		return
+	}
+	pool.PutFloat(buf)
+}
+
+// deferred pairs the checkout with a deferred release.
+func deferred(n int) float64 {
+	buf := pool.GetFloat(n)
+	defer pool.PutFloat(buf)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	return buf[0]
+}
+
+// branches releases on every path, including an arena method
+// checkout released through the arena.
+func branches(a *pool.Arena, n int, cond bool) {
+	buf := a.GetComplex(n)
+	if cond {
+		buf[0] = 1
+		a.PutComplex(buf)
+		return
+	}
+	a.PutComplex(buf)
+}
+
+// handoff transfers ownership: storing into a struct, returning, or
+// passing to another function all end local responsibility.
+func handoff(p *plan, n int) []complex128 {
+	p.buf = pool.GetComplex(n)
+	local := pool.GetComplex(n)
+	return local
+}
+
+// newPlan is constructor-named: plan-time checkouts live as long as
+// the plan and are released by its Close, so they are exempt.
+func newPlan(n int) *plan {
+	p := &plan{}
+	p.fill(n)
+	return p
+}
+
+// fill is unexported and reachable only from newPlan, so the
+// plan-time exemption propagates to it.
+func (p *plan) fill(n int) {
+	w := pool.GetFloat(n)
+	p.work = w
+}
+
+// allowed keeps a checkout alive past every return on purpose and
+// says why.
+func allowed(n int) {
+	//psdns:allow poolpair checked out for the process lifetime, reclaimed at exit
+	buf := pool.GetFloat(n)
+	buf[0] = 1
+}
+
+// panicPath leaks only on the abort path, which is not a report.
+func panicPath(n int, bad bool) {
+	buf := pool.GetFloat(n)
+	if bad {
+		panic("poolpair: invalid geometry")
+	}
+	pool.PutFloat(buf)
+}

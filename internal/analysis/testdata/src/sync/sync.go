@@ -1,0 +1,30 @@
+// Package sync is a fixture stub standing in for the standard
+// library's sync package: the lockorder analyzer matches on the
+// package path "sync" and the type names Mutex, RWMutex and Cond,
+// and fixtures are loaded hermetically from testdata/src.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+type Cond struct{ L Locker }
+
+func NewCond(l Locker) *Cond { return &Cond{L: l} }
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}

@@ -351,6 +351,8 @@ func subRange(xs span, g, ngpu int) span {
 
 // FourierToPhysical runs the Fig 4 pipeline: the y region with fused
 // pack + all-to-all, then the z and x regions. four is consumed.
+//
+//psdns:hotpath
 func (a *AsyncSlabReal) FourierToPhysical(phys []float64, four []complex128) {
 	if len(four) != a.FourierLen() || len(phys) != a.PhysicalLen() {
 		panic(fmt.Sprintf("core: F2P wants %d/%d, got %d/%d",
@@ -364,6 +366,8 @@ func (a *AsyncSlabReal) FourierToPhysical(phys []float64, four []complex128) {
 // PhysicalToFourier runs the reverse pipeline: the x (r2c) and z
 // regions, the reverse all-to-all fused into the z region's D2H, then
 // the y region.
+//
+//psdns:hotpath
 func (a *AsyncSlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 	if len(four) != a.FourierLen() || len(phys) != a.PhysicalLen() {
 		panic(fmt.Sprintf("core: P2F wants %d/%d, got %d/%d",
@@ -792,6 +796,8 @@ type pencilEvs struct{ h2d, comp, d2h *cuda.Event }
 // on every device — two pencils behind the launch frontier, the
 // (ip−2) rule of Fig 4 — and is the hook that posts the per-pencil
 // MPI_IALLTOALL.
+//
+//psdns:hotpath
 func (a *AsyncSlabReal) pipeline(ops func(ip, g int) pencilOps, afterD2H func(ip int)) {
 	ngpu := len(a.gpus)
 	state, pops := a.pstate, a.pops
@@ -867,6 +873,8 @@ func (a *AsyncSlabReal) pipeline(ops func(ip, g int) pencilOps, afterD2H func(ip
 
 // wait blocks on one all-to-all request, bounding the block by the
 // engine's wait deadline when one is configured.
+//
+//psdns:hotpath
 func (a *AsyncSlabReal) wait(r *mpi.Request) {
 	if a.waitDeadline > 0 {
 		r.WaitWithin(a.waitDeadline)
@@ -877,6 +885,8 @@ func (a *AsyncSlabReal) wait(r *mpi.Request) {
 
 // waitAll waits on every per-pencil request in order, each under the
 // engine's wait deadline.
+//
+//psdns:hotpath
 func (a *AsyncSlabReal) waitAll(reqs []*mpi.Request) {
 	for _, r := range reqs {
 		a.wait(r)

@@ -251,6 +251,8 @@ func newRequest(c *Comm, tag int, wait *metrics.Histogram) *Request {
 // the abort sentinel if the world was aborted while in flight. Wait is
 // idempotent: calling it again after it has returned (or panicked) is a
 // no-op that records no extra histogram sample and does not re-panic.
+//
+//psdns:hotpath
 func (r *Request) Wait() {
 	if r.waited.Swap(true) {
 		<-r.done

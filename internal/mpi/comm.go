@@ -129,6 +129,7 @@ type commMetrics struct {
 func (c *Comm) m() *commMetrics {
 	if c.met == nil {
 		r := c.w.reg
+		//psdns:allow hotalloc one-time lazy init of the metric handle block, amortized over every later operation
 		c.met = &commMetrics{
 			a2aBytes:    r.CounterRank("mpi.a2a.bytes", c.rank),
 			a2aMsgs:     r.CounterRank("mpi.a2a.calls", c.rank),

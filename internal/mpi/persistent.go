@@ -100,6 +100,8 @@ func NewA2APlan[T any](c *Comm, send, recv []T) *A2APlan[T] {
 // send[me*bs:(me+1)*bs] — exactly Alltoall's semantics. Collective and
 // allocation-free; blocked time is recorded in mpi.a2a.wait and wire
 // bytes (everything but the diagonal block) in mpi.a2a.bytes.
+//
+//psdns:hotpath
 func (pl *A2APlan[T]) Do() {
 	if pl.free {
 		panic("mpi: A2APlan used after Free")

@@ -99,6 +99,8 @@ func (t *Team) worker(w int) {
 }
 
 // runChunk executes worker w's static chunk of the current region.
+//
+//psdns:hotpath
 func (t *Team) runChunk(w int) {
 	lo := w * t.grain
 	hi := lo + t.grain
@@ -129,6 +131,8 @@ func (t *Team) Close() {
 // (FFT plans carry scratch and are not concurrency-safe). Dispatch is
 // allocation-free: pass a precomputed body closure for zero-alloc hot
 // paths.
+//
+//psdns:hotpath
 func (t *Team) ForWorkers(n int, body func(w, lo, hi int)) {
 	if t.isClose.Load() {
 		panic("par: ForWorkers on closed Team")

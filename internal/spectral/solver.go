@@ -250,6 +250,8 @@ func (s *Solver) annotateStall() {
 // Step advances the solution by dt using the configured scheme. With
 // metrics enabled it records the step wall time (phase.step) and the
 // wall time not spent inside transforms (phase.compute).
+//
+//psdns:hotpath
 func (s *Solver) Step(dt float64) {
 	defer s.annotateStall()
 	if !s.met.step.Enabled() {
@@ -291,6 +293,8 @@ func (s *Solver) stepInner(dt float64) {
 //	uⁿ⁺¹    = E(dt)·uⁿ + dt/2·(E(dt)·N(uⁿ) + N(u*))
 //
 // where E(dt) = exp(−νk²dt).
+//
+//psdns:hotpath
 func (s *Solver) stepRK2(dt float64) {
 	s.nonlinear(&s.Uh)
 	for c := 0; c < 3; c++ {
@@ -325,6 +329,8 @@ func (s *Solver) stepRK2(dt float64) {
 //	k3 = N(E½·uⁿ + dt/2·k2)
 //	k4 = N(E·uⁿ + dt·E½·k3)
 //	uⁿ⁺¹ = E·uⁿ + dt/6·(E·k1 + 2·E½·k2 + 2·E½·k3 + k4)
+//
+//psdns:hotpath
 func (s *Solver) stepRK4(dt float64) {
 	h := dt
 	copyFields(&s.save, &s.Uh) // uⁿ

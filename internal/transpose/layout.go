@@ -45,6 +45,8 @@ func (l *SlabLayout) check(op string, dst, src int) {
 // PackYZRange packs z-planes [izLo,izHi) of the Fourier-side slab into
 // all p destination blocks. Distinct iz ranges write disjoint dst
 // elements, so concurrent calls over a partition of [0,Mz) are safe.
+//
+//psdns:hotpath
 func PackYZRange[T any](l *SlabLayout, dst, src []T, izLo, izHi int) {
 	nxh, ny, my, bs := l.Nxh, l.Ny, l.My, l.Block
 	for d := 0; d < l.P; d++ {
@@ -61,6 +63,8 @@ func PackYZRange[T any](l *SlabLayout, dst, src []T, izLo, izHi int) {
 
 // UnpackYZRange scatters received blocks into y-rows [iyLo,iyHi) of the
 // physical-side slab. Distinct iy ranges write disjoint dst elements.
+//
+//psdns:hotpath
 func UnpackYZRange[T any](l *SlabLayout, dst, src []T, iyLo, iyHi int) {
 	nxh, nz, my, mz, bs := l.Nxh, l.Nz, l.My, l.Mz, l.Block
 	for s := 0; s < l.P; s++ {
@@ -78,6 +82,8 @@ func UnpackYZRange[T any](l *SlabLayout, dst, src []T, iyLo, iyHi int) {
 // PackZYRange packs y-rows [iyLo,iyHi) of the physical-side slab into
 // all p destination blocks. Distinct iy ranges write disjoint dst
 // elements.
+//
+//psdns:hotpath
 func PackZYRange[T any](l *SlabLayout, dst, src []T, iyLo, iyHi int) {
 	nxh, nz, mz, bs := l.Nxh, l.Nz, l.Mz, l.Block
 	for d := 0; d < l.P; d++ {
@@ -95,6 +101,8 @@ func PackZYRange[T any](l *SlabLayout, dst, src []T, iyLo, iyHi int) {
 // UnpackZYRange scatters received blocks into z-planes [izLo,izHi) of
 // the Fourier-side slab. Distinct iz ranges write disjoint dst
 // elements.
+//
+//psdns:hotpath
 func UnpackZYRange[T any](l *SlabLayout, dst, src []T, izLo, izHi int) {
 	nxh, ny, my, mz, bs := l.Nxh, l.Ny, l.My, l.Mz, l.Block
 	for s := 0; s < l.P; s++ {

@@ -13,6 +13,8 @@ import "fmt"
 // to dst, advancing by the given strides between rows — the software
 // analogue of cudaMemcpy2D that both host packing and the simulated
 // device copies share.
+//
+//psdns:hotpath
 func CopyStrided[T any](dst []T, dstStride int, src []T, srcStride, rowLen, nrows int) {
 	for r := 0; r < nrows; r++ {
 		copy(dst[r*dstStride:r*dstStride+rowLen], src[r*srcStride:r*srcStride+rowLen])
