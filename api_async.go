@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exchange"
 	"repro/internal/grid"
 	"repro/internal/pfft"
 )
@@ -27,6 +28,28 @@ const (
 	PerPencil = core.PerPencil
 	PerSlab   = core.PerSlab
 )
+
+// ExchangeStrategy selects how the y↔z transpose-exchange moves data:
+// staged pack → all-to-all → unpack, a zero-copy fused gather reading
+// peer slabs in place, its chunked pairwise variant, or plan-time
+// autotuning between them.
+type ExchangeStrategy = exchange.Strategy
+
+// Transpose-exchange strategies. ExchangeAuto (the zero value)
+// microbenchmarks the concrete strategies at plan construction on the
+// actual (N, P, workers) and pins the collectively-agreed winner.
+const (
+	ExchangeAuto    = exchange.Auto
+	ExchangeStaged  = exchange.Staged
+	ExchangeFused   = exchange.Fused
+	ExchangeChunked = exchange.ChunkedFused
+)
+
+// ParseExchangeStrategy parses "auto", "staged", "fused" or "chunked"
+// (the -exchange flag vocabulary of cmd/dns).
+func ParseExchangeStrategy(s string) (ExchangeStrategy, error) {
+	return exchange.Parse(s)
+}
 
 // AsyncOption customizes NewAsync.
 type AsyncOption func(*AsyncOptions)
@@ -73,6 +96,13 @@ func WithMetrics(reg *MetricsRegistry) AsyncOption {
 // *StallError instead of hanging the pipeline. Zero waits forever.
 func WithWaitDeadline(d time.Duration) AsyncOption {
 	return func(o *AsyncOptions) { o.WaitDeadline = d }
+}
+
+// WithExchangeStrategy pins the transpose-exchange strategy instead of
+// autotuning it at plan construction. Fused strategies are bitwise
+// identical to staged; only the data path differs.
+func WithExchangeStrategy(s ExchangeStrategy) AsyncOption {
+	return func(o *AsyncOptions) { o.Exchange = s }
 }
 
 // NewAsync builds the asynchronous engine for an N³ transform,

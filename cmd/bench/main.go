@@ -12,7 +12,10 @@
 //   - dns_rk2_step_n32_p2: one full Navier–Stokes RK2 step;
 //   - mailbox_fanin_p8: point-to-point fan-in through the in-process
 //     runtime's mailboxes;
-//   - pack_unpack_yz: the host transpose pack/unpack kernel pair.
+//   - pack_unpack_yz: the host transpose pack/unpack kernel pair;
+//   - exchange_{staged,fused,chunked}_n{64,128}: the isolated y→z
+//     transpose-exchange at P=4 under each pinned strategy (staged
+//     pack → all-to-all → unpack vs the zero-copy fused gathers).
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/exchange"
 	"repro/internal/mpi"
 	"repro/internal/pfft"
 	"repro/internal/spectral"
@@ -173,6 +177,35 @@ func mailboxFanIn(p, words int) func(iters, workers int) sample {
 	}
 }
 
+// exchangeYZ measures the isolated y→z transpose-exchange of one
+// Fourier slab under a pinned strategy: staged is the pack →
+// persistent all-to-all → unpack triple, fused and chunked go through
+// the zero-copy ExchangePlan gather. Same measurement discipline as
+// slabTransform (rank 0 samples, peers run the collective loop).
+func exchangeYZ(n, p int, st exchange.Strategy) func(iters, workers int) sample {
+	return func(iters, workers int) sample {
+		var s sample
+		mpi.Run(p, func(c *mpi.Comm) {
+			f := pfft.NewSlabRealStrategy(c, n, workers, st)
+			defer f.Close()
+			four := make([]complex128, f.FourierLen())
+			for i := range four {
+				four[i] = complex(float64(i%17)*0.5, 1)
+			}
+			op := func() { f.ExchangeYZ(four) }
+			c.Barrier()
+			if c.Rank() == 0 {
+				s = timeLoop(iters, 2, op)
+			} else {
+				for i := 0; i < iters+2; i++ {
+					op()
+				}
+			}
+		})
+		return s
+	}
+}
+
 func packUnpack(nxh, ny, mz, p int) func(iters, workers int) sample {
 	return func(iters, _ int) sample {
 		src := make([]complex128, mz*ny*nxh)
@@ -195,6 +228,12 @@ var workloads = []workload{
 	{"dns_rk2_step_n32_p2", 30, 6, true, dnsStep(32, 2)},
 	{"mailbox_fanin_p8", 2000, 400, false, mailboxFanIn(8, 128)},
 	{"pack_unpack_yz", 4000, 800, true, packUnpack(33, 64, 16, 4)},
+	{"exchange_staged_n64", 400, 80, true, exchangeYZ(64, 4, exchange.Staged)},
+	{"exchange_fused_n64", 400, 80, true, exchangeYZ(64, 4, exchange.Fused)},
+	{"exchange_chunked_n64", 400, 80, true, exchangeYZ(64, 4, exchange.ChunkedFused)},
+	{"exchange_staged_n128", 60, 12, true, exchangeYZ(128, 4, exchange.Staged)},
+	{"exchange_fused_n128", 60, 12, true, exchangeYZ(128, 4, exchange.Fused)},
+	{"exchange_chunked_n128", 60, 12, true, exchangeYZ(128, 4, exchange.ChunkedFused)},
 }
 
 func main() {

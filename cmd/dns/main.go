@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/exchange"
 	"repro/internal/fft"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
@@ -37,6 +38,7 @@ func main() {
 		engine  = flag.String("engine", "sync", "transform engine: sync or async")
 		np      = flag.Int("np", 3, "pencils per slab (async engine)")
 		gran    = flag.String("gran", "slab", "all-to-all granularity: pencil or slab (async)")
+		exch    = flag.String("exchange", "auto", "transpose-exchange strategy: auto, staged, fused or chunked (auto microbenchmarks at startup and pins the winner)")
 		ngpu    = flag.Int("ngpu", 1, "devices per rank (async engine)")
 		workers = flag.Int("workers", 1, "worker-team size per rank (FFT batch + pack/unpack parallelism; results identical for any value)")
 		forced  = flag.Bool("forced", false, "apply low-wavenumber band forcing")
@@ -76,6 +78,10 @@ func main() {
 	if *gran == "pencil" {
 		granularity = core.PerPencil
 	}
+	strategy, err := exchange.Parse(*exch)
+	if err != nil {
+		log.Fatalf("-exchange: %v", err)
+	}
 
 	runOpts := []mpi.RunOption{mpi.WithWatchdog(mpi.Watchdog{
 		Off:           !*watchOn,
@@ -104,23 +110,33 @@ func main() {
 	fmt.Printf("DNS %d³ on %d ranks, %s, engine=%s ν=%g dt=%g\n",
 		*n, *ranks, *scheme, *engine, *nu, *dt)
 
-	err := mpi.TryRun(*ranks, func(c *mpi.Comm) {
+	err = mpi.TryRun(*ranks, func(c *mpi.Comm) {
 		cfg := spectral.Config{N: *n, Nu: *nu, Scheme: sch, Dealias: spectral.Dealias23}
 		if *forced {
 			cfg.Forcing = spectral.NewForcing(2)
 		}
 		var solver *spectral.Solver
+		var pinned exchange.Strategy
 		if *engine == "async" {
 			tr := core.NewAsyncSlabReal(c, *n, core.Options{
 				NP: *np, Granularity: granularity, NGPU: *ngpu,
 				Workers:      *workers,
 				WaitDeadline: *waitDeadline,
+				Exchange:     strategy,
 			})
 			defer tr.Close()
+			pinned = tr.Strategy()
+			if c.Rank() == 0 {
+				fmt.Printf("transpose-exchange strategy: %s\n", pinned)
+			}
 			solver = spectral.NewSolverWithTransform(c, cfg, tr)
 		} else {
-			tr := pfft.NewSlabRealWorkers(c, *n, *workers)
+			tr := pfft.NewSlabRealStrategy(c, *n, *workers, strategy)
 			defer tr.Close()
+			pinned = tr.Strategy()
+			if c.Rank() == 0 {
+				fmt.Printf("transpose-exchange strategy: %s\n", pinned)
+			}
 			solver = spectral.NewSolverWithTransform(c, cfg, tr)
 		}
 		solver.SetRandomIsotropic(*k0, *e0, *seed)
@@ -145,6 +161,9 @@ func main() {
 			// measure steps rather than setup and diagnostics.
 			c.Barrier()
 			metrics.Enable()
+			// The engine pins its strategy gauge at construction, while
+			// the registry is still off; restate it now that it is on.
+			c.Metrics().GaugeRank("exchange.strategy", c.Rank()).Set(pinned.Code())
 		}
 		for i := 0; i < *steps; i++ {
 			timer.Begin()

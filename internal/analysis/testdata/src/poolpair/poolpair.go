@@ -73,6 +73,32 @@ func (p *plan) fill(n int) {
 	p.work = w
 }
 
+// newTuned is the plan-time trial-checkout pattern: a constructor
+// checks a trial buffer out of the arena, runs strategy trials against
+// it, and releases it before returning — the autotuner's shape. The
+// balanced checkout needs no exemption, and the plan-lifetime checkout
+// beside it still rides the constructor exemption.
+func newTuned(n int) *plan {
+	p := &plan{buf: pool.GetComplex(n)}
+	trial := pool.GetFloat(n)
+	best := 0
+	for st := 0; st < 3; st++ {
+		if trialRun(trial, st) {
+			best = st
+		}
+	}
+	pool.PutFloat(trial)
+	p.work = pool.GetFloat(best + 1)
+	return p
+}
+
+// trialRun is unexported and reachable only from newTuned, so even a
+// checkout it retained would ride the plan-time exemption.
+func trialRun(trial []float64, st int) bool {
+	trial[0] = float64(st)
+	return trial[0] > 1
+}
+
 // allowed keeps a checkout alive past every return on purpose and
 // says why.
 func allowed(n int) {

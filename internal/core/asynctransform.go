@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cuda"
+	"repro/internal/exchange"
 	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/metrics"
@@ -57,6 +59,14 @@ type Options struct {
 	// hanging the pipeline (the engine-level analogue of the runtime's
 	// stall watchdog). Zero waits indefinitely.
 	WaitDeadline time.Duration
+	// Exchange selects the transpose-exchange strategy: Staged posts
+	// MPI all-to-alls and unpacks the received blocks (the wire path of
+	// the paper's staged variant), Fused and ChunkedFused gather
+	// directly from every peer's packed send buffer into the local
+	// destination layout through an mpi.ExchangePlan (the zero-copy
+	// variant), and Auto (the zero value) microbenchmarks all three at
+	// plan time and pins the collectively-agreed winner.
+	Exchange exchange.Strategy
 }
 
 // span is a half-open index range.
@@ -162,6 +172,14 @@ type AsyncSlabReal struct {
 	recv32  []complex64
 	sendP32 [][]complex64
 	recvP32 [][]complex64
+
+	// Pinned transpose-exchange strategy (never exchange.Auto) and the
+	// fused-exchange plans: one per pencil under PerPencil granularity,
+	// a single whole-slab plan under PerSlab. Only the precision
+	// matching a.single is populated.
+	strat  exchange.Strategy
+	exch   []*mpi.ExchangePlan[complex128]
+	exch32 []*mpi.ExchangePlan[complex64]
 }
 
 // NewAsyncSlabReal constructs the pipeline for an N³ real transform
@@ -288,8 +306,37 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 			off += size
 		}
 	}
+	// Fused-exchange plans, registered unconditionally (registration is
+	// a cheap collective and every rank must stay in the same collective
+	// order regardless of the strategy each would pick).
+	if a.gran == PerPencil {
+		for _, xs := range a.xr {
+			size := p * mz * my * xs.width()
+			if a.single {
+				a.exch32 = append(a.exch32, mpi.NewExchangePlan[complex64](comm, size))
+			} else {
+				a.exch = append(a.exch, mpi.NewExchangePlan[complex128](comm, size))
+			}
+		}
+	} else {
+		if a.single {
+			a.exch32 = append(a.exch32, mpi.NewExchangePlan[complex64](comm, mz*n*nxh))
+		} else {
+			a.exch = append(a.exch, mpi.NewExchangePlan[complex128](comm, mz*n*nxh))
+		}
+	}
+	st := opt.Exchange
+	if st == exchange.Auto {
+		st = a.autotune()
+	}
+	a.strat = st
+	reg.GaugeRank("exchange.strategy", comm.Rank()).Set(st.Code())
 	return a
 }
+
+// Strategy reports the pinned transpose-exchange strategy (never
+// exchange.Auto: autotuned engines report the winner).
+func (a *AsyncSlabReal) Strategy() exchange.Strategy { return a.strat }
 
 // Close releases the device worker goroutines, the worker teams, the
 // cached FFT plans and every arena-backed buffer. Idempotent.
@@ -311,6 +358,12 @@ func (a *AsyncSlabReal) Close() {
 		}
 	}
 	a.team.Close()
+	for _, pl := range a.exch {
+		pl.Free()
+	}
+	for _, pl := range a.exch32 {
+		pl.Free()
+	}
 	pool.PutComplex(a.mid)
 	a.mid = nil
 	if a.single {
@@ -415,7 +468,10 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
 	reqs := a.reqs
 	var afterD2H func(ip int)
-	if a.gran == PerPencil {
+	// Fused strategies skip the wire entirely: no per-pencil all-to-all
+	// posts — the gather after the pipeline reads peer send buffers in
+	// place.
+	if a.gran == PerPencil && a.strat == exchange.Staged {
 		afterD2H = func(ip int) {
 			if a.single {
 				reqs[ip] = mpi.Ialltoall(a.comm, a.sendP32[ip], a.recvP32[ip])
@@ -477,6 +533,12 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 	}, afterD2H)
 	stop()
 
+	if a.strat != exchange.Staged {
+		stop = a.met.a2a.Start()
+		a.fusedExchangeY(a.strat == exchange.ChunkedFused)
+		stop()
+		return
+	}
 	if a.gran == PerSlab {
 		stop = a.met.a2a.Start()
 		if a.single {
@@ -486,29 +548,40 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 		}
 		stop()
 		defer a.met.unpack.Start()()
-		// Unpack [s][mz][my][nxh] blocks into mid=[my][nz][nxh]. Each
-		// (s,iz) unit owns a distinct set of destination rows, so the
-		// flattened loop splits across the worker team conflict-free.
-		a.team.ForWorkers(p*mz, func(_, lo, hi int) {
-			for u := lo; u < hi; u++ {
-				s, iz := u/mz, u%mz
-				if a.single {
-					widenStrided(a.mid[(s*mz+iz)*nxh:], n*nxh,
-						a.recv32[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
-				} else {
-					transpose.CopyStrided(a.mid[(s*mz+iz)*nxh:], n*nxh,
-						a.recvAll[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
-				}
-			}
-		})
+		a.unpackYPerSlab()
 		return
 	}
 	stop = a.met.a2a.Start()
 	a.waitAll(reqs)
 	stop()
 	defer a.met.unpack.Start()()
-	// Unpack per-pencil blocks [s][mz][my][wp] into mid (on real
-	// hardware this is the zero-copy scatter kernel of §4.2).
+	a.unpackYPerPencil()
+}
+
+// unpackYPerSlab scatters the whole-slab received blocks
+// [s][mz][my][nxh] into mid=[my][nz][nxh]. Each (s,iz) unit owns a
+// distinct set of destination rows, so the flattened loop splits
+// across the worker team conflict-free.
+func (a *AsyncSlabReal) unpackYPerSlab() {
+	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
+	a.team.ForWorkers(p*mz, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			s, iz := u/mz, u%mz
+			if a.single {
+				widenStrided(a.mid[(s*mz+iz)*nxh:], n*nxh,
+					a.recv32[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
+			} else {
+				transpose.CopyStrided(a.mid[(s*mz+iz)*nxh:], n*nxh,
+					a.recvAll[s*mz*my*nxh+iz*my*nxh:], nxh, nxh, my)
+			}
+		}
+	})
+}
+
+// unpackYPerPencil scatters per-pencil blocks [s][mz][my][wp] into mid
+// (on real hardware this is the zero-copy scatter kernel of §4.2).
+func (a *AsyncSlabReal) unpackYPerPencil() {
+	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
 	for ip, full := range a.xr {
 		ip, wp := ip, full.width()
 		base := full.lo
@@ -525,6 +598,140 @@ func (a *AsyncSlabReal) regionYTranspose(four []complex128) {
 			}
 		})
 	}
+}
+
+// gatherYBlocks is the fused y→z gather: every peer's packed send
+// block is read in place (srcs or srcs32, whichever precision the
+// engine stages) and scattered straight into mid — the wire copy and
+// the unpack of the staged path fused into one parallel pass. w is the
+// packed row width (nxh whole-slab, the pencil width per-pencil) and
+// base the x offset of the pencil in mid. chunked visits peers in
+// pairwise-exchange rounds (round r reads (me+r)%P) so each published
+// slab is read by one rank's team at a time; fused sweeps all peers in
+// one team dispatch.
+func (a *AsyncSlabReal) gatherYBlocks(srcs [][]complex128, srcs32 [][]complex64, w, base int, chunked bool) {
+	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
+	me := a.comm.Rank()
+	blk := mz * my * w
+	unit := func(s, iz int) {
+		if srcs32 != nil {
+			widenStrided(a.mid[(s*mz+iz)*nxh+base:], n*nxh,
+				srcs32[s][me*blk+iz*my*w:], w, w, my)
+		} else {
+			transpose.CopyStrided(a.mid[(s*mz+iz)*nxh+base:], n*nxh,
+				srcs[s][me*blk+iz*my*w:], w, w, my)
+		}
+	}
+	if chunked {
+		for r := 0; r < p; r++ {
+			s := (me + r) % p
+			a.team.ForWorkers(mz, func(_, lo, hi int) {
+				for iz := lo; iz < hi; iz++ {
+					unit(s, iz)
+				}
+			})
+		}
+		return
+	}
+	a.team.ForWorkers(p*mz, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			unit(u/mz, u%mz)
+		}
+	})
+}
+
+// fusedExchangeY publishes the packed send buffer(s) through the
+// fused-exchange plan(s) and gathers peer blocks directly into mid.
+// Collective.
+func (a *AsyncSlabReal) fusedExchangeY(chunked bool) {
+	if a.gran == PerSlab {
+		if a.single {
+			a.exch32[0].Do(a.send32, func(srcs [][]complex64) {
+				a.gatherYBlocks(nil, srcs, a.nxh, 0, chunked)
+			})
+		} else {
+			a.exch[0].Do(a.sendAll, func(srcs [][]complex128) {
+				a.gatherYBlocks(srcs, nil, a.nxh, 0, chunked)
+			})
+		}
+		return
+	}
+	for ip, full := range a.xr {
+		wp, base := full.width(), full.lo
+		if a.single {
+			a.exch32[ip].Do(a.sendP32[ip], func(srcs [][]complex64) {
+				a.gatherYBlocks(nil, srcs, wp, base, chunked)
+			})
+		} else {
+			a.exch[ip].Do(a.sendP[ip], func(srcs [][]complex128) {
+				a.gatherYBlocks(srcs, nil, wp, base, chunked)
+			})
+		}
+	}
+}
+
+// stagedExchangeY runs the staged wire path outside the pipeline —
+// post the all-to-all(s), wait, unpack. This is the autotuner's staged
+// trial body; the transform path itself posts per-pencil requests from
+// the pipeline's afterD2H hook instead.
+func (a *AsyncSlabReal) stagedExchangeY() {
+	if a.gran == PerSlab {
+		if a.single {
+			a.wait(mpi.Ialltoall(a.comm, a.send32, a.recv32))
+		} else {
+			a.wait(mpi.Ialltoall(a.comm, a.sendAll, a.recvAll))
+		}
+		a.unpackYPerSlab()
+		return
+	}
+	for ip := range a.xr {
+		if a.single {
+			a.reqs[ip] = mpi.Ialltoall(a.comm, a.sendP32[ip], a.recvP32[ip])
+		} else {
+			a.reqs[ip] = mpi.Ialltoall(a.comm, a.sendP[ip], a.recvP[ip])
+		}
+	}
+	a.waitAll(a.reqs)
+	a.unpackYPerPencil()
+}
+
+// autotune times every concrete exchange strategy on the engine's
+// actual geometry, granularity and team, and returns the collectively-
+// agreed winner: per-rank best-of-k times are allgathered and
+// exchange.Resolve picks the strategy whose slowest rank is fastest
+// (ties to the earlier candidate, so Staged never loses to a wash).
+// Collective; plan-time only. Trials run the y→z exchange over the
+// engine's own send/recv buffers — contents are irrelevant to timing.
+func (a *AsyncSlabReal) autotune() exchange.Strategy {
+	const trials = 3
+	cands := exchange.Concrete
+	mine := make([]float64, len(cands))
+	for i, st := range cands {
+		best := math.Inf(1)
+		for k := 0; k < trials; k++ {
+			a.comm.Barrier()
+			t0 := time.Now()
+			switch st {
+			case exchange.Staged:
+				a.stagedExchangeY()
+			case exchange.Fused:
+				a.fusedExchangeY(false)
+			default:
+				a.fusedExchangeY(true)
+			}
+			if dt := time.Since(t0).Seconds(); dt < best {
+				best = dt
+			}
+		}
+		mine[i] = best
+	}
+	all := make([]float64, len(cands)*a.comm.Size())
+	mpi.Allgather(a.comm, mine, all)
+	perRank := make([][]float64, a.comm.Size())
+	for r := range perRank {
+		perRank[r] = all[r*len(cands) : (r+1)*len(cands)]
+	}
+	return exchange.Resolve(cands, perRank)
 }
 
 // regionZ streams x-split pencils of the mid slab [my][nz][nxh],
@@ -563,7 +770,7 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
 	reqs := a.reqs
 	var afterD2H func(ip int)
-	if a.gran == PerPencil {
+	if a.gran == PerPencil && a.strat == exchange.Staged {
 		afterD2H = func(ip int) {
 			if a.single {
 				reqs[ip] = mpi.Ialltoall(a.comm, a.sendP32[ip], a.recvP32[ip])
@@ -622,6 +829,12 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 	}, afterD2H)
 	stop()
 
+	if a.strat != exchange.Staged {
+		stop = a.met.a2a.Start()
+		a.fusedExchangeZ(four, a.strat == exchange.ChunkedFused)
+		stop()
+		return
+	}
 	if a.gran == PerSlab {
 		stop = a.met.a2a.Start()
 		if a.single {
@@ -666,6 +879,70 @@ func (a *AsyncSlabReal) regionZTranspose(four []complex128) {
 				}
 			}
 		})
+	}
+}
+
+// gatherZBlocks is the fused z→y gather of the reverse transpose:
+// peer packed blocks [d][my][mz][w] read in place and scattered into
+// the Fourier slab four=[mz][ny][nxh]. The exact mirror of
+// gatherYBlocks with the (iy, iz) roles swapped.
+func (a *AsyncSlabReal) gatherZBlocks(four []complex128, srcs [][]complex128, srcs32 [][]complex64, w, base int, chunked bool) {
+	n, nxh, mz, my, p := a.n, a.nxh, a.s.MZ(), a.s.MY(), a.comm.Size()
+	me := a.comm.Rank()
+	blk := my * mz * w
+	unit := func(s, iy int) {
+		if srcs32 != nil {
+			widenStrided(four[(s*my+iy)*nxh+base:], n*nxh,
+				srcs32[s][me*blk+iy*mz*w:], w, w, mz)
+		} else {
+			transpose.CopyStrided(four[(s*my+iy)*nxh+base:], n*nxh,
+				srcs[s][me*blk+iy*mz*w:], w, w, mz)
+		}
+	}
+	if chunked {
+		for r := 0; r < p; r++ {
+			s := (me + r) % p
+			a.team.ForWorkers(my, func(_, lo, hi int) {
+				for iy := lo; iy < hi; iy++ {
+					unit(s, iy)
+				}
+			})
+		}
+		return
+	}
+	a.team.ForWorkers(p*my, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			unit(u/my, u%my)
+		}
+	})
+}
+
+// fusedExchangeZ publishes the packed send buffer(s) and gathers peer
+// blocks directly into the Fourier slab. Collective.
+func (a *AsyncSlabReal) fusedExchangeZ(four []complex128, chunked bool) {
+	if a.gran == PerSlab {
+		if a.single {
+			a.exch32[0].Do(a.send32, func(srcs [][]complex64) {
+				a.gatherZBlocks(four, nil, srcs, a.nxh, 0, chunked)
+			})
+		} else {
+			a.exch[0].Do(a.sendAll, func(srcs [][]complex128) {
+				a.gatherZBlocks(four, srcs, nil, a.nxh, 0, chunked)
+			})
+		}
+		return
+	}
+	for ip, full := range a.xr {
+		wp, base := full.width(), full.lo
+		if a.single {
+			a.exch32[ip].Do(a.sendP32[ip], func(srcs [][]complex64) {
+				a.gatherZBlocks(four, nil, srcs, wp, base, chunked)
+			})
+		} else {
+			a.exch[ip].Do(a.sendP[ip], func(srcs [][]complex128) {
+				a.gatherZBlocks(four, srcs, nil, wp, base, chunked)
+			})
+		}
 	}
 }
 

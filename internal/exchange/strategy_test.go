@@ -1,0 +1,60 @@
+package exchange
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []Strategy{Auto, Staged, Fused, ChunkedFused} {
+		got, err := Parse(s.String())
+		if err != nil || got != s {
+			t.Fatalf("Parse(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse(bogus) accepted")
+	}
+	if s, err := Parse(""); err != nil || s != Auto {
+		t.Fatalf("Parse(\"\") = %v, %v; want Auto", s, err)
+	}
+}
+
+func TestCodes(t *testing.T) {
+	if Staged.Code() != 0 || Fused.Code() != 1 || ChunkedFused.Code() != 2 {
+		t.Fatalf("gauge codes moved: %v %v %v", Staged.Code(), Fused.Code(), ChunkedFused.Code())
+	}
+}
+
+// Resolve must minimize the max-over-ranks cost, so a strategy that is
+// fastest on one rank but pathological on another loses to a uniform
+// one — and a table that includes Staged can never resolve to a
+// strategy slower than Staged.
+func TestResolveMaxOverRanks(t *testing.T) {
+	cands := []Strategy{Staged, Fused, ChunkedFused}
+	perRank := [][]float64{
+		{3.0, 1.0, 2.0}, // rank 0: fused fastest
+		{3.0, 9.0, 2.5}, // rank 1: fused pathological
+	}
+	if got := Resolve(cands, perRank); got != ChunkedFused {
+		t.Fatalf("Resolve = %v, want ChunkedFused (min of max)", got)
+	}
+}
+
+func TestResolveNeverRegressesStaged(t *testing.T) {
+	cands := []Strategy{Staged, Fused, ChunkedFused}
+	perRank := [][]float64{{1.0, 5.0, 7.0}, {1.2, 4.0, 9.0}}
+	if got := Resolve(cands, perRank); got != Staged {
+		t.Fatalf("Resolve = %v, want Staged when it measured fastest", got)
+	}
+}
+
+func TestResolveTiesAndInvalid(t *testing.T) {
+	cands := []Strategy{Staged, Fused}
+	// Exact tie breaks toward the earlier candidate on every rank.
+	if got := Resolve(cands, [][]float64{{2, 2}}); got != Staged {
+		t.Fatalf("tie broke to %v, want Staged", got)
+	}
+	// A rank that failed to measure (non-positive) disqualifies the
+	// candidate everywhere.
+	if got := Resolve(cands, [][]float64{{5, 0}, {5, 1}}); got != Staged {
+		t.Fatalf("invalid measurement resolved to %v, want Staged", got)
+	}
+}

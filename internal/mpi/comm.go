@@ -119,11 +119,15 @@ type Comm struct {
 // spread is the barrier skew). All handles are nil-safe no-ops when
 // the world has no registry.
 type commMetrics struct {
-	a2aBytes, a2aMsgs   *metrics.Counter
-	collBytes, collMsgs *metrics.Counter
-	p2pBytes, p2pMsgs   *metrics.Counter
-	a2aWait             *metrics.Histogram
-	barrierWait         *metrics.Histogram
+	a2aBytes, a2aMsgs    *metrics.Counter
+	collBytes, collMsgs  *metrics.Counter
+	p2pBytes, p2pMsgs    *metrics.Counter
+	exchBytes, exchCalls *metrics.Counter
+	a2aWait              *metrics.Histogram
+	barrierWait          *metrics.Histogram
+	// exchGather records the wall time of each fused-exchange gather
+	// pass in nanoseconds (see ExchangePlan.Do).
+	exchGather *metrics.Histogram
 }
 
 func (c *Comm) m() *commMetrics {
@@ -137,8 +141,11 @@ func (c *Comm) m() *commMetrics {
 			collMsgs:    r.CounterRank("mpi.coll.calls", c.rank),
 			p2pBytes:    r.CounterRank("mpi.p2p.bytes", c.rank),
 			p2pMsgs:     r.CounterRank("mpi.p2p.calls", c.rank),
+			exchBytes:   r.CounterRank("exchange.bytes", c.rank),
+			exchCalls:   r.CounterRank("exchange.calls", c.rank),
 			a2aWait:     r.HistogramRank("mpi.a2a.wait", c.rank),
 			barrierWait: r.HistogramRank("mpi.barrier.wait", c.rank),
+			exchGather:  r.HistogramRank("exchange.gather.ns", c.rank),
 		}
 	}
 	return c.met

@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// ExchangePlan is the zero-copy fused transpose-exchange: the
+// persistent-collective frame of A2APlan with the data path deleted.
+// Where A2APlan moves registered blocks between staging buffers (one
+// peer block copy per rank, bracketed by the caller's pack and unpack
+// passes), an ExchangePlan moves nothing itself — each Do publishes
+// the rank's current source slab and then runs a caller-supplied
+// gather that reads **directly from every peer's published slab**
+// into the local destination layout. Pack, wire copy and unpack fuse
+// into one parallel pass (the in-process analogue of the paper's §4
+// zero-copy strided kernels reading pinned host memory in place);
+// see transpose.GatherYZRange and friends for the kernels.
+//
+// Synchronization contract: the entry barrier orders every rank's
+// publication before any rank's gather (and keeps a rank from
+// publishing the next cycle's slab while a peer still reads the
+// previous one); the exit barrier orders every gather before any rank
+// returns, so callers may overwrite their source slab the moment Do
+// returns. Both barriers are the plan's own, registered with the
+// world like A2APlan's: they are watchdog-visible (stall and deadlock
+// detection see ranks blocked in them), abortable (a peer's panic or
+// a scheduled crash wakes them through the abort cascade), and the
+// operation counter advances on every Do so crash schedules fire
+// inside fused exchanges exactly as they do for staged ones. Because
+// gathered data never crosses the mailbox layer, per-message fault
+// injection (drops, duplicates, delays) does not apply — the same
+// exemption A2APlan documents.
+//
+// Collective contract (as for MPI persistent collectives): every rank
+// constructs the plan at the same point in its collective order and
+// calls Do collectively; the published source slab must not alias the
+// gather's destination.
+type ExchangePlan[T any] struct {
+	c    *Comm
+	sh   *exchShared[T]
+	wire int64 // wire bytes charged per Do: everything but the local slab's share
+	free bool
+}
+
+// exchShared is the world-side state of one plan: the per-rank
+// published source slabs and the plan's private reusable barrier.
+type exchShared[T any] struct {
+	srcs [][]T
+	bar  *barrier
+	refs int
+}
+
+// NewExchangePlan registers a fused-exchange plan over c. slabLen is
+// the element count of the slab each rank will publish; the rank is
+// charged slabLen·(P−1)/P elements of wire traffic per Do (everything
+// a zero-copy gather reads from remote slabs — the same accounting
+// convention as A2APlan's off-diagonal blocks). Collective: blocks
+// until every rank has registered.
+func NewExchangePlan[T any](c *Comm, slabLen int) *ExchangePlan[T] {
+	p := c.Size()
+	if slabLen < 0 || slabLen%p != 0 {
+		panic(fmt.Sprintf("mpi: rank %d: exchange plan slab length %d invalid for %d ranks",
+			c.rank, slabLen, p))
+	}
+	seq := c.nextSeq()
+	w := c.w
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		panic(errAborted)
+	}
+	if w.plans == nil {
+		w.plans = map[int]any{}
+	}
+	var sh *exchShared[T]
+	if v, ok := w.plans[seq]; ok {
+		sh = v.(*exchShared[T])
+	} else {
+		sh = &exchShared[T]{srcs: make([][]T, p), bar: newBarrier(p)}
+		w.plans[seq] = sh
+		w.planBars = append(w.planBars, sh.bar)
+	}
+	sh.refs++
+	w.mu.Unlock()
+	pl := &ExchangePlan[T]{
+		c: c, sh: sh,
+		wire: sliceBytes[T](slabLen - slabLen/p),
+	}
+	// All ranks must have registered before the first Do publishes into
+	// a peer-visible slot.
+	sh.bar.wait(w, c.rank)
+	return pl
+}
+
+// Do executes one fused exchange: src is published as this rank's
+// source slab, and once every rank has published, gather runs with
+// the full table of published slabs (indexed by rank) to perform the
+// local strided gathers. After Do returns on every rank, each rank's
+// destination holds exactly what the staged pack → all-to-all →
+// unpack triple would have produced — in one pass instead of three.
+//
+// Collective and allocation-free. The gather wall time is recorded in
+// exchange.gather.ns (nanoseconds) and wire-equivalent remote-read
+// bytes in exchange.bytes / calls in exchange.calls.
+//
+//psdns:hotpath
+func (pl *ExchangePlan[T]) Do(src []T, gather func(srcs [][]T)) {
+	if pl.free {
+		panic("mpi: ExchangePlan used after Free")
+	}
+	c := pl.c
+	c.maybeCrash()
+	m := c.m()
+	m.exchCalls.Inc()
+	m.exchBytes.Add(pl.wire)
+	// Publish, then the entry barrier: every rank's slab is visible
+	// (and no rank still reads last cycle's table) before any gather.
+	pl.sh.srcs[c.rank] = src
+	pl.sh.bar.wait(c.w, c.rank)
+	enabled := m.exchGather.Enabled()
+	var t0 time.Time
+	if enabled {
+		t0 = time.Now()
+	}
+	gather(pl.sh.srcs)
+	if enabled {
+		m.exchGather.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
+	// Exit barrier: every rank is done reading peer slabs, so callers
+	// may overwrite their source the moment Do returns.
+	pl.sh.bar.wait(c.w, c.rank)
+	// Plan exchanges bypass mailboxes; mark progress so the deadlock
+	// detector's quiescence window stays honest (as A2APlan does).
+	c.w.progress.Add(1)
+}
+
+// Free releases the plan (collective in effect: after every rank has
+// called Free the world drops its reference to the shared state). The
+// plan must not be used afterwards.
+func (pl *ExchangePlan[T]) Free() {
+	if pl.free {
+		return
+	}
+	pl.free = true
+	w := pl.c.w
+	w.mu.Lock()
+	pl.sh.refs--
+	if pl.sh.refs == 0 {
+		for seq, v := range w.plans {
+			if v == any(pl.sh) {
+				delete(w.plans, seq)
+			}
+		}
+	}
+	w.mu.Unlock()
+}

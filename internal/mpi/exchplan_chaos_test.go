@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Chaos coverage for the fused exchange: gathered data bypasses the
+// mailbox layer entirely, so the failure model must ride on the
+// plan's barriers and the operation counter. These tests pin that the
+// watchdog and crash-schedule paths fire inside ExchangePlan.Do just
+// as they do for staged exchanges.
+
+// A scheduled rank crash whose operation index lands on a fused Do
+// must surface as a typed CrashError, with every peer woken out of
+// the plan's entry barrier by the abort cascade rather than hanging.
+func TestExchangePlanCrashScheduleFires(t *testing.T) {
+	const p = 4
+	// Op 1 is the plan-construction collective ordering on rank 2's
+	// counter? Construction does not tick the op counter (no
+	// maybeCrash); ops tick on Do. Crash on rank 2's second Do.
+	err := TryRun(p, func(c *Comm) {
+		pl := NewExchangePlan[int](c, p)
+		defer pl.Free()
+		src := make([]int, p)
+		for i := 0; i < 3; i++ {
+			pl.Do(src, func([][]int) {})
+		}
+	}, WithFaults(&Faults{Crash: map[int]int{2: 2}}))
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 2 {
+		t.Fatalf("err = %v, want RankError on rank 2", err)
+	}
+	var ce *CrashError
+	if !errors.As(re.Err, &ce) || ce.Op != 2 {
+		t.Fatalf("cause = %v, want CrashError at op 2", re.Err)
+	}
+}
+
+// A straggler that never reaches Do leaves its peers blocked in the
+// plan's entry barrier; the per-operation deadline must see that
+// blocked barrier (the plan's barrier is watchdog-registered) and
+// abort the world with a typed StallError instead of hanging.
+func TestExchangePlanStallDetectedByWatchdog(t *testing.T) {
+	const p = 3
+	err := TryRun(p, func(c *Comm) {
+		pl := NewExchangePlan[int](c, p)
+		defer pl.Free()
+		if c.Rank() == 1 {
+			// Straggle far beyond the per-op deadline before joining.
+			time.Sleep(400 * time.Millisecond)
+		}
+		src := make([]int, p)
+		pl.Do(src, func([][]int) {})
+	}, WithWatchdog(Watchdog{Deadline: 40 * time.Millisecond, Poll: 5 * time.Millisecond}))
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StallError from the blocked plan barrier", err)
+	}
+	if se.Op != opBarrier {
+		t.Fatalf("StallError.Op = %q, want %q", se.Op, opBarrier)
+	}
+}
+
+// A rank that exits without ever calling Do (collective-order bug)
+// leaves the world globally quiescent with peers blocked in the plan
+// barrier; deadlock detection must fire.
+func TestExchangePlanDeadlockDetected(t *testing.T) {
+	const p = 2
+	err := TryRun(p, func(c *Comm) {
+		pl := NewExchangePlan[int](c, p)
+		if c.Rank() == 1 {
+			return // never joins the exchange
+		}
+		src := make([]int, p)
+		pl.Do(src, func([][]int) {})
+	}, WithWatchdog(Watchdog{DeadlockAfter: 60 * time.Millisecond, Poll: 5 * time.Millisecond}))
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StallError (deadlock)", err)
+	}
+}
+
+// A peer panicking mid-gather must cascade: ranks blocked in the exit
+// barrier are woken and the primary panic is reported.
+func TestExchangePlanAbortCascadeFromGatherPanic(t *testing.T) {
+	const p = 3
+	err := TryRun(p, func(c *Comm) {
+		pl := NewExchangePlan[int](c, p)
+		defer pl.Free()
+		src := make([]int, p)
+		pl.Do(src, func([][]int) {
+			if c.Rank() == 2 {
+				panic("gather kernel fault")
+			}
+		})
+		// Survivors would block here forever without the cascade.
+		pl.Do(src, func([][]int) {})
+	})
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 2 {
+		t.Fatalf("err = %v, want RankError on rank 2", err)
+	}
+}

@@ -1,0 +1,174 @@
+package pfft
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+)
+
+// The fused and chunked-fused exchanges must be bitwise identical to
+// the staged pack → all-to-all → unpack triple — for every rank count
+// and team size, on full forward+inverse transforms. n=28 is divisible
+// by every tested P.
+func TestSlabRealExchangeStrategiesBitwiseIdentity(t *testing.T) {
+	const n = 28
+	for _, p := range []int{1, 2, 4, 7} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			if err := mpi.TryRun(p, func(c *mpi.Comm) {
+				ref := NewSlabRealStrategy(c, n, 1, exchange.Staged)
+				defer ref.Close()
+				fl, pl := ref.FourierLen(), ref.PhysicalLen()
+
+				rng := rand.New(rand.NewSource(int64(42 + c.Rank())))
+				physIn := make([]float64, pl)
+				for i := range physIn {
+					physIn[i] = rng.NormFloat64()
+				}
+				refFour := make([]complex128, fl)
+				refPhys := make([]float64, pl)
+				scratch := make([]float64, pl)
+				copy(scratch, physIn)
+				ref.PhysicalToFourier(refFour, scratch)
+				fourScratch := make([]complex128, fl)
+				copy(fourScratch, refFour)
+				ref.FourierToPhysical(refPhys, fourScratch)
+
+				for _, st := range []exchange.Strategy{exchange.Fused, exchange.ChunkedFused} {
+					for _, w := range []int{1, 2, 4, 7} {
+						f := NewSlabRealStrategy(c, n, w, st)
+						four := make([]complex128, fl)
+						phys := make([]float64, pl)
+						copy(phys, physIn)
+						f.PhysicalToFourier(four, phys)
+						for i := range four {
+							if four[i] != refFour[i] {
+								panic(fmt.Sprintf("rank %d %s workers=%d: forward differs at %d: %v vs %v",
+									c.Rank(), st, w, i, four[i], refFour[i]))
+							}
+						}
+						out := make([]float64, pl)
+						f.FourierToPhysical(out, four)
+						for i := range out {
+							if out[i] != refPhys[i] {
+								panic(fmt.Sprintf("rank %d %s workers=%d: inverse differs at %d: %v vs %v",
+									c.Rank(), st, w, i, out[i], refPhys[i]))
+							}
+						}
+						f.Close()
+					}
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Autotuned plans must pin a concrete strategy, agree on it across
+// ranks, and expose it through the exchange.strategy gauge.
+func TestSlabRealAutotunePinsConcreteStrategy(t *testing.T) {
+	const n, p = 16, 4
+	reg := metrics.NewRegistry()
+	reg.SetOn(true)
+	if err := mpi.RunWith(p, reg, func(c *mpi.Comm) {
+		f := NewSlabRealWorkers(c, n, 2)
+		defer f.Close()
+		st := f.Strategy()
+		if st == exchange.Auto {
+			panic("autotune left strategy at Auto")
+		}
+		// Cross-rank agreement: allgather the codes and compare.
+		codes := make([]float64, p)
+		mpi.Allgather(c, []float64{st.Code()}, codes)
+		for r, code := range codes {
+			if code != st.Code() {
+				panic(fmt.Sprintf("rank %d pinned %v but rank %d pinned code %v", c.Rank(), st, r, code))
+			}
+		}
+		if g := c.Metrics().GaugeRank("exchange.strategy", c.Rank()).Value(); g != st.Code() {
+			panic(fmt.Sprintf("exchange.strategy gauge = %v, want %v", g, st.Code()))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fused steady state must stay allocation-free: the gather callbacks
+// and team bodies are prebuilt at plan time, and ExchangePlan.Do is a
+// slice store plus two barrier waits.
+func TestSlabRealFusedSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=64 transform loop in -short mode")
+	}
+	const n, p, runs = 64, 4, 10
+	for _, st := range []exchange.Strategy{exchange.Fused, exchange.ChunkedFused} {
+		st := st
+		t.Run(st.String(), func(t *testing.T) {
+			if err := mpi.TryRun(p, func(c *mpi.Comm) {
+				f := NewSlabRealStrategy(c, n, 1, st)
+				defer f.Close()
+				four := make([]complex128, f.FourierLen())
+				phys := make([]float64, f.PhysicalLen())
+				for i := range phys {
+					phys[i] = float64(i%13) * 0.25
+				}
+				cycle := func() {
+					f.PhysicalToFourier(four, phys)
+					f.FourierToPhysical(phys, four)
+				}
+				for i := 0; i < 3; i++ {
+					cycle()
+				}
+				if c.Rank() == 0 {
+					avg := testing.AllocsPerRun(runs, cycle)
+					if avg != 0 {
+						panic(fmt.Sprintf("%s steady state allocates %.2f per cycle", st, avg))
+					}
+				} else {
+					for i := 0; i < runs+1; i++ {
+						cycle()
+					}
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The isolated ExchangeYZ hook (what the bench harness drives) must
+// produce the same physical-side layout for every strategy.
+func TestExchangeYZStrategyIdentity(t *testing.T) {
+	const n, p = 28, 4
+	if err := mpi.TryRun(p, func(c *mpi.Comm) {
+		ref := NewSlabRealStrategy(c, n, 2, exchange.Staged)
+		defer ref.Close()
+		fl := ref.FourierLen()
+		four := make([]complex128, fl)
+		rng := rand.New(rand.NewSource(int64(9 + c.Rank())))
+		for i := range four {
+			four[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		ref.ExchangeYZ(four)
+		want := make([]complex128, len(ref.mid))
+		copy(want, ref.mid)
+
+		for _, st := range []exchange.Strategy{exchange.Fused, exchange.ChunkedFused} {
+			f := NewSlabRealStrategy(c, n, 2, st)
+			f.ExchangeYZ(four)
+			for i := range want {
+				if f.mid[i] != want[i] {
+					panic(fmt.Sprintf("rank %d %s: ExchangeYZ differs at %d", c.Rank(), st, i))
+				}
+			}
+			f.Close()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,8 +2,10 @@ package pfft
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/exchange"
 	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/metrics"
@@ -155,6 +157,8 @@ type SlabReal struct {
 	recv   []complex128
 	mid    []complex128 // [my][nz][nxh] intermediate
 	a2a    *mpi.A2APlan[complex128]
+	exch   *mpi.ExchangePlan[complex128]
+	strat  exchange.Strategy // pinned concrete strategy (never Auto)
 	met    *phaseMetrics
 	closed bool
 
@@ -164,11 +168,25 @@ type SlabReal struct {
 	// per-call closure allocation.
 	curFour []complex128
 	curPhys []float64
+	// Fused-exchange staging: the peer slab table published by
+	// ExchangePlan.Do, and the current peer of a chunked round.
+	curSrcs    [][]complex128
+	curPeer    int
+	curPeerSrc []complex128
 
 	invYBody, fwdYBody    func(w, lo, hi int) // over iz planes
 	invZXBody, fwdXZBody  func(w, lo, hi int) // over iy planes
 	packYZBody, unpZYBody func(w, lo, hi int) // over iz
 	packZYBody, unpYZBody func(w, lo, hi int) // over iy
+
+	// Fused gather bodies (over iy for y→z, over iz for z→y) and the
+	// per-peer chunked variants; the fused*Fn closures are the gather
+	// callbacks handed to ExchangePlan.Do, prebuilt so steady-state
+	// dispatch performs zero allocations.
+	gatherYZBody, gatherZYBody         func(w, lo, hi int)
+	gatherYZPeerBody, gatherZYPeerBody func(w, lo, hi int)
+	fusedYZFn, fusedZYFn               func(srcs [][]complex128)
+	chunkedYZFn, chunkedZYFn           func(srcs [][]complex128)
 }
 
 // NewSlabReal builds the DNS transform for an N³ real field (even N)
@@ -178,10 +196,21 @@ func NewSlabReal(comm *mpi.Comm, n int) *SlabReal {
 }
 
 // NewSlabRealWorkers builds the DNS transform with a team of workers
-// per rank (workers ≥ 1). Collective: every rank must construct the
-// transform at the same point in its collective order (the persistent
-// all-to-all registers buffers across ranks).
+// per rank (workers ≥ 1), autotuning the transpose-exchange strategy
+// at plan time. Collective: every rank must construct the transform at
+// the same point in its collective order (the persistent all-to-all
+// and exchange plans register state across ranks, and the autotuner
+// runs collective trials).
 func NewSlabRealWorkers(comm *mpi.Comm, n, workers int) *SlabReal {
+	return NewSlabRealStrategy(comm, n, workers, exchange.Auto)
+}
+
+// NewSlabRealStrategy builds the DNS transform with an explicit
+// transpose-exchange strategy. exchange.Auto microbenchmarks every
+// concrete strategy at the actual (N, P, workers) and pins the
+// collectively-agreed winner; a concrete strategy skips the trials and
+// pins that strategy on every rank. Collective.
+func NewSlabRealStrategy(comm *mpi.Comm, n, workers int, strat exchange.Strategy) *SlabReal {
 	if n%2 != 0 {
 		panic(fmt.Sprintf("pfft: SlabReal requires even N, got %d", n))
 	}
@@ -205,7 +234,13 @@ func NewSlabRealWorkers(comm *mpi.Comm, n, workers int) *SlabReal {
 		f.bx = append(f.bx, fft.NewRealBatch(n, n, 1, n, 1, nxh))
 	}
 	f.a2a = mpi.NewA2APlan(comm, f.pack, f.recv)
+	f.exch = mpi.NewExchangePlan[complex128](comm, f.FourierLen())
 	f.buildBodies()
+	if strat == exchange.Auto {
+		strat = f.autotune()
+	}
+	f.strat = strat
+	comm.Metrics().GaugeRank("exchange.strategy", comm.Rank()).Set(strat.Code())
 	return f
 }
 
@@ -256,6 +291,53 @@ func (f *SlabReal) buildBodies() {
 	f.unpZYBody = func(_, lo, hi int) {
 		transpose.UnpackZYRange(&f.layout, f.curFour, f.recv, lo, hi)
 	}
+
+	// Fused-exchange gather kernels: each worker reads its dst range
+	// directly from every peer's published slab (f.curSrcs) — pack,
+	// wire copy and unpack fused into one pass. The *Peer bodies gather
+	// one peer's contribution only, for the chunked pairwise rounds.
+	me, p := f.comm.Rank(), f.comm.Size()
+	f.gatherYZBody = func(_, lo, hi int) {
+		transpose.GatherYZRange(&f.layout, f.mid, f.curSrcs, me, lo, hi)
+	}
+	f.gatherZYBody = func(_, lo, hi int) {
+		transpose.GatherZYRange(&f.layout, f.curFour, f.curSrcs, me, lo, hi)
+	}
+	f.gatherYZPeerBody = func(_, lo, hi int) {
+		transpose.GatherYZPeer(&f.layout, f.mid, f.curPeerSrc, me, f.curPeer, lo, hi)
+	}
+	f.gatherZYPeerBody = func(_, lo, hi int) {
+		transpose.GatherZYPeer(&f.layout, f.curFour, f.curPeerSrc, me, f.curPeer, lo, hi)
+	}
+	f.fusedYZFn = func(srcs [][]complex128) {
+		f.curSrcs = srcs
+		f.team.ForWorkers(f.s.MY(), f.gatherYZBody)
+		f.curSrcs = nil
+	}
+	f.fusedZYFn = func(srcs [][]complex128) {
+		f.curSrcs = srcs
+		f.team.ForWorkers(f.s.MZ(), f.gatherZYBody)
+		f.curSrcs = nil
+	}
+	// Chunked rounds visit peers in pairwise-exchange order (round r
+	// gathers from (me+r)%P, round 0 being the local slab) so that at
+	// any moment each published slab is read by one rank's team.
+	f.chunkedYZFn = func(srcs [][]complex128) {
+		for r := 0; r < p; r++ {
+			f.curPeer = (me + r) % p
+			f.curPeerSrc = srcs[f.curPeer]
+			f.team.ForWorkers(f.s.MY(), f.gatherYZPeerBody)
+		}
+		f.curPeerSrc = nil
+	}
+	f.chunkedZYFn = func(srcs [][]complex128) {
+		for r := 0; r < p; r++ {
+			f.curPeer = (me + r) % p
+			f.curPeerSrc = srcs[f.curPeer]
+			f.team.ForWorkers(f.s.MZ(), f.gatherZYPeerBody)
+		}
+		f.curPeerSrc = nil
+	}
 }
 
 // Slab reports the decomposition geometry.
@@ -286,6 +368,7 @@ func (f *SlabReal) Close() {
 	f.closed = true
 	f.team.Close()
 	f.a2a.Free()
+	f.exch.Free()
 	for w := range f.by {
 		f.by[w].Release()
 		f.bz[w].Release()
@@ -312,19 +395,69 @@ func (f *SlabReal) FourierToPhysical(phys []float64, four []complex128) {
 	t := time.Now()
 	f.team.ForWorkers(mz, f.invYBody)
 	f.met.fft.ObserveSince(t)
-	t = time.Now()
-	f.team.ForWorkers(mz, f.packYZBody)
-	f.met.pack.ObserveSince(t)
-	t = time.Now()
-	f.a2a.Do()
-	f.met.a2a.ObserveSince(t)
-	t = time.Now()
-	f.team.ForWorkers(my, f.unpYZBody)
-	f.met.unpack.ObserveSince(t)
+	f.transposeYZ()
 	t = time.Now()
 	f.team.ForWorkers(my, f.invZXBody)
 	f.met.fft.ObserveSince(t)
 	f.curFour, f.curPhys = nil, nil
+}
+
+// transposeYZ moves the y-transformed Fourier slab (f.curFour) into
+// the physical-side layout (f.mid) using the pinned strategy. Staged
+// runs the pack → persistent all-to-all → unpack triple with per-phase
+// timings; fused and chunked run one ExchangePlan.Do whose wall time
+// lands in phase.a2a (gather time is additionally recorded by the plan
+// in exchange.gather.ns).
+//
+//psdns:hotpath
+func (f *SlabReal) transposeYZ() {
+	switch f.strat {
+	case exchange.Staged:
+		t := time.Now()
+		f.team.ForWorkers(f.s.MZ(), f.packYZBody)
+		f.met.pack.ObserveSince(t)
+		t = time.Now()
+		f.a2a.Do()
+		f.met.a2a.ObserveSince(t)
+		t = time.Now()
+		f.team.ForWorkers(f.s.MY(), f.unpYZBody)
+		f.met.unpack.ObserveSince(t)
+	case exchange.Fused:
+		t := time.Now()
+		f.exch.Do(f.curFour, f.fusedYZFn)
+		f.met.a2a.ObserveSince(t)
+	default: // exchange.ChunkedFused
+		t := time.Now()
+		f.exch.Do(f.curFour, f.chunkedYZFn)
+		f.met.a2a.ObserveSince(t)
+	}
+}
+
+// transposeZY is the inverse exchange: the z/x-transformed physical-
+// side slab (f.mid) back into the Fourier layout (f.curFour).
+//
+//psdns:hotpath
+func (f *SlabReal) transposeZY() {
+	switch f.strat {
+	case exchange.Staged:
+		t := time.Now()
+		f.team.ForWorkers(f.s.MY(), f.packZYBody)
+		f.met.pack.ObserveSince(t)
+		t = time.Now()
+		f.a2a.Do()
+		f.met.a2a.ObserveSince(t)
+		t = time.Now()
+		f.team.ForWorkers(f.s.MZ(), f.unpZYBody)
+		f.met.unpack.ObserveSince(t)
+	case exchange.Fused:
+		t := time.Now()
+		f.exch.Do(f.mid, f.fusedZYFn)
+		f.met.a2a.ObserveSince(t)
+	default: // exchange.ChunkedFused
+		t := time.Now()
+		f.exch.Do(f.mid, f.chunkedZYFn)
+		f.met.a2a.ObserveSince(t)
+	}
 }
 
 // PhysicalToFourier transforms phys=[my][nz][nx] (real) into
@@ -341,17 +474,82 @@ func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 	t := time.Now()
 	f.team.ForWorkers(my, f.fwdXZBody)
 	f.met.fft.ObserveSince(t)
-	t = time.Now()
-	f.team.ForWorkers(my, f.packZYBody)
-	f.met.pack.ObserveSince(t)
-	t = time.Now()
-	f.a2a.Do()
-	f.met.a2a.ObserveSince(t)
-	t = time.Now()
-	f.team.ForWorkers(mz, f.unpZYBody)
-	f.met.unpack.ObserveSince(t)
+	f.transposeZY()
 	t = time.Now()
 	f.team.ForWorkers(mz, f.fwdYBody)
 	f.met.fft.ObserveSince(t)
 	f.curFour, f.curPhys = nil, nil
+}
+
+// Strategy reports the pinned transpose-exchange strategy (never
+// exchange.Auto: autotuned plans report the winner).
+func (f *SlabReal) Strategy() exchange.Strategy { return f.strat }
+
+// ExchangeYZ performs only the y→z transpose-exchange of four into the
+// internal physical-side buffer, using the pinned strategy. This is
+// the isolated exchange kernel the bench harness pins per strategy;
+// the transform entry points go through the same path.
+//
+//psdns:hotpath
+func (f *SlabReal) ExchangeYZ(four []complex128) {
+	if len(four) != f.FourierLen() {
+		panic(fmt.Sprintf("pfft: ExchangeYZ wants %d elements, got %d", f.FourierLen(), len(four)))
+	}
+	f.curFour = four
+	f.transposeYZ()
+	f.curFour = nil
+}
+
+// autotune times every concrete exchange strategy on this plan's
+// actual geometry and team, and returns the collectively-agreed
+// winner: each rank's best-of-k times are allgathered and
+// exchange.Resolve picks the strategy whose slowest rank is fastest
+// (ties to the earlier candidate, so Staged is never beaten by a
+// statistical wash). Every rank computes the same winner from the same
+// gathered table — no extra agreement round is needed. Collective;
+// runs at plan time only, using a pooled trial slab released before
+// returning.
+func (f *SlabReal) autotune() exchange.Strategy {
+	const trials = 3
+	cands := exchange.Concrete
+	trial := pool.GetComplex(f.FourierLen())
+	mine := make([]float64, len(cands))
+	for i, st := range cands {
+		best := math.Inf(1)
+		for k := 0; k < trials; k++ {
+			f.comm.Barrier()
+			t0 := time.Now()
+			f.runTrial(st, trial)
+			if dt := time.Since(t0).Seconds(); dt < best {
+				best = dt
+			}
+		}
+		mine[i] = best
+	}
+	pool.PutComplex(trial)
+	all := make([]float64, len(cands)*f.comm.Size())
+	mpi.Allgather(f.comm, mine, all)
+	perRank := make([][]float64, f.comm.Size())
+	for r := range perRank {
+		perRank[r] = all[r*len(cands) : (r+1)*len(cands)]
+	}
+	return exchange.Resolve(cands, perRank)
+}
+
+// runTrial executes one y→z exchange of the trial slab under st.
+// Collective (every strategy's exchange is bracketed by plan
+// barriers).
+func (f *SlabReal) runTrial(st exchange.Strategy, four []complex128) {
+	f.curFour = four
+	switch st {
+	case exchange.Staged:
+		f.team.ForWorkers(f.s.MZ(), f.packYZBody)
+		f.a2a.Do()
+		f.team.ForWorkers(f.s.MY(), f.unpYZBody)
+	case exchange.Fused:
+		f.exch.Do(four, f.fusedYZFn)
+	default:
+		f.exch.Do(four, f.chunkedYZFn)
+	}
+	f.curFour = nil
 }

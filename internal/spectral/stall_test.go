@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exchange"
 	"repro/internal/mpi"
 )
 
@@ -24,8 +25,12 @@ func TestStepAnnotatesStall(t *testing.T) {
 	}
 	start := time.Now()
 	err := mpi.TryRun(p, func(c *mpi.Comm) {
+		// Pin the staged wire path: the default autotuner would run
+		// staged trials at construction and stall there under the
+		// 100%-drop rule, before Step gets to wrap the error.
 		eng := core.NewAsyncSlabReal(c, n, core.Options{
 			NP: 3, Granularity: core.PerPencil, WaitDeadline: 200 * time.Millisecond,
+			Exchange: exchange.Staged,
 		})
 		defer eng.Close()
 		s := NewSolverWithTransform(c, Config{N: n, Nu: 0.05, Scheme: RK2, Dealias: Dealias23}, eng)

@@ -1,0 +1,84 @@
+package transpose
+
+// Fused transpose-exchange gather kernels: the zero-copy analogue of
+// the staged Pack/A2A/Unpack triple. Ranks in the in-process runtime
+// share one address space, so the destination-side kernel can perform
+// its strided gathers directly from every peer's source slab — the
+// software analogue of the paper's §4 zero-copy kernels whose SM
+// threads read pinned host memory in place instead of bouncing data
+// through staging buffers. One parallel pass replaces three.
+//
+// srcs[s] is rank s's published source slab (see mpi.ExchangePlan for
+// the publication protocol); me is the gathering rank. Each kernel
+// writes only the dst elements owned by its outer-index range, so a
+// worker team can split a kernel over a partition of that range
+// without write conflicts, exactly as with the staged *Range kernels.
+//
+// The *Peer variants gather one source slab's contribution only; a
+// chunked-fused exchange calls them in pairwise-exchange order
+// (round k gathers from peer (me+k)%P) so that at any moment each
+// source slab is read by a single rank's worker team.
+
+// GatherYZRange gathers y-rows [iyLo,iyHi) of the physical-side slab
+// dst=[My][Nz][Nxh] directly from every peer's Fourier-side slab
+// srcs[s]=[Mz][Ny][Nxh]. Equivalent to PackYZ on every rank, the
+// all-to-all, and UnpackYZRange over the same rows — fused into one
+// pass. Distinct iy ranges write disjoint dst elements.
+//
+//psdns:hotpath
+func GatherYZRange[T any](l *SlabLayout, dst []T, srcs [][]T, me, iyLo, iyHi int) {
+	for s := 0; s < l.P; s++ {
+		GatherYZPeer(l, dst, srcs[s], me, s, iyLo, iyHi)
+	}
+}
+
+// GatherYZPeer gathers peer s's contribution to y-rows [iyLo,iyHi) of
+// the physical-side slab: src is rank s's Fourier-side slab, whose
+// z-planes land in dst's z range [s·Mz,(s+1)·Mz).
+//
+//psdns:hotpath
+func GatherYZPeer[T any](l *SlabLayout, dst, src []T, me, s, iyLo, iyHi int) {
+	nxh, ny, nz, my, mz := l.Nxh, l.Ny, l.Nz, l.My, l.Mz
+	yBase := me * my
+	for iz := 0; iz < mz; iz++ {
+		srcOff := (iz*ny + yBase + iyLo) * nxh
+		dstOff := (iyLo*nz + s*mz + iz) * nxh
+		for iy := iyLo; iy < iyHi; iy++ {
+			copy(dst[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
+			srcOff += nxh
+			dstOff += nz * nxh
+		}
+	}
+}
+
+// GatherZYRange gathers z-planes [izLo,izHi) of the Fourier-side slab
+// dst=[Mz][Ny][Nxh] directly from every peer's physical-side slab
+// srcs[s]=[My][Nz][Nxh]. Equivalent to PackZY on every rank, the
+// all-to-all, and UnpackZYRange over the same planes. Distinct iz
+// ranges write disjoint dst elements.
+//
+//psdns:hotpath
+func GatherZYRange[T any](l *SlabLayout, dst []T, srcs [][]T, me, izLo, izHi int) {
+	for s := 0; s < l.P; s++ {
+		GatherZYPeer(l, dst, srcs[s], me, s, izLo, izHi)
+	}
+}
+
+// GatherZYPeer gathers peer s's contribution to z-planes [izLo,izHi)
+// of the Fourier-side slab: src is rank s's physical-side slab, whose
+// y-rows land in dst's y range [s·My,(s+1)·My).
+//
+//psdns:hotpath
+func GatherZYPeer[T any](l *SlabLayout, dst, src []T, me, s, izLo, izHi int) {
+	nxh, ny, nz, my, mz := l.Nxh, l.Ny, l.Nz, l.My, l.Mz
+	zBase := me * mz
+	for iy := 0; iy < my; iy++ {
+		srcOff := (iy*nz + zBase + izLo) * nxh
+		dstOff := (izLo*ny + s*my + iy) * nxh
+		for iz := izLo; iz < izHi; iz++ {
+			copy(dst[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
+			srcOff += nxh
+			dstOff += ny * nxh
+		}
+	}
+}

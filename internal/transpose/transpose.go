@@ -14,10 +14,26 @@ import "fmt"
 // analogue of cudaMemcpy2D that both host packing and the simulated
 // device copies share.
 //
+// Fully-contiguous transfers (both strides equal to the row length,
+// cudaMemcpy2D degenerating to cudaMemcpy) collapse into a single
+// copy, and the strided loop carries running offsets instead of
+// recomputing r·stride slice bounds per row; BenchmarkCopyStrided
+// pins both shapes.
+//
 //psdns:hotpath
 func CopyStrided[T any](dst []T, dstStride int, src []T, srcStride, rowLen, nrows int) {
+	if nrows <= 0 || rowLen <= 0 {
+		return
+	}
+	if dstStride == rowLen && srcStride == rowLen {
+		copy(dst[:rowLen*nrows], src[:rowLen*nrows])
+		return
+	}
+	dOff, sOff := 0, 0
 	for r := 0; r < nrows; r++ {
-		copy(dst[r*dstStride:r*dstStride+rowLen], src[r*srcStride:r*srcStride+rowLen])
+		copy(dst[dOff:dOff+rowLen], src[sOff:sOff+rowLen])
+		dOff += dstStride
+		sOff += srcStride
 	}
 }
 

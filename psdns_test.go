@@ -102,10 +102,14 @@ func TestPublicAPIChaos(t *testing.T) {
 		Scope: repro.FaultScopeColl, MinBytes: 1024, DropProb: 1,
 	}
 	err := repro.TryRun(2, func(c *repro.Comm) {
+		// Pin the staged wire path: the default autotuner would run
+		// staged trials at construction and stall there under the
+		// 100%-drop rule, before Step gets to wrap the error.
 		tr := repro.NewAsync(c, 16,
 			repro.WithNP(3),
 			repro.WithGranularity(repro.PerPencil),
 			repro.WithWaitDeadline(200*time.Millisecond),
+			repro.WithExchangeStrategy(repro.ExchangeStaged),
 		)
 		defer tr.Close()
 		s := repro.NewSolverWithTransform(c, repro.SolverConfig{
