@@ -24,9 +24,12 @@ func TestMetricsEndToEnd(t *testing.T) {
 			repro.WithMetrics(reg),
 		)
 		defer tr.Close()
-		s := repro.NewSolverWithTransform(c, repro.SolverConfig{
-			N: n, Nu: 0.02, Scheme: repro.RK2, Dealias: repro.Dealias23,
-		}, tr)
+		s := repro.NewSolver(c, n,
+			repro.WithNu(0.02),
+			repro.WithScheme(repro.RK2),
+			repro.WithDealias(repro.Dealias23),
+			repro.WithTransform(tr),
+		)
 		s.SetTaylorGreen()
 		s.Step(0.004)
 	})

@@ -10,6 +10,9 @@
 //   - slab_fwd_inv_n64_p4 / n128: distributed forward+inverse real
 //     transform on the synchronous worker-team slab engine;
 //   - dns_rk2_step_n32_p2: one full Navier–Stokes RK2 step;
+//   - step_forced_n64 / step_scalar_n64: one RK2 step of the
+//     stochastically forced system and of NS + two passive scalars
+//     with rotation (the registry's non-trivial equation sets);
 //   - mailbox_fanin_p8: point-to-point fan-in through the in-process
 //     runtime's mailboxes;
 //   - pack_unpack_yz: the host transpose pack/unpack kernel pair;
@@ -148,6 +151,39 @@ func dnsStep(n, p int) func(iters, workers int) sample {
 	}
 }
 
+// dnsStepOpts measures one step of an options-constructed solver, so
+// the registry's richer equation sets (forcing controller, scalar
+// advection, Coriolis) are pinned against allocation and time
+// regressions just like the plain NS step.
+func dnsStepOpts(n, p int, opts ...spectral.Option) func(iters, workers int) sample {
+	return func(iters, workers int) sample {
+		var s sample
+		mpi.Run(p, func(c *mpi.Comm) {
+			all := append([]spectral.Option{
+				spectral.WithNu(0.01),
+				spectral.WithScheme(spectral.RK2),
+				spectral.WithDealias(spectral.Dealias23),
+				spectral.WithTransform(pfft.NewSlabRealWorkers(c, n, workers)),
+			}, opts...)
+			sol := spectral.New(c, n, all...)
+			sol.SetRandomIsotropic(3, 0.5, 1)
+			for f := 3; f < sol.Fields(); f++ {
+				sol.SetFieldBlob(f, 2.5, 0.5, int64(40+f))
+			}
+			step := func() { sol.Step(1e-4) }
+			c.Barrier()
+			if c.Rank() == 0 {
+				s = timeLoop(iters, 2, step)
+			} else {
+				for i := 0; i < iters+2; i++ {
+					step()
+				}
+			}
+		})
+		return s
+	}
+}
+
 // fanInTag is the message tag of the fan-in workload's point-to-point
 // traffic. Tags must be named constants (see the mpireq analyzer) so
 // call sites can't silently collide in the mailbox key space.
@@ -226,6 +262,10 @@ var workloads = []workload{
 	{"slab_fwd_inv_n64_p4", 40, 8, true, slabTransform(64, 4)},
 	{"slab_fwd_inv_n128_p4", 10, 2, true, slabTransform(128, 4)},
 	{"dns_rk2_step_n32_p2", 30, 6, true, dnsStep(32, 2)},
+	{"step_forced_n64", 10, 2, true, dnsStepOpts(64, 4,
+		spectral.WithForcing(2, 0.05), spectral.WithForcingNoise(0.5, 3))},
+	{"step_scalar_n64", 8, 2, true, dnsStepOpts(64, 4,
+		spectral.WithRotation(2.0), spectral.WithScalars(2, 1.0, 0.7), spectral.WithScalarGradient(1.0))},
 	{"mailbox_fanin_p8", 2000, 400, false, mailboxFanIn(8, 128)},
 	{"pack_unpack_yz", 4000, 800, true, packUnpack(33, 64, 16, 4)},
 	{"exchange_staged_n64", 400, 80, true, exchangeYZ(64, 4, exchange.Staged)},

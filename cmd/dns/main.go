@@ -7,6 +7,10 @@
 // Example:
 //
 //	dns -n 64 -ranks 4 -steps 10 -engine async -np 4 -gran pencil -forced
+//
+// The equation set is pluggable: -system picks a registered system by
+// name (ns, forced-ns, rotating-scalar), or is inferred from -forced,
+// -force-eps and -rotation.
 package main
 
 import (
@@ -29,28 +33,32 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 32, "grid points per direction (even, divisible by ranks)")
-		ranks   = flag.Int("ranks", 2, "MPI ranks (in-process)")
-		steps   = flag.Int("steps", 5, "time steps")
-		dt      = flag.Float64("dt", 0.005, "time step size")
-		nu      = flag.Float64("nu", 0.01, "kinematic viscosity")
-		scheme  = flag.String("scheme", "rk2", "time scheme: rk2 or rk4")
-		engine  = flag.String("engine", "sync", "transform engine: sync or async")
-		np      = flag.Int("np", 3, "pencils per slab (async engine)")
-		gran    = flag.String("gran", "slab", "all-to-all granularity: pencil or slab (async)")
-		exch    = flag.String("exchange", "auto", "transpose-exchange strategy: auto, staged, fused or chunked (auto microbenchmarks at startup and pins the winner)")
-		ngpu    = flag.Int("ngpu", 1, "devices per rank (async engine)")
-		workers = flag.Int("workers", 1, "worker-team size per rank (FFT batch + pack/unpack parallelism; results identical for any value)")
-		forced  = flag.Bool("forced", false, "apply low-wavenumber band forcing")
-		k0      = flag.Float64("k0", 3, "initial spectrum peak wavenumber")
-		e0      = flag.Float64("e0", 0.5, "initial kinetic energy")
-		seed    = flag.Int64("seed", 2025, "initial condition seed")
-		scalar  = flag.Bool("scalar", false, "co-advance a passive scalar with mean gradient")
-		schmidt = flag.Float64("sc", 1.0, "Schmidt number ν/κ for -scalar")
-		pngOut  = flag.String("png", "", "write a z-midplane PNG of u to this path at the end")
-		ckptDir = flag.String("ckpt", "", "write a checkpoint directory at the end (for cmd/postproc)")
-		metOn   = flag.Bool("metrics", false, "record runtime metrics over the step loop and print the per-phase breakdown")
-		metJSON = flag.String("metrics-json", "", "also dump the full metrics snapshot as JSON to this path (implies -metrics)")
+		n        = flag.Int("n", 32, "grid points per direction (even, divisible by ranks)")
+		ranks    = flag.Int("ranks", 2, "MPI ranks (in-process)")
+		steps    = flag.Int("steps", 5, "time steps")
+		dt       = flag.Float64("dt", 0.005, "time step size")
+		nu       = flag.Float64("nu", 0.01, "kinematic viscosity")
+		scheme   = flag.String("scheme", "rk2", "time scheme: rk2 or rk4")
+		engine   = flag.String("engine", "sync", "transform engine: sync or async")
+		np       = flag.Int("np", 3, "pencils per slab (async engine)")
+		gran     = flag.String("gran", "slab", "all-to-all granularity: pencil or slab (async)")
+		exch     = flag.String("exchange", "auto", "transpose-exchange strategy: auto, staged, fused or chunked (auto microbenchmarks at startup and pins the winner)")
+		ngpu     = flag.Int("ngpu", 1, "devices per rank (async engine)")
+		workers  = flag.Int("workers", 1, "worker-team size per rank (FFT batch + pack/unpack parallelism; results identical for any value)")
+		system   = flag.String("system", "", "equation set by registered name (default: inferred from the physics flags)")
+		forced   = flag.Bool("forced", false, "sustain stationary turbulence (stochastic large-scale forcing)")
+		forceKF  = flag.Int("force-kf", 2, "highest forced shell for -forced / -force-eps")
+		forceEps = flag.Float64("force-eps", 0, "energy injection rate (0 with -forced picks a default)")
+		rotation = flag.Float64("rotation", 0, "frame rotation rate Ω about ẑ (Coriolis)")
+		k0       = flag.Float64("k0", 3, "initial spectrum peak wavenumber")
+		e0       = flag.Float64("e0", 0.5, "initial kinetic energy")
+		seed     = flag.Int64("seed", 2025, "initial condition seed")
+		scalar   = flag.Bool("scalar", false, "co-advance a passive scalar with mean gradient")
+		schmidt  = flag.Float64("sc", 1.0, "Schmidt number ν/κ for -scalar")
+		pngOut   = flag.String("png", "", "write a z-midplane PNG of u to this path at the end")
+		ckptDir  = flag.String("ckpt", "", "write a checkpoint directory at the end (for cmd/postproc)")
+		metOn    = flag.Bool("metrics", false, "record runtime metrics over the step loop and print the per-phase breakdown")
+		metJSON  = flag.String("metrics-json", "", "also dump the full metrics snapshot as JSON to this path (implies -metrics)")
 
 		watchOn      = flag.Bool("watchdog", true, "run the MPI stall watchdog (deadlock detection)")
 		deadlockWin  = flag.Duration("deadlock-after", 0, "declare a deadlock after this quiescent window (0 = runtime default 2s)")
@@ -69,6 +77,13 @@ func main() {
 
 	if *n%*ranks != 0 {
 		log.Fatalf("ranks must divide N: %d %% %d != 0", *n, *ranks)
+	}
+	if *system != "" && spectral.SystemCode(*system) < 0 {
+		log.Fatalf("-system: unknown equation set %q; registered systems: %s",
+			*system, strings.Join(spectral.Systems(), ", "))
+	}
+	if *forced && *forceEps == 0 {
+		*forceEps = 0.1
 	}
 	sch := spectral.RK2
 	if *scheme == "rk4" {
@@ -111,11 +126,20 @@ func main() {
 		*n, *ranks, *scheme, *engine, *nu, *dt)
 
 	err = mpi.TryRun(*ranks, func(c *mpi.Comm) {
-		cfg := spectral.Config{N: *n, Nu: *nu, Scheme: sch, Dealias: spectral.Dealias23}
-		if *forced {
-			cfg.Forcing = spectral.NewForcing(2)
+		opts := []spectral.Option{
+			spectral.WithNu(*nu),
+			spectral.WithScheme(sch),
+			spectral.WithDealias(spectral.Dealias23),
 		}
-		var solver *spectral.Solver
+		if *forceEps > 0 {
+			opts = append(opts, spectral.WithForcing(*forceKF, *forceEps))
+		}
+		if *rotation != 0 {
+			opts = append(opts, spectral.WithRotation(*rotation))
+		}
+		if *system != "" {
+			opts = append(opts, spectral.WithSystem(*system))
+		}
 		var pinned exchange.Strategy
 		if *engine == "async" {
 			tr := core.NewAsyncSlabReal(c, *n, core.Options{
@@ -126,22 +150,24 @@ func main() {
 			})
 			defer tr.Close()
 			pinned = tr.Strategy()
-			if c.Rank() == 0 {
-				fmt.Printf("transpose-exchange strategy: %s\n", pinned)
-			}
-			solver = spectral.NewSolverWithTransform(c, cfg, tr)
+			opts = append(opts, spectral.WithTransform(tr))
 		} else {
 			tr := pfft.NewSlabRealStrategy(c, *n, *workers, strategy)
 			defer tr.Close()
 			pinned = tr.Strategy()
-			if c.Rank() == 0 {
-				fmt.Printf("transpose-exchange strategy: %s\n", pinned)
-			}
-			solver = spectral.NewSolverWithTransform(c, cfg, tr)
+			opts = append(opts, spectral.WithTransform(tr))
+		}
+		solver := spectral.New(c, *n, opts...)
+		if c.Rank() == 0 {
+			fmt.Printf("transpose-exchange strategy: %s\n", pinned)
+			fmt.Printf("equation set: %s (%d fields)\n", solver.System().Name(), solver.Fields())
 		}
 		solver.SetRandomIsotropic(*k0, *e0, *seed)
 		var th *spectral.Scalar
 		if *scalar {
+			if solver.Fields() != 3 {
+				log.Fatalf("-scalar uses the legacy coupled stepper and needs a 3-field system; use -system rotating-scalar (WithScalars) instead")
+			}
 			th = solver.NewScalar(*nu / *schmidt)
 			th.MeanGrad = 1.0
 		}
@@ -161,9 +187,12 @@ func main() {
 			// measure steps rather than setup and diagnostics.
 			c.Barrier()
 			metrics.Enable()
-			// The engine pins its strategy gauge at construction, while
-			// the registry is still off; restate it now that it is on.
+			// The engine pins its strategy gauge and the solver its
+			// system gauge at construction, while the registry is still
+			// off; restate both now that it is on.
 			c.Metrics().GaugeRank("exchange.strategy", c.Rank()).Set(pinned.Code())
+			c.Metrics().GaugeRank("solver.system", c.Rank()).
+				Set(float64(spectral.SystemCode(solver.System().Name())))
 		}
 		for i := 0; i < *steps; i++ {
 			timer.Begin()
@@ -199,6 +228,13 @@ func main() {
 			}
 		} else {
 			solver.Spectrum()
+		}
+		diags := solver.SystemDiagnostics()
+		if root && len(diags) > 0 {
+			fmt.Printf("system diagnostics (%s):\n", solver.System().Name())
+			for _, d := range diags {
+				fmt.Printf("  %-18s %.6g\n", d.Name, d.Value)
+			}
 		}
 		if th != nil {
 			v := solver.ScalarVariance(th)

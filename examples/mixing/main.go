@@ -32,11 +32,13 @@ func main() {
 	fmt.Printf("passive-scalar mixing: %d³, ν=%g, Sc=%g, mean gradient G=1\n\n", n, nu, sc)
 
 	mpi.Run(ranks, func(c *mpi.Comm) {
-		cfg := spectral.Config{
-			N: n, Nu: nu, Scheme: spectral.RK2, Dealias: spectral.Dealias23,
-			Forcing: spectral.NewForcing(2),
+		opts := []spectral.Option{
+			spectral.WithNu(nu),
+			spectral.WithScheme(spectral.RK2),
+			spectral.WithDealias(spectral.Dealias23),
+			spectral.WithForcing(2, 0.1),
 		}
-		s := spectral.NewSolver(c, cfg)
+		s := spectral.New(c, n, opts...)
 		s.SetRandomIsotropic(2.5, 0.6, 31)
 		th := s.NewScalar(nu / sc)
 		th.MeanGrad = 1.0
@@ -67,7 +69,7 @@ func main() {
 		}
 
 		// "Next job": fresh solver objects restored from disk.
-		s2 := spectral.NewSolver(c, cfg)
+		s2 := spectral.New(c, n, opts...)
 		th2 := s2.NewScalar(0)
 		if err := s2.LoadCheckpoint(dir, th2); err != nil {
 			log.Fatalf("rank %d: restart: %v", c.Rank(), err)

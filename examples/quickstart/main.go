@@ -26,12 +26,12 @@ func main() {
 		defer tr.Close()
 
 		// A full pseudo-spectral Navier–Stokes solver on top of it.
-		solver := spectral.NewSolverWithTransform(c, spectral.Config{
-			N:       n,
-			Nu:      0.02,
-			Scheme:  spectral.RK2,
-			Dealias: spectral.Dealias23,
-		}, tr)
+		solver := spectral.New(c, n,
+			spectral.WithNu(0.02),
+			spectral.WithScheme(spectral.RK2),
+			spectral.WithDealias(spectral.Dealias23),
+			spectral.WithTransform(tr),
+		)
 
 		solver.SetTaylorGreen()
 		e0 := solver.Energy()

@@ -6,10 +6,12 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/simnet"
+	"repro/internal/spectral"
 	"repro/internal/trace"
 )
 
@@ -47,6 +49,33 @@ func main() {
 	fmt.Printf("2× GPU + NVLink     %.2f s/step\n", core.SimulateGPUStep(gpu2).Time)
 	fmt.Printf("2× interconnect     %.2f s/step\n", core.SimulateGPUStep(net2).Time)
 	fmt.Println("(the interconnect is the lever — the paper's closing argument)")
+
+	fmt.Println("\n=== equation-set cost (transform volumes per step, from the registry) ===")
+	// The transform pipeline is the step's cost: each RHS evaluation
+	// moves 3 inverse + 6 forward volumes for the velocity and 1
+	// inverse + 3 forward per extra field (the flux products reuse the
+	// velocity's physical-space scratch). RK2 evaluates the RHS twice.
+	spec := spectral.SystemSpec{
+		Nu:      1e-4,
+		Forcing: spectral.ForcingSpec{KF: 2, Eps: 0.1},
+		Scalars: []spectral.ScalarSpec{{Schmidt: 1}, {Schmidt: 0.7}},
+		Omega:   1,
+	}
+	baseRes := core.SimulateGPUStep(core.DefaultPerf(18432, 3072, 2, core.PerSlab))
+	fmt.Printf("%-16s %6s %18s %14s %22s\n", "system", "fields", "volumes/RHS", "rel. cost", "18432³ est. s/step")
+	for _, name := range spectral.Systems() {
+		sys, err := spectral.NewNamedSystem(name, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nf := sys.Fields()
+		vols := 9 + 4*(nf-3)
+		rel := float64(vols) / 9
+		fmt.Printf("%-16s %6d %14d (%d+%d) %13.2fx %21.2f\n",
+			name, nf, vols, 9, 4*(nf-3), rel, baseRes.Time*rel)
+	}
+	fmt.Println("(the registry makes the sweep extensible: a new equation set only has")
+	fmt.Println(" to register a factory to appear in this table and in cmd/dns -system)")
 
 	fmt.Println("\n=== what-if: pencil count sensitivity at 18432³ (ablation) ===")
 	for _, np := range []int{4, 6, 8, 12} {

@@ -16,7 +16,11 @@ import (
 
 func run(n, ranks int, dt float64, steps int, scheme spectral.Scheme) (eHist []float64, epsHist []float64) {
 	mpi.Run(ranks, func(c *mpi.Comm) {
-		s := spectral.NewSolver(c, spectral.Config{N: n, Nu: 0.01, Scheme: scheme, Dealias: spectral.Dealias23})
+		s := spectral.New(c, n,
+			spectral.WithNu(0.01),
+			spectral.WithScheme(scheme),
+			spectral.WithDealias(spectral.Dealias23),
+		)
 		s.SetTaylorGreen()
 		if c.Rank() == 0 {
 			eHist = append(eHist, s.Energy())

@@ -15,8 +15,12 @@ import (
 // slice literals, &composite literals (escape to the heap under
 // aliasing), and implicit interface conversions of non-pointer-shaped
 // values (boxing). The check propagates one level into same-package
-// callees. Panic subtrees and guard clauses that end in panic are
-// skipped: those are cold abort paths, not steady-state work.
+// callees, including through interface dispatch: a call to an
+// interface method (the System plug-in pattern — a hot stepper
+// invoking sys.Nonlinear) propagates into every same-package concrete
+// method implementing it, since any of them can be the one on the hot
+// path at runtime. Panic subtrees and guard clauses that end in panic
+// are skipped: those are cold abort paths, not steady-state work.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "forbid heap allocations in //psdns:hotpath functions and their direct same-package callees",
@@ -25,6 +29,7 @@ var HotAlloc = &Analyzer{
 
 func runHotAlloc(pass *Pass) {
 	decls := map[*types.Func]*ast.FuncDecl{}
+	methodDecls := map[string][]*ast.FuncDecl{} // concrete methods by name
 	hotSet := map[*ast.FuncDecl]bool{}
 	var hot []*ast.FuncDecl
 	for _, f := range pass.Files {
@@ -35,6 +40,9 @@ func runHotAlloc(pass *Pass) {
 			}
 			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
 				decls[obj] = fd
+				if fd.Recv != nil {
+					methodDecls[fd.Name.Name] = append(methodDecls[fd.Name.Name], fd)
+				}
 			}
 			if isHotpath(fd) {
 				hot = append(hot, fd)
@@ -44,27 +52,48 @@ func runHotAlloc(pass *Pass) {
 	}
 
 	checked := map[*ast.FuncDecl]bool{}
+	check := func(root string, cd *ast.FuncDecl) {
+		if cd == nil || hotSet[cd] || checked[cd] {
+			return
+		}
+		checked[cd] = true
+		h := &hotChecker{pass: pass, root: root, callee: cd.Name.Name}
+		h.checkDecl(cd)
+	}
 	for _, fd := range hot {
 		h := &hotChecker{pass: pass, root: fd.Name.Name, collect: true}
 		h.checkDecl(fd)
 		for _, callee := range h.callees {
-			cd := decls[callee]
-			if cd == nil || hotSet[cd] || checked[cd] {
+			check(fd.Name.Name, decls[callee])
+		}
+		// Interface dispatch: check every same-package implementation of
+		// each interface method the hot function calls.
+		for _, m := range h.ifaceCallees {
+			iface, _ := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+			if iface == nil {
 				continue
 			}
-			checked[cd] = true
-			h2 := &hotChecker{pass: pass, root: fd.Name.Name, callee: cd.Name.Name}
-			h2.checkDecl(cd)
+			for _, cd := range methodDecls[m.Name()] {
+				obj, ok := pass.Info.Defs[cd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				recv := obj.Type().(*types.Signature).Recv()
+				if recv != nil && types.Implements(recv.Type(), iface) {
+					check(fd.Name.Name, cd)
+				}
+			}
 		}
 	}
 }
 
 type hotChecker struct {
-	pass    *Pass
-	root    string // the //psdns:hotpath function this check is rooted at
-	callee  string // non-empty when checking a propagated callee
-	collect bool   // gather same-package callees for propagation
-	callees []*types.Func
+	pass         *Pass
+	root         string // the //psdns:hotpath function this check is rooted at
+	callee       string // non-empty when checking a propagated callee
+	collect      bool   // gather same-package callees for propagation
+	callees      []*types.Func
+	ifaceCallees []*types.Func // interface methods called (dispatch targets unknown statically)
 }
 
 func (h *hotChecker) report(pos token.Pos, what string) {
@@ -271,8 +300,13 @@ func (h *hotChecker) call(call *ast.CallExpr) {
 		return
 	}
 
-	if f := calleeFunc(h.pass.Info, call); f != nil {
-		if h.collect && f.Pkg() == h.pass.Pkg {
+	if f := calleeFunc(h.pass.Info, call); f != nil && h.collect {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+				h.ifaceCallees = append(h.ifaceCallees, f)
+			}
+		}
+		if f.Pkg() == h.pass.Pkg {
 			h.callees = append(h.callees, f)
 		}
 	}

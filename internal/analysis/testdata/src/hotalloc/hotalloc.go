@@ -88,3 +88,40 @@ func staged(s *state, n int) {
 		_ = make([]int, n) // want `call to make allocates`
 	}
 }
+
+// equation is the pluggable-System dispatch pattern: a hot stepper
+// calls through an interface, so the analyzer cannot resolve the
+// callee statically and must check every same-package implementation
+// one level deep.
+type equation interface {
+	rhs(dst []float64)
+}
+
+type cleanEq struct{}
+
+// rhs implements equation without allocating: passes.
+func (cleanEq) rhs(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+type dirtyEq struct{ scratch []float64 }
+
+// rhs implements equation but allocates: reported through the
+// interface dispatch in the hot stepper.
+func (e *dirtyEq) rhs(dst []float64) {
+	e.scratch = make([]float64, len(dst)) // want `call to make allocates in rhs, called from //psdns:hotpath function dispatch`
+	copy(e.scratch, dst)
+}
+
+// unrelated shares the method name but not the signature, so it does
+// not implement equation and is not checked.
+type unrelated struct{}
+
+func (unrelated) rhs() []float64 { return make([]float64, 1) }
+
+//psdns:hotpath
+func dispatch(eq equation, dst []float64) {
+	eq.rhs(dst)
+}

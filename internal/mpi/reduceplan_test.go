@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReducePlanMatchesAllreduce(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		Run(p, func(c *Comm) {
+			const n = 5
+			pl := NewReducePlan(c, n)
+			defer pl.Free()
+			for iter := 0; iter < 3; iter++ {
+				v := make([]float64, n)
+				ref := make([]float64, n)
+				for i := range v {
+					v[i] = float64((c.Rank()+1)*(i+1)) * 0.25 * float64(iter+1)
+					ref[i] = v[i]
+				}
+				pl.Sum(v)
+				AllreduceSum(c, ref)
+				for i := range v {
+					if v[i] != ref[i] {
+						t.Errorf("p=%d iter=%d sum[%d]=%g want %g", p, iter, i, v[i], ref[i])
+					}
+				}
+				for i := range v {
+					v[i] = math.Sin(float64(c.Rank()*n + i))
+					ref[i] = v[i]
+				}
+				pl.Max(v)
+				AllreduceMax(c, ref)
+				for i := range v {
+					if v[i] != ref[i] {
+						t.Errorf("p=%d iter=%d max[%d]=%g want %g", p, iter, i, v[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestReducePlanBitwiseIdenticalAcrossRanks(t *testing.T) {
+	// The fold walks rank blocks in rank order, so every rank computes
+	// the identical float64 — the property per-step controllers depend
+	// on for collective agreement.
+	Run(4, func(c *Comm) {
+		pl := NewReducePlan(c, 3)
+		defer pl.Free()
+		v := []float64{1e-17 * float64(c.Rank()), 1 + 1e-16*float64(c.Rank()), -0.1}
+		pl.Sum(v)
+		all := make([]float64, 4*3)
+		Allgather(c, v, all)
+		for r := 1; r < 4; r++ {
+			for i := 0; i < 3; i++ {
+				if all[r*3+i] != all[i] {
+					t.Fatalf("rank %d element %d differs: %g vs %g", r, i, all[r*3+i], all[i])
+				}
+			}
+		}
+	})
+}
+
+func TestReducePlanZeroAllocs(t *testing.T) {
+	Run(2, func(c *Comm) {
+		pl := NewReducePlan(c, 4)
+		defer pl.Free()
+		v := make([]float64, 4)
+		for i := 0; i < 3; i++ {
+			pl.Sum(v)
+			pl.Max(v)
+		}
+		if c.Rank() == 0 {
+			avg := testing.AllocsPerRun(50, func() {
+				pl.Sum(v)
+				pl.Max(v)
+			})
+			if avg != 0 {
+				t.Errorf("ReducePlan steady state allocates %.2f per op", avg)
+			}
+		} else {
+			for i := 0; i < 51; i++ {
+				pl.Sum(v)
+				pl.Max(v)
+			}
+		}
+	})
+}
+
+func TestReducePlanLengthMismatchPanics(t *testing.T) {
+	err := TryRun(1, func(c *Comm) {
+		pl := NewReducePlan(c, 2)
+		defer pl.Free()
+		pl.Sum(make([]float64, 3))
+	})
+	if err == nil {
+		t.Fatal("expected length-mismatch panic to surface through TryRun")
+	}
+}

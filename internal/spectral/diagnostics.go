@@ -46,9 +46,54 @@ func (s *Solver) modeSum(f func(k2 float64) float64) float64 {
 	return out[0]
 }
 
+// fieldModeSum accumulates w(k)·f(k²)·|v̂|²_math over one spectral
+// field and reduces over ranks (collective).
+func (s *Solver) fieldModeSum(v []complex128, f func(k2 float64) float64) float64 {
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	n3 := float64(n) * float64(n) * float64(n)
+	inv := 1 / (n3 * n3)
+	var sum float64
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		kz2 := s.kzs[iz] * s.kzs[iz]
+		for iy := 0; iy < n; iy++ {
+			ky2 := s.kys[iy] * s.kys[iy]
+			for ix := 0; ix < nxh; ix++ {
+				k2 := s.kxs[ix]*s.kxs[ix] + ky2 + kz2
+				e := real(v[idx])*real(v[idx]) + imag(v[idx])*imag(v[idx])
+				sum += specWeight(ix, n) * f(k2) * e * inv
+				idx++
+			}
+		}
+	}
+	out := []float64{sum}
+	mpi.AllreduceSum(s.comm, out)
+	return out[0]
+}
+
 // Energy returns the total kinetic energy ½⟨u·u⟩ (collective).
 func (s *Solver) Energy() float64 {
 	return 0.5 * s.modeSum(func(float64) float64 { return 1 })
+}
+
+// ComponentEnergy returns ½⟨u_c²⟩ of one velocity component, the
+// ingredient of the rotation anisotropy diagnostic (collective).
+func (s *Solver) ComponentEnergy(c int) float64 {
+	return 0.5 * s.fieldModeSum(s.state[c], func(float64) float64 { return 1 })
+}
+
+// FieldVariance returns ⟨f²⟩ of spectral field c (collective). For
+// scalar-carrying systems, fields 3… are the scalars.
+func (s *Solver) FieldVariance(c int) float64 {
+	return s.fieldModeSum(s.state[c], func(float64) float64 { return 1 })
+}
+
+// FieldDissipation returns the diffusive destruction rate of field c,
+// χ = 2κ_c·Σ k²·E_f(k) (so for a scalar, d⟨θ²⟩/dt = −2χ in pure
+// decay, matching ScalarDissipation's convention; collective).
+func (s *Solver) FieldDissipation(c int) float64 {
+	kappa := s.sys.Diffusivity(c)
+	return kappa * s.fieldModeSum(s.state[c], func(k2 float64) float64 { return k2 })
 }
 
 // Dissipation returns ε = 2ν·Σ k²·E(k) = ν⟨|∇u|²⟩ for solenoidal

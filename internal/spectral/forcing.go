@@ -12,6 +12,10 @@ import (
 // DNS (the paper's production runs use the related Eswaran–Pope
 // scheme; both inject energy only at the largest scales, which is what
 // matters to the algorithmic workload).
+//
+// Deprecated: use the "forced-ns" System (New with WithForcing), whose
+// StochasticForcing controller is allocation-free and injects energy
+// at a prescribed rate instead of freezing shell energies.
 type Forcing struct {
 	// KF is the highest forced shell (typically 2).
 	KF int
@@ -20,6 +24,8 @@ type Forcing struct {
 }
 
 // NewForcing creates a band forcing over shells 1…kf.
+//
+// Deprecated: use New with WithForcing(kf, eps) instead.
 func NewForcing(kf int) *Forcing {
 	if kf < 1 {
 		panic("spectral: forcing needs kf ≥ 1")
@@ -32,10 +38,12 @@ func NewForcing(kf int) *Forcing {
 func (f *Forcing) apply(s *Solver) {
 	shells := f.shellEnergies(s)
 	if f.target == nil {
+		//psdns:allow hotalloc deprecated band forcing allocates by design; forced-ns system is the zero-alloc path
 		f.target = make([]float64, len(shells))
 		copy(f.target, shells)
 		return
 	}
+	//psdns:allow hotalloc deprecated band forcing allocates by design; forced-ns system is the zero-alloc path
 	scales := make([]float64, len(shells))
 	for k := 1; k <= f.KF; k++ {
 		if shells[k] > 0 && f.target[k] > 0 {

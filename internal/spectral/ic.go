@@ -136,6 +136,57 @@ func (s *Solver) rawModeIC(ix, iy, gz int, k0 float64, seed int64) [3]complex128
 	return v
 }
 
+// SetFieldSingleMode initializes spectral field c (for scalar-carrying
+// systems, fields 3… are the scalars) with one Fourier mode, enforcing
+// conjugate symmetry on the kx ∈ {0, N/2} planes.
+func (s *Solver) SetFieldSingleMode(c, kx, ky, kz int, amp complex128) {
+	zero(s.state[c])
+	n := s.cfg.N
+	n3 := float64(n) * float64(n) * float64(n)
+	gy := (ky + n) % n
+	gz := (kz + n) % n
+	put := func(gy, gz int, v complex128) {
+		if s.slab.ZOwner(gz) != s.slab.Rank {
+			return
+		}
+		iz := gz - s.slab.ZLo()
+		s.state[c][(iz*n+gy)*s.nxh+kx] = v * complex(n3, 0)
+	}
+	put(gy, gz, amp)
+	if kx == 0 || kx == n/2 {
+		py, pz := conjPairIndex(gy, gz, n)
+		if py != gy || pz != gz {
+			put(py, pz, complex(real(amp), -imag(amp)))
+		}
+	}
+}
+
+// SetFieldBlob initializes spectral field c with a smooth
+// low-wavenumber random field (one component of the solenoidal
+// velocity-IC construction, rank-count invariant), variance normalized
+// to v0.
+func (s *Solver) SetFieldBlob(c int, k0, v0 float64, seed int64) {
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	idx := 0
+	for iz := 0; iz < mz; iz++ {
+		gz := s.slab.ZLo() + iz
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < nxh; ix++ {
+				v := s.modeIC(ix, iy, gz, k0, seed)
+				s.state[c][idx] = v[0]
+				idx++
+			}
+		}
+	}
+	va := s.FieldVariance(c)
+	if va > 0 {
+		sf := complex(math.Sqrt(v0/va), 0)
+		for i := range s.state[c] {
+			s.state[c][i] *= sf
+		}
+	}
+}
+
 // SetSingleMode places one solenoidal Fourier mode with the given
 // signed wavenumbers and amplitude (useful for exact-decay tests).
 // The amplitude vector must be perpendicular to k; kx must be ≥ 0.

@@ -12,16 +12,31 @@ import (
 var prodPairs = [6][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}}
 
 // nonlinear evaluates the dealiased, projected divergence-form
-// nonlinear term N̂ = −P(k)·(ik_j·FFT{u_iu_j}) of the velocity field u
-// (in code units) into s.nl. It performs 3 inverse and 6 forward
-// distributed 3D transforms, exactly the transform traffic the paper's
-// timings account for.
+// velocity nonlinear term into s.nl[0:3] — the legacy 3-field entry
+// point kept for the coupled-scalar step and diagnostics. Systems
+// compose velocityProducts/addCoriolis/projectAndDealias directly.
 func (s *Solver) nonlinear(u *[3][]complex128) {
+	s.wrap3[0], s.wrap3[1], s.wrap3[2] = u[0], u[1], u[2]
+	s.velocityProducts(s.wrap3, s.nl)
+	s.projectAndDealias(s.nl)
+}
+
+// velocityProducts evaluates the divergence-form nonlinear term
+// N̂_i = −ik_j·FFT{u_iu_j} of the velocity (state[0:3], code units)
+// into rhs[0:3], leaving projection and dealiasing to the caller so
+// systems can add body forces (Coriolis, buoyancy) before projecting.
+// It performs 3 inverse and 6 forward distributed 3D transforms,
+// exactly the transform traffic the paper's timings account for. As a
+// side effect s.physU holds the (shifted, under Dealias23Shift)
+// physical-space velocity, which scalar advection reuses for free.
+//
+//psdns:hotpath
+func (s *Solver) velocityProducts(state, rhs [][]complex128) {
 	shift := s.cfg.Dealias == Dealias23Shift
 
 	// To physical space, one component at a time.
 	for c := 0; c < 3; c++ {
-		copy(s.work, u[c])
+		copy(s.work, state[c])
 		if shift {
 			s.applyShift(s.work, +1)
 		}
@@ -29,7 +44,7 @@ func (s *Solver) nonlinear(u *[3][]complex128) {
 	}
 
 	for c := 0; c < 3; c++ {
-		zero(s.nl[c])
+		zero(rhs[c])
 	}
 
 	// Products back to Fourier space, accumulating the divergence.
@@ -46,15 +61,15 @@ func (s *Solver) nonlinear(u *[3][]complex128) {
 		// Code-unit bookkeeping: the product of two physical fields,
 		// forward transformed, is N³·(û_i⋆û_j)_math — already in code
 		// units; no extra scaling needed.
-		s.accumulateDivergence(i, j)
+		s.accumulateDivergence(rhs, i, j)
 	}
-
-	s.projectAndDealias()
 }
 
-// accumulateDivergence adds −i·k_j·ŝ to nl[i] (and −i·k_i·ŝ to nl[j]
+// accumulateDivergence adds −i·k_j·ŝ to rhs[i] (and −i·k_i·ŝ to rhs[j]
 // when i≠j), where ŝ is the spectral product currently in s.work.
-func (s *Solver) accumulateDivergence(i, j int) {
+//
+//psdns:hotpath
+func (s *Solver) accumulateDivergence(rhs [][]complex128, i, j int) {
 	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
 	idx := 0
 	for iz := 0; iz < mz; iz++ {
@@ -65,9 +80,9 @@ func (s *Solver) accumulateDivergence(i, j int) {
 				kvec := [3]float64{s.kxs[ix], ky, kz}
 				v := s.work[idx]
 				// −i·k·v = complex(k·imag, −k·real).
-				s.nl[i][idx] += complex(kvec[j]*imag(v), -kvec[j]*real(v))
+				rhs[i][idx] += complex(kvec[j]*imag(v), -kvec[j]*real(v))
 				if i != j {
-					s.nl[j][idx] += complex(kvec[i]*imag(v), -kvec[i]*real(v))
+					rhs[j][idx] += complex(kvec[i]*imag(v), -kvec[i]*real(v))
 				}
 				idx++
 			}
@@ -75,10 +90,31 @@ func (s *Solver) accumulateDivergence(i, j int) {
 	}
 }
 
+// addCoriolis adds the Coriolis acceleration −2Ω·ẑ×u =
+// (2Ω·u_y, −2Ω·u_x, 0) to rhs[0:2]. It must run before the solenoidal
+// projection (the projection removes the gradient part that feeds the
+// geostrophic pressure); the term does no work, so inviscid energy is
+// conserved to scheme accuracy — the validation invariant of the
+// rotating system.
+//
+//psdns:hotpath
+func (s *Solver) addCoriolis(state, rhs [][]complex128, omega float64) {
+	two := complex(2*omega, 0)
+	ux, uy := state[0], state[1]
+	rx, ry := rhs[0], rhs[1]
+	for i := range rx {
+		rx[i] += two * uy[i]
+		ry[i] -= two * ux[i]
+	}
+}
+
 // projectAndDealias applies the solenoidal projection
-// N̂_⊥ = N̂ − k(k·N̂)/k² and the dealias mask to s.nl.
-func (s *Solver) projectAndDealias() {
+// N̂_⊥ = N̂ − k(k·N̂)/k² and the dealias mask to rhs[0:3].
+//
+//psdns:hotpath
+func (s *Solver) projectAndDealias(rhs [][]complex128) {
 	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	r0, r1, r2 := rhs[0], rhs[1], rhs[2]
 	idx := 0
 	for iz := 0; iz < mz; iz++ {
 		kz := s.kzs[iz]
@@ -88,18 +124,18 @@ func (s *Solver) projectAndDealias() {
 				kx := s.kxs[ix]
 				k2 := kx*kx + ky*ky + kz*kz
 				if k2 == 0 || !s.mask[idx] {
-					s.nl[0][idx] = 0
-					s.nl[1][idx] = 0
-					s.nl[2][idx] = 0
+					r0[idx] = 0
+					r1[idx] = 0
+					r2[idx] = 0
 					idx++
 					continue
 				}
-				dot := (complex(kx, 0)*s.nl[0][idx] +
-					complex(ky, 0)*s.nl[1][idx] +
-					complex(kz, 0)*s.nl[2][idx]) / complex(k2, 0)
-				s.nl[0][idx] -= complex(kx, 0) * dot
-				s.nl[1][idx] -= complex(ky, 0) * dot
-				s.nl[2][idx] -= complex(kz, 0) * dot
+				dot := (complex(kx, 0)*r0[idx] +
+					complex(ky, 0)*r1[idx] +
+					complex(kz, 0)*r2[idx]) / complex(k2, 0)
+				r0[idx] -= complex(kx, 0) * dot
+				r1[idx] -= complex(ky, 0) * dot
+				r2[idx] -= complex(kz, 0) * dot
 				idx++
 			}
 		}

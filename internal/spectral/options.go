@@ -1,0 +1,161 @@
+package spectral
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/pfft"
+)
+
+// Option configures New. The zero configuration is an inviscid,
+// undealiased RK2 decaying-NS solver on the synchronous slab
+// transform — the same defaults as the zero Config.
+type Option func(*solverOptions)
+
+type solverOptions struct {
+	cfg     Config
+	tr      Transform
+	sys     System
+	sysName string
+	spec    SystemSpec
+}
+
+// WithNu sets the kinematic viscosity.
+func WithNu(nu float64) Option {
+	return func(o *solverOptions) { o.cfg.Nu = nu }
+}
+
+// WithScheme selects the time integrator (RK2 or RK4).
+func WithScheme(sch Scheme) Option {
+	return func(o *solverOptions) { o.cfg.Scheme = sch }
+}
+
+// WithDealias selects the aliasing control.
+func WithDealias(d Dealias) Option {
+	return func(o *solverOptions) { o.cfg.Dealias = d }
+}
+
+// WithTransform runs the solver on a caller-chosen transform engine
+// (e.g. the batched asynchronous pipeline of internal/core) instead of
+// the synchronous slab default.
+func WithTransform(tr Transform) Option {
+	return func(o *solverOptions) { o.tr = tr }
+}
+
+// WithSystem selects a registered equation set by name ("ns",
+// "forced-ns", "rotating-scalar", or any third-party registration).
+// Construction panics on an unknown name, listing what is registered.
+func WithSystem(name string) Option {
+	return func(o *solverOptions) { o.sysName = name }
+}
+
+// WithSystemInstance installs a caller-built System directly,
+// bypassing the registry (for systems with configuration the generic
+// SystemSpec cannot express).
+func WithSystemInstance(sys System) Option {
+	return func(o *solverOptions) { o.sys = sys }
+}
+
+// WithForcing enables stochastic large-scale forcing over shells
+// k ≤ kf with energy injection rate eps. Unless a system is named
+// explicitly, this selects "forced-ns".
+func WithForcing(kf int, eps float64) Option {
+	return func(o *solverOptions) {
+		o.spec.Forcing.KF = kf
+		o.spec.Forcing.Eps = eps
+	}
+}
+
+// WithForcingNoise adds a seeded random phase walk with decorrelation
+// time tcorr to the forcing (zero tcorr keeps phases frozen).
+func WithForcingNoise(tcorr float64, seed int64) Option {
+	return func(o *solverOptions) {
+		o.spec.Forcing.TCorr = tcorr
+		o.spec.Forcing.Seed = seed
+	}
+}
+
+// WithScalars attaches n passive scalars with the given Schmidt
+// numbers (κ_i = ν/Sc_i; missing entries default to Sc=1, extras are
+// ignored). Unless a system is named explicitly, this selects
+// "rotating-scalar".
+func WithScalars(n int, sc ...float64) Option {
+	return func(o *solverOptions) {
+		for i := 0; i < n; i++ {
+			s := 1.0
+			if i < len(sc) {
+				s = sc[i]
+			}
+			o.spec.Scalars = append(o.spec.Scalars, ScalarSpec{Schmidt: s})
+		}
+	}
+}
+
+// WithScalarGradient imposes a uniform mean gradient G·ŷ on every
+// scalar declared so far (the stationary-mixing production device).
+func WithScalarGradient(g float64) Option {
+	return func(o *solverOptions) {
+		for i := range o.spec.Scalars {
+			o.spec.Scalars[i].MeanGrad = g
+		}
+	}
+}
+
+// WithRotation sets the frame rotation rate Ω about ẑ. Unless a
+// system is named explicitly, this selects "rotating-scalar".
+func WithRotation(omega float64) Option {
+	return func(o *solverOptions) { o.spec.Omega = omega }
+}
+
+// WithBandForcing attaches the legacy deterministic band forcing
+// (freeze shells 1…kf at their initial energies) as a post-step hook.
+//
+// Deprecated: use WithForcing, whose controller is allocation-free and
+// injects at a prescribed rate.
+func WithBandForcing(kf int) Option {
+	return func(o *solverOptions) { o.cfg.Forcing = NewForcing(kf) }
+}
+
+// New allocates a solver for an n³ grid with functional options — the
+// registry-aware constructor. The equation set is chosen by
+// WithSystem/WithSystemInstance, or inferred from the physics options:
+// scalars or rotation select "rotating-scalar", forcing selects
+// "forced-ns", and the default is plain decaying "ns".
+//
+// All ranks must construct the solver collectively with identical
+// options.
+func New(comm *mpi.Comm, n int, opts ...Option) *Solver {
+	o := &solverOptions{}
+	o.cfg.N = n
+	for _, opt := range opts {
+		opt(o)
+	}
+	o.spec.Nu = o.cfg.Nu
+	sys := o.sys
+	if sys == nil {
+		name := o.sysName
+		if name == "" {
+			switch {
+			case len(o.spec.Scalars) > 0 || o.spec.Omega != 0:
+				name = "rotating-scalar"
+			case o.spec.Forcing.KF > 0 || o.spec.Forcing.Eps > 0:
+				name = "forced-ns"
+			default:
+				name = "ns"
+			}
+		}
+		var err error
+		sys, err = NewNamedSystem(name, o.spec)
+		if err != nil {
+			panic(err.Error())
+		}
+	}
+	tr := o.tr
+	if tr == nil {
+		if n < 4 || n%2 != 0 {
+			panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", n))
+		}
+		tr = pfft.NewSlabReal(comm, n)
+	}
+	return newSolver(comm, o.cfg, tr, sys)
+}

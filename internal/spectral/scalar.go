@@ -184,6 +184,9 @@ func (s *Solver) StepWithScalar(sc *Scalar, dt float64) {
 	if s.cfg.Scheme != RK2 {
 		panic("spectral: StepWithScalar requires the RK2 scheme")
 	}
+	if s.nf != 3 {
+		panic("spectral: StepWithScalar requires a 3-field system; scalar-carrying systems advance their scalars inside Step")
+	}
 	if s.cfg.Dealias == Dealias23Shift {
 		s.shift = stepShift(s.step, s.cfg.N)
 	}
@@ -195,7 +198,7 @@ func (s *Solver) StepWithScalar(sc *Scalar, dt float64) {
 	for c := 0; c < 3; c++ {
 		copy(s.save[c], s.Uh[c])
 	}
-	s.applyIF(&s.save, dt)
+	s.applyIF(s.save, dt)
 
 	// Predictors.
 	for i := range sc.Th {
@@ -210,8 +213,8 @@ func (s *Solver) StepWithScalar(sc *Scalar, dt float64) {
 			s.Uh[c][i] += complex(dt, 0) * s.nl[c][i]
 		}
 	}
-	s.applyIF(&s.Uh, dt)
-	s.applyIFnl(dt)
+	s.applyIF(s.state, dt)
+	s.applyIF(s.nl, dt)
 	for c := 0; c < 3; c++ {
 		s.acc[c], s.nl[c] = s.nl[c], s.acc[c]
 	}
@@ -228,6 +231,7 @@ func (s *Solver) StepWithScalar(sc *Scalar, dt float64) {
 			s.Uh[c][i] = s.save[c][i] + half*(s.acc[c][i]+s.nl[c][i])
 		}
 	}
+	s.sys.PostStep(s, dt)
 	if s.cfg.Forcing != nil {
 		s.cfg.Forcing.apply(s)
 	}
@@ -277,25 +281,5 @@ func (s *Solver) ScalarSpectrum(sc *Scalar) []float64 {
 }
 
 func (s *Solver) scalarModeSum(sc *Scalar, f func(k2 float64) float64) float64 {
-	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
-	n3 := float64(n) * float64(n) * float64(n)
-	inv := 1 / (n3 * n3)
-	var sum float64
-	idx := 0
-	for iz := 0; iz < mz; iz++ {
-		kz2 := s.kzs[iz] * s.kzs[iz]
-		for iy := 0; iy < n; iy++ {
-			ky2 := s.kys[iy] * s.kys[iy]
-			for ix := 0; ix < nxh; ix++ {
-				k2 := s.kxs[ix]*s.kxs[ix] + ky2 + kz2
-				v := sc.Th[idx]
-				e := real(v)*real(v) + imag(v)*imag(v)
-				sum += specWeight(ix, n) * f(k2) * e * inv
-				idx++
-			}
-		}
-	}
-	out := []float64{sum}
-	mpi.AllreduceSum(s.comm, out)
-	return out[0]
+	return s.fieldModeSum(sc.Th, f)
 }

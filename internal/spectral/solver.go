@@ -44,6 +44,12 @@ type Config struct {
 	Dealias Dealias
 	// Forcing, when non-nil, is applied after each step to sustain
 	// stationary turbulence.
+	//
+	// Deprecated: the legacy deterministic band forcing allocates per
+	// step and freezes shell energies rather than controlling the
+	// injection rate. New code should select the "forced-ns" system
+	// (New with WithForcing), whose StochasticForcing controller is
+	// allocation-free and injects at a prescribed rate.
 	Forcing *Forcing
 }
 
@@ -63,10 +69,23 @@ type Transform interface {
 	PhysicalLen() int
 }
 
-// Solver advances the Navier–Stokes equations on one MPI rank of a
+// difGroup is a run of consecutive fields sharing one diffusion
+// coefficient, precomputed so the integrating factor evaluates one
+// exponential per mode per distinct ν rather than per field.
+type difGroup struct {
+	nu     float64
+	lo, hi int // fields [lo, hi)
+}
+
+// Solver advances one equation set (a System) on one MPI rank of a
 // slab-decomposed domain. All ranks of the communicator must construct
 // a Solver and call its collective methods (Step, Energy, …) in the
 // same order.
+//
+// The Solver owns the numerics — field storage, RK stage buffers,
+// wavenumber tables, the dealias mask, distributed transforms — and
+// delegates the physics to its System. The default System is decaying
+// incompressible Navier–Stokes.
 type Solver struct {
 	comm *mpi.Comm
 	cfg  Config
@@ -74,25 +93,36 @@ type Solver struct {
 	tr   Transform
 	nxh  int
 
-	// Uh holds the three velocity components in Fourier space,
-	// each [mz][ny][nxh] in code units (N³·û).
-	Uh [3][]complex128
+	sys System
+	nf  int // sys.Fields()
+
+	// state holds all nf spectral fields, each [mz][ny][nxh] in code
+	// units (N³·û). The first three entries are the solenoidal
+	// velocity; Uh aliases them so velocity-specific diagnostics and
+	// pre-registry callers keep their familiar handle.
+	state [][]complex128
+	Uh    [3][]complex128
 
 	// Scratch for the pseudo-spectral nonlinear term.
-	physU [3][]float64    // velocity in physical space
-	prod  []float64       // one product field at a time
-	nl    [3][]complex128 // projected nonlinear term
+	physU [3][]float64   // velocity in physical space
+	prod  []float64      // one product field at a time
+	nl    [][]complex128 // per-field right-hand side
 	work  []complex128
-	save  [3][]complex128 // RK substage storage
-	acc   [3][]complex128 // RK4 accumulator
+	save  [][]complex128 // RK substage storage
+	acc   [][]complex128 // RK4 accumulator
+	wrap3 [][]complex128 // header scratch for the legacy 3-field entry points
 	// RK4 stage storage, hoisted out of the step loop (allocated once
 	// at construction when the scheme needs it, never per step):
 	// rk1..rk3 hold k1, k2 and E½·k3; rku holds the stage state the
 	// next nonlinear term is evaluated at.
-	rk1 [3][]complex128
-	rk2 [3][]complex128
-	rk3 [3][]complex128
-	rku [3][]complex128
+	rk1 [][]complex128
+	rk2 [][]complex128
+	rk3 [][]complex128
+	rku [][]complex128
+
+	// difGroups are the distinct-diffusivity field runs the integrating
+	// factor iterates over (empty for the inviscid case).
+	difGroups []difGroup
 
 	// Wavenumber tables for the local Fourier slab.
 	kxs []float64 // length nxh
@@ -109,7 +139,11 @@ type Solver struct {
 	trSecs float64 // seconds inside transform calls this step
 }
 
-// NewSolver allocates a solver using the synchronous slab transform.
+// NewSolver allocates a solver using the synchronous slab transform
+// and the default decaying Navier–Stokes system.
+//
+// Deprecated: use New with functional options (WithNu, WithScheme,
+// WithSystem, …), which also selects among registered equation sets.
 func NewSolver(comm *mpi.Comm, cfg Config) *Solver {
 	if cfg.N < 4 || cfg.N%2 != 0 {
 		panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", cfg.N))
@@ -118,40 +152,70 @@ func NewSolver(comm *mpi.Comm, cfg Config) *Solver {
 }
 
 // NewSolverWithTransform allocates a solver running on a caller-chosen
-// transform engine (e.g. the batched asynchronous GPU pipeline).
+// transform engine (e.g. the batched asynchronous GPU pipeline) with
+// the default decaying Navier–Stokes system.
+//
+// Deprecated: use New with WithTransform.
 func NewSolverWithTransform(comm *mpi.Comm, cfg Config, tr Transform) *Solver {
+	return newSolver(comm, cfg, tr, nil)
+}
+
+// newSolver is the common construction path. A nil sys selects the
+// default decaying Navier–Stokes system built from cfg.Nu.
+func newSolver(comm *mpi.Comm, cfg Config, tr Transform, sys System) *Solver {
 	if cfg.N < 4 || cfg.N%2 != 0 {
 		panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", cfg.N))
 	}
 	if cfg.Nu < 0 {
 		panic(fmt.Sprintf("spectral: negative viscosity %g", cfg.Nu))
 	}
+	if sys == nil {
+		sys = newNavierStokes(SystemSpec{Nu: cfg.Nu})
+	}
+	nf := sys.Fields()
+	if nf < 3 {
+		panic(fmt.Sprintf("spectral: system %q declares %d fields; need ≥3 (velocity)", sys.Name(), nf))
+	}
 	s := &Solver{
 		comm: comm,
 		cfg:  cfg,
 		slab: tr.Slab(),
 		nxh:  tr.NXH(),
+		sys:  sys,
+		nf:   nf,
 		met:  newSolverMetrics(comm),
 	}
 	// Wrap the engine so transform time is attributable; Transform()
 	// hands back the unwrapped engine.
 	s.tr = &timedTransform{inner: tr, secs: &s.trSecs}
 	fl, pl := tr.FourierLen(), tr.PhysicalLen()
-	for i := 0; i < 3; i++ {
-		s.Uh[i] = make([]complex128, fl)
-		s.physU[i] = make([]float64, pl)
-		s.nl[i] = make([]complex128, fl)
-		s.save[i] = make([]complex128, fl)
-		s.acc[i] = make([]complex128, fl)
+	s.state = make([][]complex128, nf)
+	s.nl = make([][]complex128, nf)
+	s.save = make([][]complex128, nf)
+	s.acc = make([][]complex128, nf)
+	for c := 0; c < nf; c++ {
+		s.state[c] = make([]complex128, fl)
+		s.nl[c] = make([]complex128, fl)
+		s.save[c] = make([]complex128, fl)
+		s.acc[c] = make([]complex128, fl)
+	}
+	for c := 0; c < 3; c++ {
+		s.Uh[c] = s.state[c]
+		s.physU[c] = make([]float64, pl)
 	}
 	s.prod = make([]float64, pl)
 	s.work = make([]complex128, fl)
+	s.wrap3 = make([][]complex128, 3)
 	if cfg.Scheme == RK4 {
-		for i := 0; i < 3; i++ {
-			s.rk1[i] = make([]complex128, fl)
-			s.rk2[i] = make([]complex128, fl)
-			s.rk3[i] = make([]complex128, fl)
-			s.rku[i] = make([]complex128, fl)
+		s.rk1 = make([][]complex128, nf)
+		s.rk2 = make([][]complex128, nf)
+		s.rk3 = make([][]complex128, nf)
+		s.rku = make([][]complex128, nf)
+		for c := 0; c < nf; c++ {
+			s.rk1[c] = make([]complex128, fl)
+			s.rk2[c] = make([]complex128, fl)
+			s.rk3[c] = make([]complex128, fl)
+			s.rku[c] = make([]complex128, fl)
 		}
 	}
 
@@ -188,6 +252,27 @@ func NewSolverWithTransform(comm *mpi.Comm, cfg Config, tr Transform) *Solver {
 			}
 		}
 	}
+
+	// Fold per-field diffusivities into runs of equal ν so applyIF
+	// computes one exponential per mode per run; ν=0 runs are dropped
+	// (the integrating factor is the identity there).
+	for c := 0; c < nf; {
+		nu := sys.Diffusivity(c)
+		if nu < 0 {
+			panic(fmt.Sprintf("spectral: system %q: negative diffusivity %g for field %d", sys.Name(), nu, c))
+		}
+		hi := c + 1
+		for hi < nf && sys.Diffusivity(hi) == nu {
+			hi++
+		}
+		if nu != 0 {
+			s.difGroups = append(s.difGroups, difGroup{nu: nu, lo: c, hi: hi})
+		}
+		c = hi
+	}
+
+	sys.Setup(s)
+	comm.Metrics().GaugeRank("solver.system", comm.Rank()).Set(float64(SystemCode(sys.Name())))
 	return s
 }
 
@@ -205,6 +290,22 @@ func (s *Solver) StepCount() int { return s.step }
 
 // Comm exposes the communicator for collective diagnostics.
 func (s *Solver) Comm() *mpi.Comm { return s.comm }
+
+// System exposes the equation set the solver advances.
+func (s *Solver) System() System { return s.sys }
+
+// Fields reports the number of spectral fields the system advances
+// (≥3; the first three are velocity).
+func (s *Solver) Fields() int { return s.nf }
+
+// Field returns the c-th spectral field ([mz][ny][nxh], code units).
+// Fields 0–2 are the velocity components (also reachable as Uh);
+// higher indices are system-defined (e.g. passive scalars).
+func (s *Solver) Field(c int) []complex128 { return s.state[c] }
+
+// SystemDiagnostics reports the active system's named diagnostics
+// (collective).
+func (s *Solver) SystemDiagnostics() []Diagnostic { return s.sys.Diagnostics(s) }
 
 // Transform exposes the distributed transform pair, used by the
 // asynchronous pipeline benchmarks to drive the same data layout.
@@ -266,6 +367,7 @@ func (s *Solver) Step(dt float64) {
 	s.met.compute.Observe(max(0, wall-s.trSecs))
 }
 
+//psdns:hotpath
 func (s *Solver) stepInner(dt float64) {
 	if s.cfg.Dealias == Dealias23Shift {
 		// A new random-but-deterministic shift per step, identical on
@@ -280,6 +382,7 @@ func (s *Solver) stepInner(dt float64) {
 	default:
 		panic(fmt.Sprintf("spectral: unknown scheme %d", s.cfg.Scheme))
 	}
+	s.sys.PostStep(s, dt)
 	if s.cfg.Forcing != nil {
 		s.cfg.Forcing.apply(s)
 	}
@@ -287,42 +390,45 @@ func (s *Solver) stepInner(dt float64) {
 	s.time += dt
 }
 
-// stepRK2 is Heun's method with the exact viscous integrating factor:
+// stepRK2 is Heun's method with the exact diffusive integrating
+// factor, over all nf system fields:
 //
 //	u*      = E(dt)·(uⁿ + dt·N(uⁿ))
 //	uⁿ⁺¹    = E(dt)·uⁿ + dt/2·(E(dt)·N(uⁿ) + N(u*))
 //
-// where E(dt) = exp(−νk²dt).
+// where E(dt) = exp(−ν_c·k²·dt) per field.
 //
 //psdns:hotpath
 func (s *Solver) stepRK2(dt float64) {
-	s.nonlinear(&s.Uh)
-	for c := 0; c < 3; c++ {
-		copy(s.save[c], s.Uh[c])
+	s.sys.Nonlinear(s, s.state, s.nl)
+	for c := 0; c < s.nf; c++ {
+		copy(s.save[c], s.state[c])
 	}
-	s.applyIF(&s.save, dt) // save = E·uⁿ
-	for c := 0; c < 3; c++ {
-		for i := range s.Uh[c] {
-			s.Uh[c][i] += complex(dt, 0) * s.nl[c][i]
+	s.applyIF(s.save, dt) // save = E·uⁿ
+	for c := 0; c < s.nf; c++ {
+		u, nl := s.state[c], s.nl[c]
+		for i := range u {
+			u[i] += complex(dt, 0) * nl[i]
 		}
 	}
-	s.applyIF(&s.Uh, dt) // Uh = E·(uⁿ + dt·N(uⁿ)) = u*
-	s.applyIFnl(dt)      // nl = E·N(uⁿ)
+	s.applyIF(s.state, dt) // state = E·(uⁿ + dt·N(uⁿ)) = u*
+	s.applyIF(s.nl, dt)    // nl = E·N(uⁿ)
 	// Second stage: evaluate N at u*.
-	for c := 0; c < 3; c++ {
+	for c := 0; c < s.nf; c++ {
 		s.acc[c], s.nl[c] = s.nl[c], s.acc[c] // keep E·N(uⁿ) in acc
 	}
-	s.nonlinear(&s.Uh)
+	s.sys.Nonlinear(s, s.state, s.nl)
 	half := complex(dt/2, 0)
-	for c := 0; c < 3; c++ {
-		for i := range s.Uh[c] {
-			s.Uh[c][i] = s.save[c][i] + half*(s.acc[c][i]+s.nl[c][i])
+	for c := 0; c < s.nf; c++ {
+		u, sv, ac, nl := s.state[c], s.save[c], s.acc[c], s.nl[c]
+		for i := range u {
+			u[i] = sv[i] + half*(ac[i]+nl[i])
 		}
 	}
 }
 
 // stepRK4 is the classical four-stage scheme with integrating factors
-// split at the half step (E½ = exp(−νk²dt/2)):
+// split at the half step (E½ = exp(−ν_c·k²·dt/2)):
 //
 //	k1 = N(uⁿ)
 //	k2 = N(E½·(uⁿ + dt/2·k1))
@@ -333,90 +439,89 @@ func (s *Solver) stepRK2(dt float64) {
 //psdns:hotpath
 func (s *Solver) stepRK4(dt float64) {
 	h := dt
-	copyFields(&s.save, &s.Uh) // uⁿ
+	copyFields(s.save, s.state) // uⁿ
 	// Stage 1: k1 = N(uⁿ).
-	s.nonlinear(&s.Uh)
-	copyFields(&s.rk1, &s.nl)
-	copyFields(&s.rku, &s.save)
+	s.sys.Nonlinear(s, s.state, s.nl)
+	copyFields(s.rk1, s.nl)
+	copyFields(s.rku, s.save)
 	addScaled(s.rku, s.rk1, h/2)
-	s.applyIF(&s.rku, h/2)
+	s.applyIF(s.rku, h/2)
 	// Stage 2: k2 = N(E½·(uⁿ + h/2·k1)).
-	s.nonlinear(&s.rku)
-	copyFields(&s.rk2, &s.nl)
-	copyFields(&s.rku, &s.save)
-	s.applyIF(&s.rku, h/2)
+	s.sys.Nonlinear(s, s.rku, s.nl)
+	copyFields(s.rk2, s.nl)
+	copyFields(s.rku, s.save)
+	s.applyIF(s.rku, h/2)
 	addScaled(s.rku, s.rk2, h/2)
 	// Stage 3: k3 = N(E½·uⁿ + h/2·k2).
-	s.nonlinear(&s.rku)
-	copyFields(&s.rk3, &s.nl) // k3, folded to E½·k3 below
-	copyFields(&s.rku, &s.save)
-	s.applyIF(&s.rku, h)
-	s.applyIF(&s.rk3, h/2) // E½·k3
+	s.sys.Nonlinear(s, s.rku, s.nl)
+	copyFields(s.rk3, s.nl) // k3, folded to E½·k3 below
+	copyFields(s.rku, s.save)
+	s.applyIF(s.rku, h)
+	s.applyIF(s.rk3, h/2) // E½·k3
 	addScaled(s.rku, s.rk3, h)
 	// Stage 4: k4 = N(E·uⁿ + h·E½·k3).
-	s.nonlinear(&s.rku)
+	s.sys.Nonlinear(s, s.rku, s.nl)
 	// Assemble: uⁿ⁺¹ = E·uⁿ + h/6·(E·k1 + 2E½·k2 + 2E½·k3 + k4).
-	s.applyIF(&s.save, h) // E·uⁿ
-	s.applyIF(&s.rk1, h)  // E·k1
-	s.applyIF(&s.rk2, h/2)
+	s.applyIF(s.save, h) // E·uⁿ
+	s.applyIF(s.rk1, h)  // E·k1
+	s.applyIF(s.rk2, h/2)
 	sixth := complex(h/6, 0)
-	for c := 0; c < 3; c++ {
-		for i := range s.Uh[c] {
-			s.Uh[c][i] = s.save[c][i] + sixth*(s.rk1[c][i]+
-				2*s.rk2[c][i]+2*s.rk3[c][i]+s.nl[c][i])
+	for c := 0; c < s.nf; c++ {
+		u, sv, k1, k2, k3, k4 := s.state[c], s.save[c], s.rk1[c], s.rk2[c], s.rk3[c], s.nl[c]
+		for i := range u {
+			u[i] = sv[i] + sixth*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
 		}
 	}
 }
 
-// copyFields copies all three components of src into the preallocated
-// dst (the zero-allocation replacement of the old per-stage clones).
-func copyFields(dst, src *[3][]complex128) {
-	for c := 0; c < 3; c++ {
+// copyFields copies every component of src into the preallocated dst
+// (the zero-allocation replacement of the old per-stage clones).
+func copyFields(dst, src [][]complex128) {
+	for c := range dst {
 		copy(dst[c], src[c])
 	}
 }
 
-// addScaled computes dst += a·src elementwise on all three components.
-func addScaled(dst, src [3][]complex128, a float64) {
+// addScaled computes dst += a·src elementwise on all components.
+func addScaled(dst, src [][]complex128, a float64) {
 	ca := complex(a, 0)
-	for c := 0; c < 3; c++ {
-		for i := range dst[c] {
-			dst[c][i] += ca * src[c][i]
+	for c := range dst {
+		d, s := dst[c], src[c]
+		for i := range d {
+			d[i] += ca * s[i]
 		}
 	}
 }
 
-// applyIF multiplies each mode of the three fields by exp(−νk²dt).
-func (s *Solver) applyIF(f *[3][]complex128, dt float64) {
-	s.applyIFfields(f, dt)
-}
-
-func (s *Solver) applyIFfields(f *[3][]complex128, dt float64) {
-	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
-	nu := s.cfg.Nu
-	if nu == 0 || dt == 0 {
+// applyIF multiplies each mode of every diffusive field by its
+// integrating factor exp(−ν_c·k²·dt). Fields sharing a diffusivity
+// share one exponential per mode (for plain NS: one exp, three
+// fields — the pre-registry arithmetic exactly).
+//
+//psdns:hotpath
+func (s *Solver) applyIF(f [][]complex128, dt float64) {
+	if dt == 0 || len(s.difGroups) == 0 {
 		return
 	}
-	idx := 0
-	for iz := 0; iz < mz; iz++ {
-		kz2 := s.kzs[iz] * s.kzs[iz]
-		for iy := 0; iy < n; iy++ {
-			ky2 := s.kys[iy] * s.kys[iy]
-			for ix := 0; ix < nxh; ix++ {
-				k2 := s.kxs[ix]*s.kxs[ix] + ky2 + kz2
-				e := complex(math.Exp(-nu*k2*dt), 0)
-				f[0][idx] *= e
-				f[1][idx] *= e
-				f[2][idx] *= e
-				idx++
+	n, mz, nxh := s.cfg.N, s.slab.MZ(), s.nxh
+	for _, g := range s.difGroups {
+		nu := g.nu
+		idx := 0
+		for iz := 0; iz < mz; iz++ {
+			kz2 := s.kzs[iz] * s.kzs[iz]
+			for iy := 0; iy < n; iy++ {
+				ky2 := s.kys[iy] * s.kys[iy]
+				for ix := 0; ix < nxh; ix++ {
+					k2 := s.kxs[ix]*s.kxs[ix] + ky2 + kz2
+					e := complex(math.Exp(-nu*k2*dt), 0)
+					for c := g.lo; c < g.hi; c++ {
+						f[c][idx] *= e
+					}
+					idx++
+				}
 			}
 		}
 	}
-}
-
-// applyIFnl applies the integrating factor to the stored nonlinear term.
-func (s *Solver) applyIFnl(dt float64) {
-	s.applyIFfields(&s.nl, dt)
 }
 
 // stepShift derives a deterministic pseudo-random phase shift for the

@@ -15,19 +15,39 @@ func stepAllocs(t *testing.T, cfg Config, p, runs int) float64 {
 	mpi.Run(p, func(c *mpi.Comm) {
 		s := NewSolver(c, cfg)
 		s.SetTaylorGreen()
-		const dt = 1e-3
-		for i := 0; i < 3; i++ {
-			s.Step(dt) // warm up metric handles, twiddles, freelists
-		}
-		if c.Rank() == 0 {
-			avg = testing.AllocsPerRun(runs, func() { s.Step(dt) })
-		} else {
-			for i := 0; i < runs+1; i++ {
-				s.Step(dt)
-			}
-		}
+		avg = measureStepAllocs(c, s, runs)
 	})
 	return avg
+}
+
+// stepAllocsOpts is the options-constructor variant covering every
+// registered system.
+func stepAllocsOpts(t *testing.T, n, p, runs int, opts ...Option) float64 {
+	t.Helper()
+	var avg float64
+	mpi.Run(p, func(c *mpi.Comm) {
+		s := New(c, n, opts...)
+		s.SetRandomIsotropic(2.5, 0.3, 17)
+		for f := 3; f < s.Fields(); f++ {
+			s.SetFieldBlob(f, 2.5, 0.5, int64(40+f))
+		}
+		avg = measureStepAllocs(c, s, runs)
+	})
+	return avg
+}
+
+func measureStepAllocs(c *mpi.Comm, s *Solver, runs int) float64 {
+	const dt = 1e-3
+	for i := 0; i < 3; i++ {
+		s.Step(dt) // warm up metric handles, twiddles, freelists
+	}
+	if c.Rank() != 0 {
+		for i := 0; i < runs+1; i++ {
+			s.Step(dt)
+		}
+		return 0
+	}
+	return testing.AllocsPerRun(runs, func() { s.Step(dt) })
 }
 
 // The DNS step loop must not allocate at steady state: every stage
@@ -51,5 +71,39 @@ func TestStepSteadyStateZeroAllocs(t *testing.T) {
 				t.Fatalf("steady-state %s step allocates %.2f per call", tc.name, avg)
 			}
 		})
+	}
+}
+
+// TestStepSystemsZeroAllocs extends the zero-allocation invariant to
+// every shipped equation set under both schemes: System interface
+// dispatch, the forcing controller's persistent reduction, scalar
+// advection scratch and the Coriolis term must all stay off the heap
+// at steady state.
+func TestStepSystemsZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step DNS loop in -short mode")
+	}
+	schemes := []struct {
+		name string
+		sch  Scheme
+	}{{"rk2", RK2}, {"rk4", RK4}}
+	systems := []struct {
+		name string
+		opts []Option
+	}{
+		{"ns", []Option{WithSystem("ns")}},
+		{"forced-ns", []Option{WithForcing(2, 0.05), WithForcingNoise(0.5, 3)}},
+		{"rotating-scalar", []Option{WithRotation(2.0), WithScalars(2, 1.0, 0.7), WithScalarGradient(1.0)}},
+	}
+	for _, sys := range systems {
+		for _, sch := range schemes {
+			sys, sch := sys, sch
+			t.Run(sys.name+"/"+sch.name, func(t *testing.T) {
+				opts := append([]Option{WithNu(0.01), WithScheme(sch.sch), WithDealias(Dealias23)}, sys.opts...)
+				if avg := stepAllocsOpts(t, 16, 2, 10, opts...); avg != 0 {
+					t.Fatalf("steady-state %s/%s step allocates %.2f per call", sys.name, sch.name, avg)
+				}
+			})
+		}
 	}
 }

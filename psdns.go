@@ -13,9 +13,12 @@
 //	        repro.WithGranularity(repro.PerPencil),
 //	    )
 //	    defer tr.Close()
-//	    s := repro.NewSolverWithTransform(c, repro.SolverConfig{
-//	        N: 64, Nu: 0.01, Scheme: repro.RK2, Dealias: repro.Dealias23,
-//	    }, tr)
+//	    s := repro.NewSolver(c, 64,
+//	        repro.WithNu(0.01),
+//	        repro.WithScheme(repro.RK2),
+//	        repro.WithDealias(repro.Dealias23),
+//	        repro.WithTransform(tr),
+//	    )
 //	    s.SetRandomIsotropic(3, 0.5, 1)
 //	    for i := 0; i < 100; i++ {
 //	        s.Step(0.004)
@@ -33,7 +36,8 @@
 //
 //   - psdns.go (this file): message passing — ranks, communicators,
 //     error recovery.
-//   - api_solver.go: the Navier–Stokes solver and its configuration.
+//   - api_solver.go: the solver, its functional options, and the
+//     pluggable equation-set registry (Systems, WithSystem).
 //   - api_async.go: transform engines and their functional options.
 //   - api_metrics.go: the runtime metrics registry and snapshots.
 //   - api_perf.go: the calibrated performance model and paper

@@ -18,10 +18,13 @@ func TestPublicAPIQuickstart(t *testing.T) {
 			NP: 3, Granularity: repro.PerPencil,
 		})
 		defer tr.Close()
-		s := repro.NewSolverWithTransform(c, repro.SolverConfig{
-			N: 16, Nu: 0.02, Scheme: repro.RK2, Dealias: repro.Dealias23,
-			Forcing: repro.NewForcing(2),
-		}, tr)
+		s := repro.NewSolver(c, 16,
+			repro.WithNu(0.02),
+			repro.WithScheme(repro.RK2),
+			repro.WithDealias(repro.Dealias23),
+			repro.WithForcing(2, 0.05),
+			repro.WithTransform(tr),
+		)
 		s.SetRandomIsotropic(3, 0.5, 1)
 		e0 := s.Energy()
 		for i := 0; i < 3; i++ {
@@ -74,9 +77,9 @@ func TestPublicAPIPerformanceModel(t *testing.T) {
 
 func TestPublicAPIRegridAndSlices(t *testing.T) {
 	repro.Run(2, func(c *repro.Comm) {
-		small := repro.NewSolver(c, repro.SolverConfig{N: 8, Nu: 0.01})
+		small := repro.NewSolver(c, 8, repro.WithNu(0.01))
 		small.SetTaylorGreen()
-		big := repro.NewSolver(c, repro.SolverConfig{N: 16, Nu: 0.01})
+		big := repro.NewSolver(c, 16, repro.WithNu(0.01))
 		repro.Regrid(big, small)
 		if math.Abs(big.Energy()-0.125) > 1e-12 {
 			t.Errorf("regridded TG energy %g", big.Energy())
@@ -112,9 +115,12 @@ func TestPublicAPIChaos(t *testing.T) {
 			repro.WithExchangeStrategy(repro.ExchangeStaged),
 		)
 		defer tr.Close()
-		s := repro.NewSolverWithTransform(c, repro.SolverConfig{
-			N: 16, Nu: 0.02, Scheme: repro.RK2, Dealias: repro.Dealias23,
-		}, tr)
+		s := repro.NewSolver(c, 16,
+			repro.WithNu(0.02),
+			repro.WithScheme(repro.RK2),
+			repro.WithDealias(repro.Dealias23),
+			repro.WithTransform(tr),
+		)
 		s.SetTaylorGreen()
 		s.Step(0.004)
 	},
