@@ -43,6 +43,11 @@ const (
 	ExchangeStaged  = exchange.Staged
 	ExchangeFused   = exchange.Fused
 	ExchangeChunked = exchange.ChunkedFused
+	// ExchangeAT is the asynchrony-tolerant fused gather: epoch-tagged
+	// publication with a bounded-staleness wait. Opted into explicitly
+	// (WithBoundedStaleness) and never autotuned — it changes the
+	// answer, not just the speed.
+	ExchangeAT = exchange.AT
 )
 
 // ParseExchangeStrategy parses "auto", "staged", "fused" or "chunked"
@@ -103,6 +108,21 @@ func WithWaitDeadline(d time.Duration) AsyncOption {
 // identical to staged; only the data path differs.
 func WithExchangeStrategy(s ExchangeStrategy) AsyncOption {
 	return func(o *AsyncOptions) { o.Exchange = s }
+}
+
+// WithBoundedStaleness runs the engine's transpose-exchanges in
+// asynchrony-tolerant mode: a rank proceeds on peers' latest
+// published slabs once they are within maxStale epochs, waiting at
+// most deadline for them to publish the current epoch (deadline ≤ 0
+// never waits past the hard bound). Pair with the solver's
+// WithAsyncTolerance so the stepper corrects for the staleness it
+// absorbs.
+func WithBoundedStaleness(maxStale int, deadline time.Duration) AsyncOption {
+	return func(o *AsyncOptions) {
+		o.Exchange = exchange.AT
+		o.ATMaxStale = maxStale
+		o.ATDeadline = deadline
+	}
 }
 
 // NewAsync builds the asynchronous engine for an N³ transform,

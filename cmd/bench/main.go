@@ -18,7 +18,10 @@
 //   - pack_unpack_yz: the host transpose pack/unpack kernel pair;
 //   - exchange_{staged,fused,chunked}_n{64,128}: the isolated y→z
 //     transpose-exchange at P=4 under each pinned strategy (staged
-//     pack → all-to-all → unpack vs the zero-copy fused gathers).
+//     pack → all-to-all → unpack vs the zero-copy fused gathers);
+//   - step_at_n64 / exchange_at_n64: the asynchrony-tolerant step and
+//     isolated bounded exchange — the epoch-tagged DoBounded path plus
+//     the staleness-weighted correction, pinned allocation-free.
 package main
 
 import (
@@ -184,6 +187,38 @@ func dnsStepOpts(n, p int, opts ...spectral.Option) func(iters, workers int) sam
 	}
 }
 
+// dnsStepAT measures one asynchrony-tolerant RK2 step: every
+// transpose runs through the epoch-tagged bounded exchange and the
+// stepper's staleness bookkeeping runs each stage. With no straggler
+// the arithmetic is identical to the synchronous step, so this pins
+// the pure overhead of the AT machinery — and, being hotpath-marked,
+// that DoBounded and the correction stay allocation-free.
+func dnsStepAT(n, p, maxStale int) func(iters, workers int) sample {
+	return func(iters, workers int) sample {
+		var s sample
+		mpi.Run(p, func(c *mpi.Comm) {
+			sol := spectral.New(c, n,
+				spectral.WithNu(0.01),
+				spectral.WithScheme(spectral.RK2),
+				spectral.WithDealias(spectral.Dealias23),
+				spectral.WithTransform(pfft.NewSlabRealAT(c, n, workers, maxStale, 2*time.Second)),
+				spectral.WithAsyncTolerance(maxStale),
+			)
+			sol.SetRandomIsotropic(3, 0.5, 1)
+			step := func() { sol.Step(1e-4) }
+			c.Barrier()
+			if c.Rank() == 0 {
+				s = timeLoop(iters, 2, step)
+			} else {
+				for i := 0; i < iters+2; i++ {
+					step()
+				}
+			}
+		})
+		return s
+	}
+}
+
 // fanInTag is the message tag of the fan-in workload's point-to-point
 // traffic. Tags must be named constants (see the mpireq analyzer) so
 // call sites can't silently collide in the mailbox key space.
@@ -222,7 +257,12 @@ func exchangeYZ(n, p int, st exchange.Strategy) func(iters, workers int) sample 
 	return func(iters, workers int) sample {
 		var s sample
 		mpi.Run(p, func(c *mpi.Comm) {
-			f := pfft.NewSlabRealStrategy(c, n, workers, st)
+			var f *pfft.SlabReal
+			if st == exchange.AT {
+				f = pfft.NewSlabRealAT(c, n, workers, 1, 2*time.Second)
+			} else {
+				f = pfft.NewSlabRealStrategy(c, n, workers, st)
+			}
 			defer f.Close()
 			four := make([]complex128, f.FourierLen())
 			for i := range four {
@@ -274,6 +314,8 @@ var workloads = []workload{
 	{"exchange_staged_n128", 60, 12, true, exchangeYZ(128, 4, exchange.Staged)},
 	{"exchange_fused_n128", 60, 12, true, exchangeYZ(128, 4, exchange.Fused)},
 	{"exchange_chunked_n128", 60, 12, true, exchangeYZ(128, 4, exchange.ChunkedFused)},
+	{"step_at_n64", 10, 2, true, dnsStepAT(64, 4, 1)},
+	{"exchange_at_n64", 400, 80, true, exchangeYZ(64, 4, exchange.AT)},
 }
 
 func main() {

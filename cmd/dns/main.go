@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exchange"
@@ -42,7 +43,9 @@ func main() {
 		engine   = flag.String("engine", "sync", "transform engine: sync or async")
 		np       = flag.Int("np", 3, "pencils per slab (async engine)")
 		gran     = flag.String("gran", "slab", "all-to-all granularity: pencil or slab (async)")
-		exch     = flag.String("exchange", "auto", "transpose-exchange strategy: auto, staged, fused or chunked (auto microbenchmarks at startup and pins the winner)")
+		exch     = flag.String("exchange", "auto", "transpose-exchange strategy: auto, staged, fused, chunked or at (auto microbenchmarks at startup and pins the winner; at needs -at-stale)")
+		atStale  = flag.Int("at-stale", -1, "asynchrony-tolerant stepping: bounded-staleness exchanges with this staleness bound in exchange epochs (-1 = off; implies -exchange at)")
+		atDL     = flag.Duration("at-deadline", 50*time.Millisecond, "asynchrony-tolerant stepping: soft wait for peers within the staleness bound (0 = never wait past the hard bound)")
 		ngpu     = flag.Int("ngpu", 1, "devices per rank (async engine)")
 		workers  = flag.Int("workers", 1, "worker-team size per rank (FFT batch + pack/unpack parallelism; results identical for any value)")
 		system   = flag.String("system", "", "equation set by registered name (default: inferred from the physics flags)")
@@ -97,6 +100,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("-exchange: %v", err)
 	}
+	if *atStale >= 0 && strategy != exchange.AT {
+		if strategy != exchange.Auto {
+			log.Fatalf("-at-stale combines only with -exchange at (or auto), not %s", strategy)
+		}
+		strategy = exchange.AT
+	}
+	if strategy == exchange.AT && *atStale < 0 {
+		log.Fatalf("-exchange at needs a staleness bound: set -at-stale (0 waits for every peer, k lets peers lag k exchange epochs)")
+	}
 
 	runOpts := []mpi.RunOption{mpi.WithWatchdog(mpi.Watchdog{
 		Off:           !*watchOn,
@@ -140,6 +152,9 @@ func main() {
 		if *system != "" {
 			opts = append(opts, spectral.WithSystem(*system))
 		}
+		if strategy == exchange.AT {
+			opts = append(opts, spectral.WithAsyncTolerance(*atStale), spectral.WithAsyncDeadline(*atDL))
+		}
 		var pinned exchange.Strategy
 		if *engine == "async" {
 			tr := core.NewAsyncSlabReal(c, *n, core.Options{
@@ -147,7 +162,14 @@ func main() {
 				Workers:      *workers,
 				WaitDeadline: *waitDeadline,
 				Exchange:     strategy,
+				ATMaxStale:   max(*atStale, 0),
+				ATDeadline:   *atDL,
 			})
+			defer tr.Close()
+			pinned = tr.Strategy()
+			opts = append(opts, spectral.WithTransform(tr))
+		} else if strategy == exchange.AT {
+			tr := pfft.NewSlabRealAT(c, *n, *workers, *atStale, *atDL)
 			defer tr.Close()
 			pinned = tr.Strategy()
 			opts = append(opts, spectral.WithTransform(tr))
@@ -219,6 +241,10 @@ func main() {
 			fmt.Printf("final: E=%.5f ε=%.5f Ω=%.4f u'=%.4f λ=%.4f Re_λ=%.1f η=%.4g kmaxη=%.2f\n",
 				st.Energy, st.Dissipation, st.Enstrophy, st.URMS, st.TaylorScale, st.ReLambda, st.Kolmogorov, st.KMaxEta)
 			fmt.Printf("invariants: max|k·û|=%.2e  CFL=%.3f\n", div, cfl)
+			if strategy == exchange.AT {
+				fmt.Printf("asynchrony-tolerant: %d of %d steps staleness-corrected on rank 0 (bound %d epochs, deadline %v)\n",
+					solver.ATCorrections(), *steps, *atStale, *atDL)
+			}
 			fmt.Printf("time/step (max over ranks, averaged): %.3fs over %d steps\n",
 				timer.MeanMax(), timer.Steps())
 			spec := solver.Spectrum()

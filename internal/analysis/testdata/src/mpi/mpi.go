@@ -19,3 +19,18 @@ func Ialltoall(c *Comm, send, recv []complex128) *Request { return &Request{} }
 func Send(c *Comm, dst, tag int, buf []float64)                                      {}
 func Recv(c *Comm, src, tag int, buf []float64)                                      {}
 func Sendrecv(c *Comm, dst, dtag int, send []float64, src, stag int, recv []float64) {}
+
+// ExchangePlan mirrors the persistent fused-exchange plan: its Do and
+// DoBounded entry points are collectives that complete before
+// returning (no request to leak) and take no tag — DoBounded's
+// trailing int is a staleness bound, which the analyzer must not
+// mistake for a tag.
+type ExchangePlan struct{}
+
+func NewExchangePlan(c *Comm, slabLen int) *ExchangePlan { return &ExchangePlan{} }
+func NewExchangePlanBounded(c *Comm, slabLen, maxStale int, deadlineNs int64) *ExchangePlan {
+	return &ExchangePlan{}
+}
+func (p *ExchangePlan) Do(src []complex128, gather func([][]complex128))                   {}
+func (p *ExchangePlan) DoBounded(src []complex128, gather func([][]complex128), stale int) {}
+func (p *ExchangePlan) Free()                                                              {}

@@ -59,3 +59,17 @@ func rawTags(c *mpi.Comm, buf []float64) {
 func allowedTag(c *mpi.Comm, buf []float64) {
 	mpi.Send(c, 0, 9, buf) //psdns:allow mpireq handshake tag fixed by the wire protocol
 }
+
+// planExchange pins the plan-scoped collectives clean: Do and the
+// asynchrony-tolerant DoBounded return only after completion (no
+// request to track), carry no tag parameter, and DoBounded's literal
+// staleness bound must not be reported as a raw tag.
+func planExchange(c *mpi.Comm, src []complex128) {
+	pl := mpi.NewExchangePlanBounded(c, len(src), 2, 1<<30)
+	defer pl.Free()
+	pl.Do(src, func([][]complex128) {})
+	pl.DoBounded(src, func([][]complex128) {}, 2)
+	sync := mpi.NewExchangePlan(c, len(src))
+	defer sync.Free()
+	sync.Do(src, func([][]complex128) {})
+}

@@ -65,8 +65,20 @@ type Options struct {
 	// directly from every peer's packed send buffer into the local
 	// destination layout through an mpi.ExchangePlan (the zero-copy
 	// variant), and Auto (the zero value) microbenchmarks all three at
-	// plan time and pins the collectively-agreed winner.
+	// plan time and pins the collectively-agreed winner. AT runs the
+	// fused gather through bounded-staleness plans (DoBounded) and must
+	// be selected explicitly — it changes the answer, so the autotuner
+	// never picks it.
 	Exchange exchange.Strategy
+	// ATMaxStale bounds, in exchange epochs, how far behind a peer's
+	// published slab may be when Exchange is AT. Zero keeps every
+	// exchange effectively synchronous (peers must reach the current
+	// epoch before the gather runs).
+	ATMaxStale int
+	// ATDeadline is how long an AT exchange waits for lagging peers to
+	// reach the current epoch before accepting their latest published
+	// slabs; ≤ 0 never waits past the hard staleness bound.
+	ATDeadline time.Duration
 }
 
 // span is a half-open index range.
@@ -180,6 +192,9 @@ type AsyncSlabReal struct {
 	strat  exchange.Strategy
 	exch   []*mpi.ExchangePlan[complex128]
 	exch32 []*mpi.ExchangePlan[complex64]
+	// Asynchrony-tolerant parameters (strat == exchange.AT only).
+	atStale    int
+	atDeadline time.Duration
 }
 
 // NewAsyncSlabReal constructs the pipeline for an N³ real transform
@@ -308,21 +323,40 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 	}
 	// Fused-exchange plans, registered unconditionally (registration is
 	// a cheap collective and every rank must stay in the same collective
-	// order regardless of the strategy each would pick).
+	// order regardless of the strategy each would pick). Under the
+	// asynchrony-tolerant strategy the plans are bounded: publication is
+	// epoch-tagged and gathers accept slabs up to ATMaxStale epochs old.
+	at := opt.Exchange == exchange.AT
+	if at && opt.ATMaxStale < 0 {
+		panic(fmt.Sprintf("core: negative staleness bound %d", opt.ATMaxStale))
+	}
+	a.atStale, a.atDeadline = opt.ATMaxStale, opt.ATDeadline
+	newExch := func(size int) *mpi.ExchangePlan[complex128] {
+		if at {
+			return mpi.NewExchangePlanBounded[complex128](comm, size, opt.ATMaxStale, opt.ATDeadline)
+		}
+		return mpi.NewExchangePlan[complex128](comm, size)
+	}
+	newExch32 := func(size int) *mpi.ExchangePlan[complex64] {
+		if at {
+			return mpi.NewExchangePlanBounded[complex64](comm, size, opt.ATMaxStale, opt.ATDeadline)
+		}
+		return mpi.NewExchangePlan[complex64](comm, size)
+	}
 	if a.gran == PerPencil {
 		for _, xs := range a.xr {
 			size := p * mz * my * xs.width()
 			if a.single {
-				a.exch32 = append(a.exch32, mpi.NewExchangePlan[complex64](comm, size))
+				a.exch32 = append(a.exch32, newExch32(size))
 			} else {
-				a.exch = append(a.exch, mpi.NewExchangePlan[complex128](comm, size))
+				a.exch = append(a.exch, newExch(size))
 			}
 		}
 	} else {
 		if a.single {
-			a.exch32 = append(a.exch32, mpi.NewExchangePlan[complex64](comm, mz*n*nxh))
+			a.exch32 = append(a.exch32, newExch32(mz*n*nxh))
 		} else {
-			a.exch = append(a.exch, mpi.NewExchangePlan[complex128](comm, mz*n*nxh))
+			a.exch = append(a.exch, newExch(mz*n*nxh))
 		}
 	}
 	st := opt.Exchange
@@ -640,17 +674,58 @@ func (a *AsyncSlabReal) gatherYBlocks(srcs [][]complex128, srcs32 [][]complex64,
 	})
 }
 
+// doExch runs one exchange on plan ip: DoBounded under the
+// asynchrony-tolerant strategy (publication is a ring copy, lagging
+// peers are tolerated up to the staleness bound), Do otherwise.
+func (a *AsyncSlabReal) doExch(ip int, src []complex128, gather func([][]complex128)) {
+	if a.strat == exchange.AT {
+		a.exch[ip].DoBounded(src, gather, a.atStale)
+		return
+	}
+	a.exch[ip].Do(src, gather)
+}
+
+func (a *AsyncSlabReal) doExch32(ip int, src []complex64, gather func([][]complex64)) {
+	if a.strat == exchange.AT {
+		a.exch32[ip].DoBounded(src, gather, a.atStale)
+		return
+	}
+	a.exch32[ip].Do(src, gather)
+}
+
+// TakeStaleness drains the asynchrony-tolerant staleness window across
+// every exchange plan since the previous take: worst per-peer epoch
+// lag, summed lag, stale slab count and bounded-exchange count. All
+// zeros on non-AT engines.
+func (a *AsyncSlabReal) TakeStaleness() (max int, sum, slabs, calls int64) {
+	for _, pl := range a.exch {
+		m, s, sl, cl := pl.TakeStaleness()
+		if m > max {
+			max = m
+		}
+		sum, slabs, calls = sum+s, slabs+sl, calls+cl
+	}
+	for _, pl := range a.exch32 {
+		m, s, sl, cl := pl.TakeStaleness()
+		if m > max {
+			max = m
+		}
+		sum, slabs, calls = sum+s, slabs+sl, calls+cl
+	}
+	return
+}
+
 // fusedExchangeY publishes the packed send buffer(s) through the
 // fused-exchange plan(s) and gathers peer blocks directly into mid.
 // Collective.
 func (a *AsyncSlabReal) fusedExchangeY(chunked bool) {
 	if a.gran == PerSlab {
 		if a.single {
-			a.exch32[0].Do(a.send32, func(srcs [][]complex64) {
+			a.doExch32(0, a.send32, func(srcs [][]complex64) {
 				a.gatherYBlocks(nil, srcs, a.nxh, 0, chunked)
 			})
 		} else {
-			a.exch[0].Do(a.sendAll, func(srcs [][]complex128) {
+			a.doExch(0, a.sendAll, func(srcs [][]complex128) {
 				a.gatherYBlocks(srcs, nil, a.nxh, 0, chunked)
 			})
 		}
@@ -659,11 +734,11 @@ func (a *AsyncSlabReal) fusedExchangeY(chunked bool) {
 	for ip, full := range a.xr {
 		wp, base := full.width(), full.lo
 		if a.single {
-			a.exch32[ip].Do(a.sendP32[ip], func(srcs [][]complex64) {
+			a.doExch32(ip, a.sendP32[ip], func(srcs [][]complex64) {
 				a.gatherYBlocks(nil, srcs, wp, base, chunked)
 			})
 		} else {
-			a.exch[ip].Do(a.sendP[ip], func(srcs [][]complex128) {
+			a.doExch(ip, a.sendP[ip], func(srcs [][]complex128) {
 				a.gatherYBlocks(srcs, nil, wp, base, chunked)
 			})
 		}
@@ -922,11 +997,11 @@ func (a *AsyncSlabReal) gatherZBlocks(four []complex128, srcs [][]complex128, sr
 func (a *AsyncSlabReal) fusedExchangeZ(four []complex128, chunked bool) {
 	if a.gran == PerSlab {
 		if a.single {
-			a.exch32[0].Do(a.send32, func(srcs [][]complex64) {
+			a.doExch32(0, a.send32, func(srcs [][]complex64) {
 				a.gatherZBlocks(four, nil, srcs, a.nxh, 0, chunked)
 			})
 		} else {
-			a.exch[0].Do(a.sendAll, func(srcs [][]complex128) {
+			a.doExch(0, a.sendAll, func(srcs [][]complex128) {
 				a.gatherZBlocks(four, srcs, nil, a.nxh, 0, chunked)
 			})
 		}
@@ -935,11 +1010,11 @@ func (a *AsyncSlabReal) fusedExchangeZ(four []complex128, chunked bool) {
 	for ip, full := range a.xr {
 		wp, base := full.width(), full.lo
 		if a.single {
-			a.exch32[ip].Do(a.sendP32[ip], func(srcs [][]complex64) {
+			a.doExch32(ip, a.sendP32[ip], func(srcs [][]complex64) {
 				a.gatherZBlocks(four, nil, srcs, wp, base, chunked)
 			})
 		} else {
-			a.exch[ip].Do(a.sendP[ip], func(srcs [][]complex128) {
+			a.doExch(ip, a.sendP[ip], func(srcs [][]complex128) {
 				a.gatherZBlocks(four, srcs, nil, wp, base, chunked)
 			})
 		}

@@ -38,10 +38,20 @@ const (
 	Fused
 	// ChunkedFused is the fused gather in pairwise-exchange rounds.
 	ChunkedFused
+	// AT is the asynchrony-tolerant fused gather: publication is
+	// epoch-tagged and double-buffered, and a rank whose peers lag
+	// proceeds on their latest published slabs once they are within
+	// the configured staleness bound (mpi.ExchangePlan.DoBounded).
+	// It trades bounded accuracy (the scheme corrects for the
+	// staleness) for immunity to stragglers, so it is opted into
+	// explicitly and never autotuned against the exact strategies.
+	AT
 )
 
 // Concrete lists the strategies an autotuner chooses between, in
-// gauge-code order (see Code).
+// gauge-code order (see Code). AT is excluded: it changes the answer
+// (bounded staleness), not just the speed, so it is never picked by
+// timing alone.
 var Concrete = []Strategy{Staged, Fused, ChunkedFused}
 
 // String returns the flag-level name of the strategy.
@@ -55,19 +65,23 @@ func (s Strategy) String() string {
 		return "fused"
 	case ChunkedFused:
 		return "chunked"
+	case AT:
+		return "at"
 	}
 	return fmt.Sprintf("exchange.Strategy(%d)", int(s))
 }
 
 // Code is the numeric value published in the exchange.strategy gauge:
-// 0 staged, 1 fused, 2 chunked-fused. Auto has no code — a plan
-// always pins a concrete strategy before publishing.
+// 0 staged, 1 fused, 2 chunked-fused, 3 asynchrony-tolerant. Auto has
+// no code — a plan always pins a concrete strategy before publishing.
 func (s Strategy) Code() float64 {
 	switch s {
 	case Fused:
 		return 1
 	case ChunkedFused:
 		return 2
+	case AT:
+		return 3
 	default:
 		return 0
 	}
@@ -84,8 +98,10 @@ func Parse(s string) (Strategy, error) {
 		return Fused, nil
 	case "chunked", "chunked-fused", "chunkedfused":
 		return ChunkedFused, nil
+	case "at", "asynchrony-tolerant":
+		return AT, nil
 	}
-	return Auto, fmt.Errorf("exchange: unknown strategy %q (want auto, staged, fused or chunked)", s)
+	return Auto, fmt.Errorf("exchange: unknown strategy %q (want auto, staged, fused, chunked or at)", s)
 }
 
 // Resolve picks the winner from trial times gathered across ranks.

@@ -35,10 +35,13 @@ type world struct {
 	children []*world // sub-communicators created by Split
 	aborted  bool
 	// plans maps a collective sequence number to the shared state of a
-	// persistent collective (see A2APlan); planBars are their private
-	// barriers, kept separately so abortAll can wake them.
+	// persistent collective (see A2APlan); planBars maps the same
+	// sequence number to the plan's private barrier, kept separately so
+	// abortAll can wake it. Both entries are removed when the plan's
+	// last reference is Freed, so long-running worlds that build and
+	// tear down plans do not accumulate dead barriers.
 	plans    map[int]any
-	planBars []*barrier
+	planBars map[int]*barrier
 }
 
 func newWorld(p int, reg *metrics.Registry, f *faultState) *world {
@@ -63,7 +66,10 @@ func (w *world) abortAll() {
 	}
 	w.aborted = true
 	children := append([]*world(nil), w.children...)
-	planBars := append([]*barrier(nil), w.planBars...)
+	planBars := make([]*barrier, 0, len(w.planBars))
+	for _, b := range w.planBars {
+		planBars = append(planBars, b)
+	}
 	w.mu.Unlock()
 	for _, b := range w.boxes {
 		b.abort()
@@ -128,6 +134,11 @@ type commMetrics struct {
 	// exchGather records the wall time of each fused-exchange gather
 	// pass in nanoseconds (see ExchangePlan.Do).
 	exchGather *metrics.Histogram
+	// staleness records the per-peer epoch lag each DoBounded gather
+	// observed (zero when the peer had published the current epoch);
+	// staleSlabs counts the peer slabs accepted with lag > 0.
+	staleness  *metrics.Histogram
+	staleSlabs *metrics.Counter
 }
 
 func (c *Comm) m() *commMetrics {
@@ -146,6 +157,8 @@ func (c *Comm) m() *commMetrics {
 			a2aWait:     r.HistogramRank("mpi.a2a.wait", c.rank),
 			barrierWait: r.HistogramRank("mpi.barrier.wait", c.rank),
 			exchGather:  r.HistogramRank("exchange.gather.ns", c.rank),
+			staleness:   r.HistogramRank("exchange.staleness", c.rank),
+			staleSlabs:  r.CounterRank("exchange.stale.slabs", c.rank),
 		}
 	}
 	return c.met

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,14 +42,42 @@ type ExchangePlan[T any] struct {
 	sh   *exchShared[T]
 	wire int64 // wire bytes charged per Do: everything but the local slab's share
 	free bool
+
+	// Asynchrony-tolerant per-handle state (DoBounded only).
+	epoch int64 // last epoch this rank published
+	gsrcs [][]T // reusable gather table of selected ring slots
+	// Staleness window since the last TakeStaleness: worst per-peer
+	// epoch lag, summed lag, stale slab count and DoBounded calls.
+	stMax   int
+	stSum   int64
+	stSlabs int64
+	stCalls int64
 }
 
 // exchShared is the world-side state of one plan: the per-rank
-// published source slabs and the plan's private reusable barrier.
+// published source slabs, the plan's private reusable barrier, and —
+// for asynchrony-tolerant plans — the epoch-tagged publication rings.
 type exchShared[T any] struct {
 	srcs [][]T
 	bar  *barrier
 	refs int
+	seq  int // collective sequence number keying w.plans / w.planBars
+
+	// Asynchrony-tolerant state (zero on synchronous plans). Each rank
+	// publishes by copying its slab into rings[rank][epoch%S] and then
+	// release-storing the epoch tag; peers acquire-load the tag, so an
+	// observed epoch implies the full slab contents of that epoch. The
+	// ring holds S = 2·maxStale+2 slots: a peer gathering at epoch e'
+	// reads epochs ≥ e'−maxStale, and the hard bound keeps any two
+	// in-flight calls within 2·maxStale+1 epochs of each other, so the
+	// slot being overwritten for epoch X (which held X−S) is provably
+	// dead.
+	at       bool
+	maxStale int
+	deadline time.Duration
+	slabLen  int
+	rings    [][][]T
+	epochs   []atomic.Int64
 }
 
 // NewExchangePlan registers a fused-exchange plan over c. slabLen is
@@ -58,6 +87,26 @@ type exchShared[T any] struct {
 // convention as A2APlan's off-diagonal blocks). Collective: blocks
 // until every rank has registered.
 func NewExchangePlan[T any](c *Comm, slabLen int) *ExchangePlan[T] {
+	return newExchangePlan[T](c, slabLen, false, 0, 0)
+}
+
+// NewExchangePlanBounded registers an asynchrony-tolerant fused
+// exchange: Do is replaced by DoBounded, publication is epoch-tagged
+// and double-buffered (a ring of 2·maxStale+2 plan-owned slab copies
+// per rank), and a rank whose peers lag behind proceeds with their
+// latest published slabs once they are within maxStale epochs and the
+// per-plan deadline has expired. A deadline ≤ 0 means "never wait past
+// the hard bound". Collective: every rank must construct the plan with
+// the same mode, slab length, maxStale and deadline — a disagreeing
+// rank panics at plan time (collective-contract violation).
+func NewExchangePlanBounded[T any](c *Comm, slabLen, maxStale int, deadline time.Duration) *ExchangePlan[T] {
+	if maxStale < 0 {
+		panic(fmt.Sprintf("mpi: rank %d: negative staleness bound %d", c.rank, maxStale))
+	}
+	return newExchangePlan[T](c, slabLen, true, maxStale, deadline)
+}
+
+func newExchangePlan[T any](c *Comm, slabLen int, at bool, maxStale int, deadline time.Duration) *ExchangePlan[T] {
 	p := c.Size()
 	if slabLen < 0 || slabLen%p != 0 {
 		panic(fmt.Sprintf("mpi: rank %d: exchange plan slab length %d invalid for %d ranks",
@@ -76,16 +125,41 @@ func NewExchangePlan[T any](c *Comm, slabLen int) *ExchangePlan[T] {
 	var sh *exchShared[T]
 	if v, ok := w.plans[seq]; ok {
 		sh = v.(*exchShared[T])
+		if sh.at != at || (at && (sh.maxStale != maxStale || sh.deadline != deadline || sh.slabLen != slabLen)) {
+			w.mu.Unlock()
+			panic(fmt.Sprintf("mpi: rank %d: exchange plan seq %d mode disagrees with peers "+
+				"(collective contract violation: at=%v/%v maxStale=%d/%d deadline=%v/%v)",
+				c.rank, seq, at, sh.at, maxStale, sh.maxStale, deadline, sh.deadline))
+		}
 	} else {
-		sh = &exchShared[T]{srcs: make([][]T, p), bar: newBarrier(p)}
+		sh = &exchShared[T]{srcs: make([][]T, p), bar: newBarrier(p), seq: seq,
+			at: at, maxStale: maxStale, deadline: deadline, slabLen: slabLen}
+		if at {
+			slots := 2*maxStale + 2
+			sh.rings = make([][][]T, p)
+			for r := range sh.rings {
+				ring := make([][]T, slots)
+				for s := range ring {
+					ring[s] = make([]T, slabLen)
+				}
+				sh.rings[r] = ring
+			}
+			sh.epochs = make([]atomic.Int64, p)
+		}
 		w.plans[seq] = sh
-		w.planBars = append(w.planBars, sh.bar)
+		if w.planBars == nil {
+			w.planBars = map[int]*barrier{}
+		}
+		w.planBars[seq] = sh.bar
 	}
 	sh.refs++
 	w.mu.Unlock()
 	pl := &ExchangePlan[T]{
 		c: c, sh: sh,
 		wire: sliceBytes[T](slabLen - slabLen/p),
+	}
+	if at {
+		pl.gsrcs = make([][]T, p)
 	}
 	// All ranks must have registered before the first Do publishes into
 	// a peer-visible slot.
@@ -108,6 +182,9 @@ func NewExchangePlan[T any](c *Comm, slabLen int) *ExchangePlan[T] {
 func (pl *ExchangePlan[T]) Do(src []T, gather func(srcs [][]T)) {
 	if pl.free {
 		panic("mpi: ExchangePlan used after Free")
+	}
+	if pl.sh.at {
+		panic("mpi: Do on an asynchrony-tolerant ExchangePlan; use DoBounded")
 	}
 	c := pl.c
 	c.maybeCrash()
@@ -136,8 +213,9 @@ func (pl *ExchangePlan[T]) Do(src []T, gather func(srcs [][]T)) {
 }
 
 // Free releases the plan (collective in effect: after every rank has
-// called Free the world drops its reference to the shared state). The
-// plan must not be used afterwards.
+// called Free the world drops its reference to the shared state and
+// its barrier, so the abort cascade stops waking it). The plan must
+// not be used afterwards.
 func (pl *ExchangePlan[T]) Free() {
 	if pl.free {
 		return
@@ -147,11 +225,174 @@ func (pl *ExchangePlan[T]) Free() {
 	w.mu.Lock()
 	pl.sh.refs--
 	if pl.sh.refs == 0 {
-		for seq, v := range w.plans {
-			if v == any(pl.sh) {
-				delete(w.plans, seq)
+		delete(w.plans, pl.sh.seq)
+		delete(w.planBars, pl.sh.seq)
+	}
+	w.mu.Unlock()
+}
+
+// boundedPoll is the sleep quantum of DoBounded's epoch waits: short
+// enough that abort cascades, deadline expiries and freshly published
+// epochs are observed promptly, long enough not to burn a core.
+const boundedPoll = 50 * time.Microsecond
+
+// DoBounded executes one asynchrony-tolerant exchange on a plan built
+// with NewExchangePlanBounded. The rank's slab is copied into this
+// epoch's ring slot and the epoch tag released; the rank then waits —
+// hard — until every peer is within maxStale epochs (never past a
+// peer's first publication), and after that only up to the plan
+// deadline for peers to reach the current epoch. The gather runs on
+// each peer's latest published slab, clamped to the current epoch so a
+// fast peer's future slab is never delivered early; the per-peer epoch
+// lag is recorded in the exchange.staleness histogram and each slab
+// accepted with lag > 0 in exchange.stale.slabs. maxStale may tighten
+// (never exceed) the plan's bound per call.
+//
+// Unlike Do there is no exit barrier: the gather reads plan-owned ring
+// copies, so the caller may overwrite src the moment DoBounded returns
+// while slower peers keep reading the retained epochs. The hard-bound
+// wait is watchdog-visible ("bounded-wait") and abortable; crash
+// schedules fire via the operation counter exactly as for Do.
+//
+//psdns:hotpath
+func (pl *ExchangePlan[T]) DoBounded(src []T, gather func(srcs [][]T), maxStale int) {
+	if pl.free {
+		panic("mpi: ExchangePlan used after Free")
+	}
+	sh := pl.sh
+	if !sh.at {
+		panic("mpi: DoBounded on a synchronous ExchangePlan; construct with NewExchangePlanBounded")
+	}
+	if maxStale < 0 || maxStale > sh.maxStale {
+		panic(fmt.Sprintf("mpi: rank %d: DoBounded staleness bound %d outside plan bound [0,%d]",
+			pl.c.rank, maxStale, sh.maxStale))
+	}
+	c := pl.c
+	c.maybeCrash()
+	m := c.m()
+	m.exchCalls.Inc()
+	m.exchBytes.Add(pl.wire)
+	// Publish: copy src into this epoch's ring slot, then release the
+	// epoch tag. The atomic store orders the copy before any peer's
+	// acquire load, so an observed epoch implies that epoch's contents.
+	e := pl.epoch + 1
+	pl.epoch = e
+	me := c.rank
+	slots := len(sh.rings[me])
+	copy(sh.rings[me][int(e%int64(slots))], src)
+	sh.epochs[me].Store(e)
+	c.w.progress.Add(1)
+
+	// Hard bound: no peer may be more than maxStale epochs behind, and
+	// epoch 1 always waits for every peer's first publication (there is
+	// no older slab to fall back on).
+	lo := e - int64(maxStale)
+	if lo < 1 {
+		lo = 1
+	}
+	pl.waitPeers(lo, e)
+
+	// Assemble the gather table from each rank's freshest published
+	// epoch, clamped to e, and account the per-peer lag.
+	stEnabled := m.staleness.Enabled()
+	for r := range pl.gsrcs {
+		pe := sh.epochs[r].Load()
+		if pe > e {
+			pe = e
+		}
+		pl.gsrcs[r] = sh.rings[r][int(pe%int64(slots))]
+		if r == me {
+			continue
+		}
+		st := e - pe
+		if stEnabled {
+			m.staleness.Observe(float64(st))
+		}
+		if st > 0 {
+			m.staleSlabs.Inc()
+			pl.stSlabs++
+			pl.stSum += st
+			if int(st) > pl.stMax {
+				pl.stMax = int(st)
 			}
 		}
 	}
-	w.mu.Unlock()
+	pl.stCalls++
+	enabled := m.exchGather.Enabled()
+	var t0 time.Time
+	if enabled {
+		t0 = time.Now()
+	}
+	gather(pl.gsrcs)
+	if enabled {
+		m.exchGather.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
+	c.w.progress.Add(1)
+}
+
+// waitPeers blocks until every rank's published epoch is at least lo
+// (the hard staleness bound), then keeps waiting up to the plan
+// deadline for every rank to reach target. The hard phase registers
+// with the watchdog like a barrier (stall and deadlock detection see
+// it); the deadline phase is bounded by construction and does not.
+func (pl *ExchangePlan[T]) waitPeers(lo, target int64) {
+	if pl.minEpoch() >= target {
+		return // fast path: everyone already published this epoch
+	}
+	c, sh := pl.c, pl.sh
+	w := c.w
+	var tok *blockedOp
+	defer func() {
+		if tok != nil {
+			w.watchExit(tok)
+		}
+	}()
+	if pl.minEpoch() < lo {
+		tok = w.watchEnter(c.rank, opBounded, -1, sh.seq, true, false)
+		for pl.minEpoch() < lo {
+			if w.isAborted() {
+				panic(errAborted)
+			}
+			time.Sleep(boundedPoll)
+		}
+		w.watchExit(tok)
+		tok = nil
+	}
+	if sh.deadline <= 0 {
+		return
+	}
+	deadline := time.Now().Add(sh.deadline)
+	for pl.minEpoch() < target {
+		if w.isAborted() {
+			panic(errAborted)
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(boundedPoll)
+	}
+}
+
+// minEpoch returns the lowest published epoch across all ranks.
+//
+//psdns:hotpath
+func (pl *ExchangePlan[T]) minEpoch() int64 {
+	sh := pl.sh
+	min := int64(1) << 62
+	for r := range sh.epochs {
+		if e := sh.epochs[r].Load(); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// TakeStaleness returns the worst per-peer epoch lag, the summed lag,
+// the number of stale peer slabs accepted and the number of DoBounded
+// calls since the previous take, then resets the window. Layers above
+// use it to drive staleness-weighted scheme corrections.
+func (pl *ExchangePlan[T]) TakeStaleness() (max int, sum, slabs, calls int64) {
+	max, sum, slabs, calls = pl.stMax, pl.stSum, pl.stSlabs, pl.stCalls
+	pl.stMax, pl.stSum, pl.stSlabs, pl.stCalls = 0, 0, 0, 0
+	return
 }

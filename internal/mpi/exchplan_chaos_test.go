@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -101,5 +102,102 @@ func TestExchangePlanAbortCascadeFromGatherPanic(t *testing.T) {
 	var re *RankError
 	if !errors.As(err, &re) || re.Rank != 2 {
 		t.Fatalf("err = %v, want RankError on rank 2", err)
+	}
+}
+
+// A scheduled crash firing while peers sit inside DoBounded's hard
+// wait must surface as a typed CrashError: the abort cascade reaches
+// the sleep-polling waiters (they check the abort flag each poll), so
+// nobody hangs and no stale slab is delivered as live data — the
+// gather of the waiting ranks never runs.
+func TestExchangePlanBoundedCrashSurfacesCrashError(t *testing.T) {
+	const p = 3
+	err := TryRun(p, func(c *Comm) {
+		// maxStale 0: every DoBounded hard-waits for all peers, so the
+		// survivors are provably inside the bounded wait when rank 2's
+		// second operation crashes instead of publishing epoch 2.
+		pl := NewExchangePlanBounded[int](c, p, 0, 0)
+		defer pl.Free()
+		src := make([]int, p)
+		gathered := 0
+		for i := 0; i < 3; i++ {
+			pl.DoBounded(src, func([][]int) { gathered++ }, 0)
+		}
+		if gathered != 3 {
+			panic("gather ran a different number of times than DoBounded")
+		}
+	}, WithFaults(&Faults{Crash: map[int]int{2: 2}}))
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 2 {
+		t.Fatalf("err = %v, want RankError on rank 2", err)
+	}
+	var ce *CrashError
+	if !errors.As(re.Err, &ce) || ce.Op != 2 {
+		t.Fatalf("cause = %v, want CrashError at op 2", re.Err)
+	}
+}
+
+// A straggler that keeps the hard bound unsatisfied past the per-op
+// deadline must be caught by the watchdog as a typed StallError naming
+// the bounded wait, exactly as the synchronous barrier path is.
+func TestExchangePlanBoundedStallDetectedByWatchdog(t *testing.T) {
+	const p = 3
+	err := TryRun(p, func(c *Comm) {
+		pl := NewExchangePlanBounded[int](c, p, 0, 0)
+		defer pl.Free()
+		if c.Rank() == 1 {
+			time.Sleep(400 * time.Millisecond)
+		}
+		pl.DoBounded(make([]int, p), func([][]int) {}, 0)
+	}, WithWatchdog(Watchdog{Deadline: 40 * time.Millisecond, Poll: 5 * time.Millisecond}))
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StallError from the bounded wait", err)
+	}
+	if se.Op != opBounded {
+		t.Fatalf("StallError.Op = %q, want %q", se.Op, opBounded)
+	}
+}
+
+// Mixed-mode plans are a collective-contract violation and must be
+// rejected at plan time, whichever mode registers first: an exchange
+// plan is synchronous or asynchrony-tolerant for every rank or none.
+func TestExchangePlanBoundedMixedModeRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(c *Comm)
+	}{
+		{"sync-vs-at", func(c *Comm) {
+			if c.Rank() == 0 {
+				NewExchangePlan[int](c, 2)
+			} else {
+				NewExchangePlanBounded[int](c, 2, 1, time.Millisecond)
+			}
+		}},
+		{"at-vs-sync", func(c *Comm) {
+			if c.Rank() == 0 {
+				NewExchangePlanBounded[int](c, 2, 1, time.Millisecond)
+			} else {
+				NewExchangePlan[int](c, 2)
+			}
+		}},
+		{"bound-disagrees", func(c *Comm) {
+			NewExchangePlanBounded[int](c, 2, 1+c.Rank(), time.Millisecond)
+		}},
+		{"deadline-disagrees", func(c *Comm) {
+			NewExchangePlanBounded[int](c, 2, 1, time.Duration(1+c.Rank())*time.Millisecond)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := TryRun(2, tc.fn)
+			var re *RankError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want RankError at plan time", err)
+			}
+			if !strings.Contains(re.Err.Error(), "collective contract violation") {
+				t.Fatalf("cause = %v, want collective-contract violation", re.Err)
+			}
+		})
 	}
 }

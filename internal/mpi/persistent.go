@@ -45,6 +45,7 @@ type a2aShared[T any] struct {
 	sends [][]T
 	bar   *barrier
 	refs  int
+	seq   int // collective sequence number keying w.plans / w.planBars
 }
 
 // NewA2APlan registers send and recv for a persistent all-to-all over
@@ -73,9 +74,12 @@ func NewA2APlan[T any](c *Comm, send, recv []T) *A2APlan[T] {
 	if v, ok := w.plans[seq]; ok {
 		sh = v.(*a2aShared[T])
 	} else {
-		sh = &a2aShared[T]{sends: make([][]T, p), bar: newBarrier(p)}
+		sh = &a2aShared[T]{sends: make([][]T, p), bar: newBarrier(p), seq: seq}
 		w.plans[seq] = sh
-		w.planBars = append(w.planBars, sh.bar)
+		if w.planBars == nil {
+			w.planBars = map[int]*barrier{}
+		}
+		w.planBars[seq] = sh.bar
 	}
 	if len(sh.sends[c.rank]) != 0 && bs*p != len(sh.sends[0]) {
 		w.mu.Unlock()
@@ -142,8 +146,9 @@ func (pl *A2APlan[T]) Send() []T { return pl.send }
 func (pl *A2APlan[T]) Recv() []T { return pl.recv }
 
 // Free releases the plan (collective). After every rank has called
-// Free the world drops its reference to the shared state; the plan
-// must not be used afterwards.
+// Free the world drops its reference to the shared state and its
+// barrier (so the abort cascade stops waking it); the plan must not be
+// used afterwards.
 func (pl *A2APlan[T]) Free() {
 	if pl.free {
 		return
@@ -153,11 +158,8 @@ func (pl *A2APlan[T]) Free() {
 	w.mu.Lock()
 	pl.sh.refs--
 	if pl.sh.refs == 0 {
-		for seq, v := range w.plans {
-			if v == any(pl.sh) {
-				delete(w.plans, seq)
-			}
-		}
+		delete(w.plans, pl.sh.seq)
+		delete(w.planBars, pl.sh.seq)
 	}
 	w.mu.Unlock()
 }

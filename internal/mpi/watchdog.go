@@ -56,6 +56,10 @@ const (
 	opRecv    = "recv"
 	opWait    = "wait"
 	opBarrier = "barrier"
+	// opBounded is the hard-bound phase of an asynchrony-tolerant
+	// DoBounded: waiting for a peer that is more than maxStale epochs
+	// behind (the deadline-bounded second phase never registers).
+	opBounded = "bounded-wait"
 )
 
 // StallError is the typed failure the watchdog (or a deadline-aware
@@ -64,7 +68,7 @@ const (
 // peer and tag it is waiting on, and how long it waited.
 type StallError struct {
 	Rank int    // the blocked rank
-	Op   string // "recv", "wait" or "barrier"
+	Op   string // "recv", "wait", "barrier" or "bounded-wait"
 	Peer int    // message source rank, -1 when not applicable
 	Tag  int    // message tag (collective sequence number when Coll)
 	Coll bool   // collective-space tag rather than a user tag

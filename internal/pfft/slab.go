@@ -162,6 +162,12 @@ type SlabReal struct {
 	met    *phaseMetrics
 	closed bool
 
+	// Asynchrony-tolerant parameters (strat == exchange.AT only): the
+	// per-call staleness bound handed to DoBounded and the plan
+	// deadline configured at construction.
+	atStale    int
+	atDeadline time.Duration
+
 	// Staging fields for the precomputed worker bodies: the transform
 	// entry points publish the current operand slices here so the team
 	// bodies (built once in the constructor) reference them without a
@@ -211,6 +217,26 @@ func NewSlabRealWorkers(comm *mpi.Comm, n, workers int) *SlabReal {
 // collectively-agreed winner; a concrete strategy skips the trials and
 // pins that strategy on every rank. Collective.
 func NewSlabRealStrategy(comm *mpi.Comm, n, workers int, strat exchange.Strategy) *SlabReal {
+	if strat == exchange.AT {
+		panic("pfft: exchange.AT needs a staleness bound; use NewSlabRealAT")
+	}
+	return newSlabReal(comm, n, workers, strat, 0, 0)
+}
+
+// NewSlabRealAT builds the DNS transform on the asynchrony-tolerant
+// exchange: both transpose-exchanges run through DoBounded with the
+// given staleness bound (in exchange epochs) and per-plan deadline, so
+// a straggling rank delays its peers by at most the deadline once they
+// are within maxStale epochs. The observed staleness is drained with
+// TakeStaleness by scheme-correcting callers. Collective.
+func NewSlabRealAT(comm *mpi.Comm, n, workers, maxStale int, deadline time.Duration) *SlabReal {
+	if maxStale < 0 {
+		panic(fmt.Sprintf("pfft: negative staleness bound %d", maxStale))
+	}
+	return newSlabReal(comm, n, workers, exchange.AT, maxStale, deadline)
+}
+
+func newSlabReal(comm *mpi.Comm, n, workers int, strat exchange.Strategy, maxStale int, deadline time.Duration) *SlabReal {
 	if n%2 != 0 {
 		panic(fmt.Sprintf("pfft: SlabReal requires even N, got %d", n))
 	}
@@ -227,6 +253,9 @@ func NewSlabRealStrategy(comm *mpi.Comm, n, workers int, strat exchange.Strategy
 		recv:   pool.GetComplex(s.MZ() * n * nxh),
 		mid:    pool.GetComplex(s.MY() * n * nxh),
 		met:    newPhaseMetrics(comm),
+
+		atStale:    maxStale,
+		atDeadline: deadline,
 	}
 	for w := 0; w < workers; w++ {
 		f.by = append(f.by, fft.NewBatch(n, nxh, nxh, 1, nxh, 1))
@@ -234,7 +263,11 @@ func NewSlabRealStrategy(comm *mpi.Comm, n, workers int, strat exchange.Strategy
 		f.bx = append(f.bx, fft.NewRealBatch(n, n, 1, n, 1, nxh))
 	}
 	f.a2a = mpi.NewA2APlan(comm, f.pack, f.recv)
-	f.exch = mpi.NewExchangePlan[complex128](comm, f.FourierLen())
+	if strat == exchange.AT {
+		f.exch = mpi.NewExchangePlanBounded[complex128](comm, f.FourierLen(), maxStale, deadline)
+	} else {
+		f.exch = mpi.NewExchangePlan[complex128](comm, f.FourierLen())
+	}
 	f.buildBodies()
 	if strat == exchange.Auto {
 		strat = f.autotune()
@@ -426,6 +459,10 @@ func (f *SlabReal) transposeYZ() {
 		t := time.Now()
 		f.exch.Do(f.curFour, f.fusedYZFn)
 		f.met.a2a.ObserveSince(t)
+	case exchange.AT:
+		t := time.Now()
+		f.exch.DoBounded(f.curFour, f.fusedYZFn, f.atStale)
+		f.met.a2a.ObserveSince(t)
 	default: // exchange.ChunkedFused
 		t := time.Now()
 		f.exch.Do(f.curFour, f.chunkedYZFn)
@@ -452,6 +489,10 @@ func (f *SlabReal) transposeZY() {
 	case exchange.Fused:
 		t := time.Now()
 		f.exch.Do(f.mid, f.fusedZYFn)
+		f.met.a2a.ObserveSince(t)
+	case exchange.AT:
+		t := time.Now()
+		f.exch.DoBounded(f.mid, f.fusedZYFn, f.atStale)
 		f.met.a2a.ObserveSince(t)
 	default: // exchange.ChunkedFused
 		t := time.Now()
@@ -484,6 +525,14 @@ func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 // Strategy reports the pinned transpose-exchange strategy (never
 // exchange.Auto: autotuned plans report the winner).
 func (f *SlabReal) Strategy() exchange.Strategy { return f.strat }
+
+// TakeStaleness drains the asynchrony-tolerant staleness window since
+// the previous take: the worst per-peer epoch lag, the summed lag, the
+// stale slab count and the number of bounded exchanges. All zeros on
+// non-AT transforms (and on AT transforms whose peers kept up).
+func (f *SlabReal) TakeStaleness() (max int, sum, slabs, calls int64) {
+	return f.exch.TakeStaleness()
+}
 
 // ExchangeYZ performs only the y→z transpose-exchange of four into the
 // internal physical-side buffer, using the pinned strategy. This is

@@ -154,6 +154,41 @@ func (m *A2AModel) Table2() []Table2Row {
 	return rows
 }
 
+// StragglerScenario describes one asynchrony-tolerance trade-off
+// study: a production step of Exchanges collective transposes plus
+// Compute seconds of overlapped arithmetic, on which one straggling
+// node injects Delay seconds of excess every step (OS jitter, ECC
+// scrub, a slow GPU — the transient noise that at 3072 nodes is
+// almost never zero for all nodes simultaneously).
+type StragglerScenario struct {
+	N, Nodes, TPN, NV int
+	Exchanges         int     // collective transposes per step
+	Compute           float64 // per-step compute outside exchanges (s)
+	Delay             float64 // straggler excess per step (s)
+	MaxStale          int     // AT staleness bound in exchange epochs
+}
+
+// StepTimes returns the per-step wall time of the synchronous and the
+// asynchrony-tolerant schedule for the scenario. Synchronously, every
+// exchange is a barrier, so the straggler's delay lands on every
+// rank's critical path in full. With a staleness bound of k epochs,
+// peers run up to k exchanges ahead on the straggler's last published
+// slabs, so up to k exchange intervals of delay are absorbed by the
+// pipeline before anyone blocks; the remainder still serializes.
+func (m *A2AModel) StepTimes(sc StragglerScenario) (sync, at float64) {
+	if sc.Exchanges < 1 || sc.MaxStale < 0 {
+		panic(fmt.Sprintf("simnet: invalid scenario: %d exchanges, bound %d", sc.Exchanges, sc.MaxStale))
+	}
+	p := sc.TPN * sc.Nodes
+	tx := m.Time(P2PSlab(sc.N, p, sc.NV), p, sc.TPN, sc.Nodes)
+	step := float64(sc.Exchanges)*tx + sc.Compute
+	sync = step + sc.Delay
+	epoch := step / float64(sc.Exchanges)
+	hidden := math.Min(sc.Delay, float64(sc.MaxStale)*epoch)
+	at = step + sc.Delay - hidden
+	return sync, at
+}
+
 // ScaledSummitA2A returns the calibrated model with every bandwidth
 // multiplied by f — the "what if the interconnect were f× faster"
 // question of the paper's conclusions.

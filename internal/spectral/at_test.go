@@ -1,0 +1,176 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/mpi"
+)
+
+// With no stragglers an asynchrony-tolerant solver must be bitwise
+// identical to the synchronous one: every bounded exchange completes
+// inside its generous deadline, no stale slab is ever gathered, the
+// correction weight stays zero, and the gather kernels are the exact
+// fused kernels of the synchronous strategies.
+func TestSolverATZeroDelayBitwiseIdentity(t *testing.T) {
+	const n = 16
+	const steps = 4
+	for _, p := range []int{1, 2, 4} {
+		for _, sch := range []Scheme{RK2, RK4} {
+			p, sch := p, sch
+			t.Run(fmt.Sprintf("slab/p%d/scheme%d", p, sch), func(t *testing.T) {
+				mpi.Run(p, func(c *mpi.Comm) {
+					opts := []Option{WithNu(0.02), WithScheme(sch), WithDealias(Dealias23)}
+					ref := New(c, n, opts...)
+					ref.SetRandomIsotropic(3, 0.5, 9)
+					at := New(c, n, append(opts[:len(opts):len(opts)],
+						WithAsyncTolerance(1), WithAsyncDeadline(2*time.Second))...)
+					at.SetRandomIsotropic(3, 0.5, 9)
+					for i := 0; i < steps; i++ {
+						ref.Step(0.004)
+						at.Step(0.004)
+					}
+					for cmp := 0; cmp < 3; cmp++ {
+						for i := range ref.Uh[cmp] {
+							if ref.Uh[cmp][i] != at.Uh[cmp][i] {
+								t.Errorf("rank %d component %d element %d: AT %v vs sync %v",
+									c.Rank(), cmp, i, at.Uh[cmp][i], ref.Uh[cmp][i])
+								return
+							}
+						}
+					}
+					if at.ATCorrections() != 0 {
+						t.Errorf("rank %d: zero-delay run applied %d corrections", c.Rank(), at.ATCorrections())
+					}
+				})
+			})
+		}
+	}
+}
+
+// The same identity must hold on the batched asynchronous engine:
+// exchange.AT reuses the Fused gather kernels, so with no staleness
+// the two engines walk the same arithmetic.
+func TestSolverATZeroDelayBitwiseIdentityCoreEngine(t *testing.T) {
+	const n = 16
+	for _, p := range []int{1, 2} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			mpi.Run(p, func(c *mpi.Comm) {
+				base := []Option{WithNu(0.02), WithScheme(RK2), WithDealias(Dealias23)}
+				ref := New(c, n, append(base[:len(base):len(base)], WithTransform(
+					core.NewAsyncSlabReal(c, n, core.Options{
+						NP: 2, Granularity: core.PerSlab, Exchange: exchange.Fused,
+					})))...)
+				ref.SetRandomIsotropic(3, 0.5, 13)
+				at := New(c, n, append(base[:len(base):len(base)],
+					WithTransform(core.NewAsyncSlabReal(c, n, core.Options{
+						NP: 2, Granularity: core.PerSlab, Exchange: exchange.AT,
+						ATMaxStale: 1, ATDeadline: 2 * time.Second,
+					})),
+					WithAsyncTolerance(1))...)
+				at.SetRandomIsotropic(3, 0.5, 13)
+				for i := 0; i < 3; i++ {
+					ref.Step(0.004)
+					at.Step(0.004)
+				}
+				for cmp := 0; cmp < 3; cmp++ {
+					for i := range ref.Uh[cmp] {
+						if ref.Uh[cmp][i] != at.Uh[cmp][i] {
+							t.Errorf("rank %d component %d element %d: AT %v vs sync %v",
+								c.Rank(), cmp, i, at.Uh[cmp][i], ref.Uh[cmp][i])
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// Under a genuine straggler the AT solver keeps stepping on stale
+// slabs instead of blocking, and the staleness-weighted correction
+// keeps the solution close to the synchronous golden run: accuracy
+// degrades gracefully and boundedly, never catastrophically.
+func TestSolverATGracefulDegradationUnderStraggler(t *testing.T) {
+	const (
+		n     = 16
+		p     = 4
+		steps = 8
+		dt    = 0.004
+	)
+	opts := []Option{WithNu(0.02), WithScheme(RK2), WithDealias(Dealias23)}
+
+	// Golden synchronous run.
+	var refEnergy float64
+	refU := make([]complex128, 0)
+	mpi.Run(p, func(c *mpi.Comm) {
+		s := New(c, n, opts...)
+		s.SetRandomIsotropic(3, 0.5, 21)
+		for i := 0; i < steps; i++ {
+			s.Step(dt)
+		}
+		e := s.Energy() // collective: every rank participates
+		if c.Rank() == 0 {
+			refEnergy = e
+			refU = append(refU[:0], s.Uh[0]...)
+		}
+	})
+
+	// AT run with rank p−1 straggling before every step and a zero
+	// soft deadline, so its peers proceed the moment the hard bound
+	// allows — maximum staleness exposure.
+	var atEnergy float64
+	var corrections int
+	atU := make([]complex128, 0)
+	mpi.Run(p, func(c *mpi.Comm) {
+		s := New(c, n, append(opts[:len(opts):len(opts)],
+			WithAsyncTolerance(2), WithAsyncDeadline(0))...)
+		s.SetRandomIsotropic(3, 0.5, 21)
+		for i := 0; i < steps; i++ {
+			if c.Rank() == p-1 {
+				time.Sleep(3 * time.Millisecond)
+			}
+			s.Step(dt)
+		}
+		e := s.Energy() // collective: every rank participates
+		if c.Rank() == 0 {
+			atEnergy = e
+			corrections = s.ATCorrections()
+			atU = append(atU[:0], s.Uh[0]...)
+		}
+	})
+
+	if corrections == 0 {
+		t.Errorf("straggler run applied no staleness corrections on rank 0 — AT path not exercised")
+	}
+	if math.IsNaN(atEnergy) || math.IsInf(atEnergy, 0) {
+		t.Fatalf("AT run blew up: energy %v", atEnergy)
+	}
+	for i, v := range atU {
+		re, im := real(v), imag(v)
+		if math.IsNaN(re) || math.IsNaN(im) || math.IsInf(re, 0) || math.IsInf(im, 0) {
+			t.Fatalf("AT run blew up at element %d: %v", i, v)
+		}
+	}
+	relErr := math.Abs(atEnergy-refEnergy) / refEnergy
+	if relErr > 0.05 {
+		t.Errorf("energy degraded beyond bound: AT %g vs sync %g (rel err %g)", atEnergy, refEnergy, relErr)
+	}
+	// Field-level: the solutions may differ (that is the trade), but
+	// only boundedly — the rms deviation stays a small fraction of
+	// the rms signal.
+	var num, den float64
+	for i := range refU {
+		d := refU[i] - atU[i]
+		num += real(d)*real(d) + imag(d)*imag(d)
+		den += real(refU[i])*real(refU[i]) + imag(refU[i])*imag(refU[i])
+	}
+	if den > 0 && math.Sqrt(num/den) > 0.25 {
+		t.Errorf("field deviation %g exceeds graceful-degradation bound", math.Sqrt(num/den))
+	}
+}

@@ -19,8 +19,18 @@ import (
 // rather than silently integrated.
 
 const (
-	ckptMagic   = 0x50534e53 // "PSNS"
-	ckptVersion = 1
+	ckptMagic = 0x50534e53 // "PSNS"
+	// ckptVersion 2 makes the file self-describing about its physics:
+	// after the fixed header it records the equation-set name (so a
+	// restart into a different system is rejected explicitly rather
+	// than misread positionally) and, for forced systems, the
+	// stochastic-forcing controller state (KF, Eps, TCorr, Seed — the
+	// phase walk is stateless given seed and step, so these four
+	// values restore it exactly), and it serializes all registry
+	// fields generically rather than assuming the 3-velocity layout.
+	// Version-1 files remain readable for the plain "ns" system they
+	// were all written under; writes always produce version 2.
+	ckptVersion = 2
 )
 
 type ckptHeader struct {
@@ -32,7 +42,21 @@ type ckptHeader struct {
 	Step    uint64
 	Time    float64
 	Nu      float64
-	Fields  uint64 // velocity components + optional scalars
+	Fields  uint64 // system fields + optional legacy scalars
+}
+
+// ckptForcing is the serialized StochasticForcing controller state.
+type ckptForcing struct {
+	KF    uint64
+	Eps   float64
+	TCorr float64
+	Seed  int64
+}
+
+// forcingHolder is the accessor a forced system exposes (ForcedNS
+// does); the checkpoint uses it to round-trip controller state.
+type forcingHolder interface {
+	Forcing() *StochasticForcing
 }
 
 // WriteCheckpointTo serializes this rank's state to w. scalars may be
@@ -50,14 +74,36 @@ func (s *Solver) WriteCheckpointTo(w io.Writer, scalars ...*Scalar) error {
 		Step:    uint64(s.step),
 		Time:    s.time,
 		Nu:      s.cfg.Nu,
-		Fields:  uint64(3 + len(scalars)),
+		Fields:  uint64(s.nf + len(scalars)),
 	}
 	if err := binary.Write(out, binary.LittleEndian, &hdr); err != nil {
 		return fmt.Errorf("checkpoint header: %w", err)
 	}
-	for c := 0; c < 3; c++ {
-		if err := binary.Write(out, binary.LittleEndian, s.Uh[c]); err != nil {
-			return fmt.Errorf("checkpoint velocity %d: %w", c, err)
+	name := []byte(s.sys.Name())
+	if err := binary.Write(out, binary.LittleEndian, uint32(len(name))); err != nil {
+		return fmt.Errorf("checkpoint system name: %w", err)
+	}
+	if _, err := out.Write(name); err != nil {
+		return fmt.Errorf("checkpoint system name: %w", err)
+	}
+	var present uint32
+	var fstate ckptForcing
+	if fh, ok := s.sys.(forcingHolder); ok {
+		f := fh.Forcing()
+		present = 1
+		fstate = ckptForcing{KF: uint64(f.KF), Eps: f.Eps, TCorr: f.TCorr, Seed: f.Seed}
+	}
+	if err := binary.Write(out, binary.LittleEndian, present); err != nil {
+		return fmt.Errorf("checkpoint forcing flag: %w", err)
+	}
+	if present == 1 {
+		if err := binary.Write(out, binary.LittleEndian, &fstate); err != nil {
+			return fmt.Errorf("checkpoint forcing state: %w", err)
+		}
+	}
+	for c := 0; c < s.nf; c++ {
+		if err := binary.Write(out, binary.LittleEndian, s.state[c]); err != nil {
+			return fmt.Errorf("checkpoint field %d: %w", c, err)
 		}
 	}
 	for i, sc := range scalars {
@@ -88,7 +134,7 @@ func (s *Solver) ReadCheckpointFrom(r io.Reader, scalars ...*Scalar) error {
 	switch {
 	case hdr.Magic != ckptMagic:
 		return fmt.Errorf("checkpoint: bad magic %#x", hdr.Magic)
-	case hdr.Version != ckptVersion:
+	case hdr.Version != 1 && hdr.Version != ckptVersion:
 		return fmt.Errorf("checkpoint: unsupported version %d", hdr.Version)
 	case hdr.N != uint64(s.cfg.N):
 		return fmt.Errorf("checkpoint: N=%d, solver has %d", hdr.N, s.cfg.N)
@@ -96,12 +142,54 @@ func (s *Solver) ReadCheckpointFrom(r io.Reader, scalars ...*Scalar) error {
 		return fmt.Errorf("checkpoint: written on %d ranks, running on %d", hdr.Ranks, s.comm.Size())
 	case hdr.Rank != uint64(s.slab.Rank):
 		return fmt.Errorf("checkpoint: file is rank %d, this is rank %d", hdr.Rank, s.slab.Rank)
-	case hdr.Fields != uint64(3+len(scalars)):
-		return fmt.Errorf("checkpoint: %d fields written, %d expected", hdr.Fields, 3+len(scalars))
 	}
-	for c := 0; c < 3; c++ {
-		if err := binary.Read(in, binary.LittleEndian, s.Uh[c]); err != nil {
-			return fmt.Errorf("checkpoint velocity %d: %w", c, err)
+	nf := 3 // version-1 layout: exactly the three velocity components
+	if hdr.Version == 1 {
+		// v1 files carry no system identity and were all written under
+		// the pre-registry 3-velocity layout; restoring them into any
+		// richer system would misattribute state positionally.
+		if s.sys.Name() != "ns" {
+			return fmt.Errorf("checkpoint: version-1 file carries no system identity; solver runs %q (only plain \"ns\" restores v1 files)", s.sys.Name())
+		}
+	} else {
+		var nlen uint32
+		if err := binary.Read(in, binary.LittleEndian, &nlen); err != nil {
+			return fmt.Errorf("checkpoint system name: %w", err)
+		}
+		if nlen > 256 {
+			return fmt.Errorf("checkpoint: implausible system-name length %d (corrupted file)", nlen)
+		}
+		name := make([]byte, nlen)
+		if _, err := io.ReadFull(in, name); err != nil {
+			return fmt.Errorf("checkpoint system name: %w", err)
+		}
+		if string(name) != s.sys.Name() {
+			return fmt.Errorf("checkpoint: written by system %q, solver runs %q (construct the solver with the matching system before restoring)", name, s.sys.Name())
+		}
+		var present uint32
+		if err := binary.Read(in, binary.LittleEndian, &present); err != nil {
+			return fmt.Errorf("checkpoint forcing flag: %w", err)
+		}
+		if present == 1 {
+			var fstate ckptForcing
+			if err := binary.Read(in, binary.LittleEndian, &fstate); err != nil {
+				return fmt.Errorf("checkpoint forcing state: %w", err)
+			}
+			fh, ok := s.sys.(forcingHolder)
+			if !ok {
+				return fmt.Errorf("checkpoint: file records forcing state but system %q has no forcing controller", s.sys.Name())
+			}
+			f := fh.Forcing()
+			f.KF, f.Eps, f.TCorr, f.Seed = int(fstate.KF), fstate.Eps, fstate.TCorr, fstate.Seed
+		}
+		nf = s.nf
+	}
+	if hdr.Fields != uint64(nf+len(scalars)) {
+		return fmt.Errorf("checkpoint: %d fields written, %d expected", hdr.Fields, nf+len(scalars))
+	}
+	for c := 0; c < nf; c++ {
+		if err := binary.Read(in, binary.LittleEndian, s.state[c]); err != nil {
+			return fmt.Errorf("checkpoint field %d: %w", c, err)
 		}
 	}
 	for i, sc := range scalars {

@@ -2,6 +2,9 @@ package spectral
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -195,4 +198,144 @@ func TestCheckpointEnergyPreserved(t *testing.T) {
 	if err != nil || len(entries) != 4 {
 		t.Errorf("checkpoint dir: %v entries, err %v", len(entries), err)
 	}
+}
+
+// A forced run must continue bitwise identically across a restart:
+// version-2 checkpoints record the forcing controller (KF, Eps,
+// TCorr, Seed), and the phase walk is stateless given seed and step,
+// so restoring those four values restores the stochastic trajectory
+// exactly — even into a solver constructed with different forcing
+// parameters.
+func TestCheckpointForcedSystemRestartContinuesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	const n, steps = 16, 3
+	opts := []Option{WithNu(0.02), WithScheme(RK2), WithDealias(Dealias23),
+		WithForcing(2, 0.1), WithForcingNoise(0.5, 42)}
+	var straight []complex128
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := New(c, n, opts...)
+		s.SetRandomIsotropic(3, 0.5, 11)
+		for i := 0; i < 2*steps; i++ {
+			s.Step(0.004)
+		}
+		if c.Rank() == 0 {
+			straight = append([]complex128(nil), s.Uh[0]...)
+		}
+	})
+	var restarted []complex128
+	mpi.Run(2, func(c *mpi.Comm) {
+		s := New(c, n, opts...)
+		s.SetRandomIsotropic(3, 0.5, 11)
+		for i := 0; i < steps; i++ {
+			s.Step(0.004)
+		}
+		if err := s.SaveCheckpoint(dir); err != nil {
+			t.Errorf("save: %v", err)
+		}
+		// Deliberately different forcing numbers: the restore must
+		// overwrite them with the checkpointed controller state.
+		s2 := New(c, n, WithNu(0.02), WithScheme(RK2), WithDealias(Dealias23),
+			WithForcing(3, 0.7), WithForcingNoise(0.1, 7))
+		if err := s2.LoadCheckpoint(dir); err != nil {
+			t.Errorf("load: %v", err)
+		}
+		fn := s2.System().(interface{ Forcing() *StochasticForcing }).Forcing()
+		if fn.KF != 2 || fn.Eps != 0.1 || fn.TCorr != 0.5 || fn.Seed != 42 {
+			t.Errorf("forcing state not restored: KF=%d Eps=%g TCorr=%g Seed=%d",
+				fn.KF, fn.Eps, fn.TCorr, fn.Seed)
+		}
+		for i := 0; i < steps; i++ {
+			s2.Step(0.004)
+		}
+		if c.Rank() == 0 {
+			restarted = append([]complex128(nil), s2.Uh[0]...)
+		}
+	})
+	for i := range straight {
+		if straight[i] != restarted[i] {
+			t.Fatalf("forced restart diverged at element %d", i)
+		}
+	}
+}
+
+// Restoring into a different equation set must be rejected by name,
+// in both directions, rather than misread positionally.
+func TestCheckpointRejectsSystemMismatch(t *testing.T) {
+	mpi.Run(1, func(c *mpi.Comm) {
+		forced := New(c, 8, WithNu(0.02), WithForcing(2, 0.1))
+		var buf bytes.Buffer
+		if err := forced.WriteCheckpointTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		plain := New(c, 8, WithNu(0.02))
+		err := plain.ReadCheckpointFrom(bytes.NewReader(buf.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "forced-ns") {
+			t.Errorf("forced→ns not rejected: %v", err)
+		}
+
+		buf.Reset()
+		if err := plain.WriteCheckpointTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		forced2 := New(c, 8, WithNu(0.02), WithForcing(2, 0.1))
+		err = forced2.ReadCheckpointFrom(bytes.NewReader(buf.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), `"ns"`) {
+			t.Errorf("ns→forced not rejected: %v", err)
+		}
+	})
+}
+
+// writeCkptV1 reproduces the version-1 on-disk layout byte for byte
+// (fixed header, three velocity fields, CRC trailer) so the
+// compatibility path is pinned against real legacy files.
+func writeCkptV1(s *Solver) []byte {
+	var buf bytes.Buffer
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(&buf, crc)
+	hdr := ckptHeader{
+		Magic:   ckptMagic,
+		Version: 1,
+		N:       uint64(s.cfg.N),
+		Ranks:   uint64(s.comm.Size()),
+		Rank:    uint64(s.slab.Rank),
+		Step:    uint64(s.step),
+		Time:    s.time,
+		Nu:      s.cfg.Nu,
+		Fields:  3,
+	}
+	binary.Write(out, binary.LittleEndian, &hdr)
+	for c := 0; c < 3; c++ {
+		binary.Write(out, binary.LittleEndian, s.Uh[c])
+	}
+	binary.Write(&buf, binary.LittleEndian, crc.Sum32())
+	return buf.Bytes()
+}
+
+// Version-1 files stay readable for the plain "ns" system they were
+// written under, and are explicitly rejected by systems they cannot
+// describe.
+func TestCheckpointV1Compat(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		src := New(c, 8, WithNu(0.02))
+		src.SetRandomIsotropic(2, 0.4, 5)
+		blob := writeCkptV1(src)
+
+		dst := New(c, 8, WithNu(0.02))
+		if err := dst.ReadCheckpointFrom(bytes.NewReader(blob)); err != nil {
+			t.Fatalf("v1 read into ns: %v", err)
+		}
+		for cmp := 0; cmp < 3; cmp++ {
+			for i := range src.Uh[cmp] {
+				if src.Uh[cmp][i] != dst.Uh[cmp][i] {
+					t.Fatalf("v1 component %d element %d differs", cmp, i)
+				}
+			}
+		}
+
+		forced := New(c, 8, WithNu(0.02), WithForcing(2, 0.1))
+		err := forced.ReadCheckpointFrom(bytes.NewReader(blob))
+		if err == nil || !strings.Contains(err.Error(), "version-1") {
+			t.Errorf("v1 into forced-ns not rejected: %v", err)
+		}
+	})
 }

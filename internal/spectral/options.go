@@ -2,6 +2,7 @@ package spectral
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/pfft"
@@ -18,7 +19,21 @@ type solverOptions struct {
 	sys     System
 	sysName string
 	spec    SystemSpec
+
+	// Asynchrony tolerance: atStale < 0 (the default) keeps every
+	// exchange synchronous; atStale ≥ 0 runs the transposes through
+	// bounded-staleness exchanges and enables the staleness-weighted
+	// nonlinear correction in the stepper.
+	atStale    int
+	atDeadline time.Duration
 }
+
+// DefaultATDeadline is the soft wait used by asynchrony-tolerant
+// exchanges when WithAsyncDeadline is not given: a rank whose peers
+// are within the staleness bound still grants them this long to
+// publish the current epoch before gathering stale slabs. Generous
+// against scheduling jitter, small against a genuinely hung peer.
+const DefaultATDeadline = 50 * time.Millisecond
 
 // WithNu sets the kinematic viscosity.
 func WithNu(nu float64) Option {
@@ -116,6 +131,41 @@ func WithBandForcing(kf int) Option {
 	return func(o *solverOptions) { o.cfg.Forcing = NewForcing(kf) }
 }
 
+// WithAsyncTolerance enables asynchrony-tolerant stepping with the
+// given staleness bound (in exchange epochs, not time steps): the
+// distributed transposes run through bounded exchanges
+// (mpi.ExchangePlan.DoBounded) that let a rank proceed on peers'
+// latest published slabs once they lag by at most maxStale epochs,
+// and the stepper applies a staleness-weighted first-order correction
+// to the nonlinear term (the Kumari–Donzis asynchrony-tolerant
+// scheme). maxStale = 0 still waits for every peer — useful to keep
+// the AT machinery on a bitwise-synchronous path; negative bounds
+// panic at construction.
+//
+// With no WithTransform the solver builds its slab transform with
+// pfft.NewSlabRealAT. A caller-supplied transform must itself be
+// asynchrony-tolerant (pfft.NewSlabRealAT or a core.AsyncSlabReal
+// with Exchange: exchange.AT) — construction panics if it cannot
+// report staleness.
+func WithAsyncTolerance(maxStale int) Option {
+	return func(o *solverOptions) {
+		if maxStale < 0 {
+			panic(fmt.Sprintf("spectral: negative staleness bound %d", maxStale))
+		}
+		o.atStale = maxStale
+	}
+}
+
+// WithAsyncDeadline bounds the soft wait of asynchrony-tolerant
+// exchanges: once peers are within the staleness bound, a rank still
+// waits up to d for them to publish the current epoch before
+// gathering stale slabs (d ≤ 0 never waits past the hard bound).
+// Without WithAsyncTolerance this option has no effect. The default
+// is DefaultATDeadline.
+func WithAsyncDeadline(d time.Duration) Option {
+	return func(o *solverOptions) { o.atDeadline = d }
+}
+
 // New allocates a solver for an n³ grid with functional options — the
 // registry-aware constructor. The equation set is chosen by
 // WithSystem/WithSystemInstance, or inferred from the physics options:
@@ -125,7 +175,7 @@ func WithBandForcing(kf int) Option {
 // All ranks must construct the solver collectively with identical
 // options.
 func New(comm *mpi.Comm, n int, opts ...Option) *Solver {
-	o := &solverOptions{}
+	o := &solverOptions{atStale: -1, atDeadline: DefaultATDeadline}
 	o.cfg.N = n
 	for _, opt := range opts {
 		opt(o)
@@ -155,7 +205,11 @@ func New(comm *mpi.Comm, n int, opts ...Option) *Solver {
 		if n < 4 || n%2 != 0 {
 			panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", n))
 		}
-		tr = pfft.NewSlabReal(comm, n)
+		if o.atStale >= 0 {
+			tr = pfft.NewSlabRealAT(comm, n, 1, o.atStale, o.atDeadline)
+		} else {
+			tr = pfft.NewSlabReal(comm, n)
+		}
 	}
-	return newSolver(comm, o.cfg, tr, sys)
+	return newSolverAT(comm, o.cfg, tr, sys, o.atStale >= 0)
 }

@@ -137,6 +137,27 @@ type Solver struct {
 
 	met    *solverMetrics
 	trSecs float64 // seconds inside transform calls this step
+
+	// Asynchrony-tolerant stepping (WithAsyncTolerance): atSrc drains
+	// the transform's staleness window once per step; prevNl holds the
+	// previous step's first-stage nonlinear term for the first-order
+	// staleness correction. atSteps counts the steps a nonzero
+	// correction was applied to (rank-local, diagnostic).
+	atCorr   bool
+	atSrc    stalenessReporter
+	atPrevNl [][]complex128
+	atHave   bool
+	atSteps  int
+}
+
+// stalenessReporter is the staleness-accounting contract an
+// asynchrony-tolerant transform engine exposes (pfft.SlabReal and
+// core.AsyncSlabReal both implement it): drain the window of bounded
+// exchanges since the previous call, reporting the maximum per-slab
+// lag (epochs), the summed lag, the count of stale slabs gathered and
+// the count of bounded exchange calls.
+type stalenessReporter interface {
+	TakeStaleness() (max int, sum, slabs, calls int64)
 }
 
 // NewSolver allocates a solver using the synchronous slab transform
@@ -163,6 +184,14 @@ func NewSolverWithTransform(comm *mpi.Comm, cfg Config, tr Transform) *Solver {
 // newSolver is the common construction path. A nil sys selects the
 // default decaying Navier–Stokes system built from cfg.Nu.
 func newSolver(comm *mpi.Comm, cfg Config, tr Transform, sys System) *Solver {
+	return newSolverAT(comm, cfg, tr, sys, false)
+}
+
+// newSolverAT additionally arms the asynchrony-tolerant correction:
+// the transform must report staleness (see stalenessReporter) and the
+// stepper gains the prevNl storage the first-order correction
+// extrapolates from.
+func newSolverAT(comm *mpi.Comm, cfg Config, tr Transform, sys System, at bool) *Solver {
 	if cfg.N < 4 || cfg.N%2 != 0 {
 		panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", cfg.N))
 	}
@@ -216,6 +245,18 @@ func newSolver(comm *mpi.Comm, cfg Config, tr Transform, sys System) *Solver {
 			s.rk2[c] = make([]complex128, fl)
 			s.rk3[c] = make([]complex128, fl)
 			s.rku[c] = make([]complex128, fl)
+		}
+	}
+	if at {
+		src, ok := tr.(stalenessReporter)
+		if !ok {
+			panic(fmt.Sprintf("spectral: WithAsyncTolerance needs an asynchrony-tolerant transform (pfft.NewSlabRealAT or core.Options with exchange.AT); %T cannot report staleness", tr))
+		}
+		s.atCorr = true
+		s.atSrc = src
+		s.atPrevNl = make([][]complex128, nf)
+		for c := 0; c < nf; c++ {
+			s.atPrevNl[c] = make([]complex128, fl)
 		}
 	}
 
@@ -401,6 +442,7 @@ func (s *Solver) stepInner(dt float64) {
 //psdns:hotpath
 func (s *Solver) stepRK2(dt float64) {
 	s.sys.Nonlinear(s, s.state, s.nl)
+	s.atCorrect()
 	for c := 0; c < s.nf; c++ {
 		copy(s.save[c], s.state[c])
 	}
@@ -442,6 +484,7 @@ func (s *Solver) stepRK4(dt float64) {
 	copyFields(s.save, s.state) // uⁿ
 	// Stage 1: k1 = N(uⁿ).
 	s.sys.Nonlinear(s, s.state, s.nl)
+	s.atCorrect()
 	copyFields(s.rk1, s.nl)
 	copyFields(s.rku, s.save)
 	addScaled(s.rku, s.rk1, h/2)
@@ -473,6 +516,67 @@ func (s *Solver) stepRK4(dt float64) {
 		}
 	}
 }
+
+// atCorrect applies the Kumari–Donzis first-order asynchrony
+// correction to the first-stage nonlinear term. Bounded exchanges let
+// slabs gathered from lagging peers be up to maxStale epochs old, so
+// the nonlinear term just evaluated is effectively delayed in time;
+// extrapolating it forward through its previous-step value,
+//
+//	N_corrected = N + w·(N − N_prev),   w = mean data age (stages)
+//
+// cancels the leading-order staleness error while leaving the scheme
+// untouched when nothing was stale. The weight is the mean lag of the
+// gathered slabs over the drained window, converted from exchange
+// epochs to nonlinear-evaluation units and clamped to [0, 1] (a full
+// evaluation of delay is the most the first-order model can honestly
+// correct). With zero observed staleness the term is only recorded,
+// never modified, so a straggler-free AT run stays bitwise identical
+// to the synchronous scheme. Rank-local by design: each rank corrects
+// its own slab by the staleness it actually absorbed.
+//
+//psdns:hotpath
+func (s *Solver) atCorrect() {
+	if !s.atCorr {
+		return
+	}
+	_, sum, _, calls := s.atSrc.TakeStaleness()
+	w := 0.0
+	if ranks := s.comm.Size() - 1; sum > 0 && calls > 0 && ranks > 0 {
+		stages := 2.0
+		if s.cfg.Scheme == RK4 {
+			stages = 4.0
+		}
+		meanLag := float64(sum) / (float64(calls) * float64(ranks))
+		if perEval := float64(calls) / stages; perEval > 0 {
+			w = meanLag / perEval
+		}
+		if w > 1 {
+			w = 1
+		}
+	}
+	if w == 0 || !s.atHave {
+		copyFields(s.atPrevNl, s.nl)
+		s.atHave = true
+		return
+	}
+	s.atSteps++
+	cw := complex(w, 0)
+	for c := 0; c < s.nf; c++ {
+		nl, prev := s.nl[c], s.atPrevNl[c]
+		for i := range nl {
+			old := nl[i]
+			nl[i] = old + cw*(old-prev[i])
+			prev[i] = old
+		}
+	}
+}
+
+// ATCorrections reports how many steps received a nonzero
+// asynchrony-tolerant staleness correction on this rank (zero when
+// WithAsyncTolerance is off or no exchange ever gathered stale
+// slabs).
+func (s *Solver) ATCorrections() int { return s.atSteps }
 
 // copyFields copies every component of src into the preallocated dst
 // (the zero-allocation replacement of the old per-stage clones).
