@@ -114,7 +114,10 @@ func WithExchangeStrategy(s ExchangeStrategy) AsyncOption {
 // asynchrony-tolerant mode: a rank proceeds on peers' latest
 // published slabs once they are within maxStale epochs, waiting at
 // most deadline for them to publish the current epoch (deadline ≤ 0
-// never waits past the hard bound). Pair with the solver's
+// never waits past the hard bound). Stale slabs are site-matched —
+// accepted only when they carry the same quantity from a whole
+// number of steps earlier — so a bound below the engine's per-step
+// exchange count behaves synchronously. Pair with the solver's
 // WithAsyncTolerance so the stepper corrects for the staleness it
 // absorbs.
 func WithBoundedStaleness(maxStale int, deadline time.Duration) AsyncOption {

@@ -192,7 +192,17 @@ type AsyncSlabReal struct {
 	strat  exchange.Strategy
 	exch   []*mpi.ExchangePlan[complex128]
 	exch32 []*mpi.ExchangePlan[complex64]
-	// Asynchrony-tolerant parameters (strat == exchange.AT only).
+	// Asynchrony-tolerant state (strat == exchange.AT only). The y→z
+	// and z→y exchanges are heterogeneous (different packing, opposite
+	// direction), so under AT each direction gets its own bounded
+	// plan(s) — exch/exch32 carry the y direction, exchZ/exchZ32 the z
+	// direction — and a stale slab is always an older publication of
+	// the same direction. atSite additionally labels each exchange with
+	// the caller's quantity index (SetATSite) so stale slabs only ever
+	// substitute for the same quantity.
+	exchZ      []*mpi.ExchangePlan[complex128]
+	exchZ32    []*mpi.ExchangePlan[complex64]
+	atSite     uint32
 	atStale    int
 	atDeadline time.Duration
 }
@@ -359,6 +369,28 @@ func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 			a.exch = append(a.exch, newExch(mz*n*nxh))
 		}
 	}
+	// Under AT the z-direction exchanges get their own epoch streams
+	// (same sizes and collective order on every rank); synchronous
+	// strategies share the plans above for both directions, which the
+	// barriers make safe.
+	if at {
+		if a.gran == PerPencil {
+			for _, xs := range a.xr {
+				size := p * mz * my * xs.width()
+				if a.single {
+					a.exchZ32 = append(a.exchZ32, newExch32(size))
+				} else {
+					a.exchZ = append(a.exchZ, newExch(size))
+				}
+			}
+		} else {
+			if a.single {
+				a.exchZ32 = append(a.exchZ32, newExch32(mz*n*nxh))
+			} else {
+				a.exchZ = append(a.exchZ, newExch(mz*n*nxh))
+			}
+		}
+	}
 	st := opt.Exchange
 	if st == exchange.Auto {
 		st = a.autotune()
@@ -396,6 +428,12 @@ func (a *AsyncSlabReal) Close() {
 		pl.Free()
 	}
 	for _, pl := range a.exch32 {
+		pl.Free()
+	}
+	for _, pl := range a.exchZ {
+		pl.Free()
+	}
+	for _, pl := range a.exchZ32 {
 		pl.Free()
 	}
 	pool.PutComplex(a.mid)
@@ -674,29 +712,66 @@ func (a *AsyncSlabReal) gatherYBlocks(srcs [][]complex128, srcs32 [][]complex64,
 	})
 }
 
-// doExch runs one exchange on plan ip: DoBounded under the
-// asynchrony-tolerant strategy (publication is a ring copy, lagging
-// peers are tolerated up to the staleness bound), Do otherwise.
-func (a *AsyncSlabReal) doExch(ip int, src []complex128, gather func([][]complex128)) {
+// doExchY runs one y-direction exchange on plan ip: DoBounded on the
+// y-direction bounded plan under the asynchrony-tolerant strategy
+// (publication is a site-labeled ring copy, lagging peers are
+// tolerated up to the staleness bound), Do otherwise.
+func (a *AsyncSlabReal) doExchY(ip int, src []complex128, gather func([][]complex128)) {
 	if a.strat == exchange.AT {
-		a.exch[ip].DoBounded(src, gather, a.atStale)
+		pl := a.exch[ip]
+		pl.SetSite(a.atSite)
+		pl.DoBounded(src, gather, a.atStale)
 		return
 	}
 	a.exch[ip].Do(src, gather)
 }
 
-func (a *AsyncSlabReal) doExch32(ip int, src []complex64, gather func([][]complex64)) {
+func (a *AsyncSlabReal) doExchY32(ip int, src []complex64, gather func([][]complex64)) {
 	if a.strat == exchange.AT {
-		a.exch32[ip].DoBounded(src, gather, a.atStale)
+		pl := a.exch32[ip]
+		pl.SetSite(a.atSite)
+		pl.DoBounded(src, gather, a.atStale)
 		return
 	}
 	a.exch32[ip].Do(src, gather)
 }
 
+// doExchZ is the z-direction analogue: under AT it runs on the
+// dedicated z-direction plan so the two transpose directions never
+// share an epoch stream; synchronous strategies reuse the y plans
+// (their barriers serialize the directions anyway).
+func (a *AsyncSlabReal) doExchZ(ip int, src []complex128, gather func([][]complex128)) {
+	if a.strat == exchange.AT {
+		pl := a.exchZ[ip]
+		pl.SetSite(a.atSite)
+		pl.DoBounded(src, gather, a.atStale)
+		return
+	}
+	a.exch[ip].Do(src, gather)
+}
+
+func (a *AsyncSlabReal) doExchZ32(ip int, src []complex64, gather func([][]complex64)) {
+	if a.strat == exchange.AT {
+		pl := a.exchZ32[ip]
+		pl.SetSite(a.atSite)
+		pl.DoBounded(src, gather, a.atStale)
+		return
+	}
+	a.exch32[ip].Do(src, gather)
+}
+
+// SetATSite labels the quantity the next bounded exchanges carry (see
+// mpi.ExchangePlan.SetSite): callers interleaving several fields or
+// stages through one engine set a collectively-consistent site index
+// before each transform call, so accepted stale slabs are always the
+// same quantity from whole steps earlier. No-op on non-AT engines.
+func (a *AsyncSlabReal) SetATSite(site uint32) { a.atSite = site }
+
 // TakeStaleness drains the asynchrony-tolerant staleness window across
-// every exchange plan since the previous take: worst per-peer epoch
-// lag, summed lag, stale slab count and bounded-exchange count. All
-// zeros on non-AT engines.
+// every exchange plan (both directions, both precisions) since the
+// previous take: worst accepted slab age (in same-site cycles), summed
+// age, stale slab count and bounded-exchange count. All zeros on
+// non-AT engines.
 func (a *AsyncSlabReal) TakeStaleness() (max int, sum, slabs, calls int64) {
 	for _, pl := range a.exch {
 		m, s, sl, cl := pl.TakeStaleness()
@@ -712,6 +787,20 @@ func (a *AsyncSlabReal) TakeStaleness() (max int, sum, slabs, calls int64) {
 		}
 		sum, slabs, calls = sum+s, slabs+sl, calls+cl
 	}
+	for _, pl := range a.exchZ {
+		m, s, sl, cl := pl.TakeStaleness()
+		if m > max {
+			max = m
+		}
+		sum, slabs, calls = sum+s, slabs+sl, calls+cl
+	}
+	for _, pl := range a.exchZ32 {
+		m, s, sl, cl := pl.TakeStaleness()
+		if m > max {
+			max = m
+		}
+		sum, slabs, calls = sum+s, slabs+sl, calls+cl
+	}
 	return
 }
 
@@ -721,11 +810,11 @@ func (a *AsyncSlabReal) TakeStaleness() (max int, sum, slabs, calls int64) {
 func (a *AsyncSlabReal) fusedExchangeY(chunked bool) {
 	if a.gran == PerSlab {
 		if a.single {
-			a.doExch32(0, a.send32, func(srcs [][]complex64) {
+			a.doExchY32(0, a.send32, func(srcs [][]complex64) {
 				a.gatherYBlocks(nil, srcs, a.nxh, 0, chunked)
 			})
 		} else {
-			a.doExch(0, a.sendAll, func(srcs [][]complex128) {
+			a.doExchY(0, a.sendAll, func(srcs [][]complex128) {
 				a.gatherYBlocks(srcs, nil, a.nxh, 0, chunked)
 			})
 		}
@@ -734,11 +823,11 @@ func (a *AsyncSlabReal) fusedExchangeY(chunked bool) {
 	for ip, full := range a.xr {
 		wp, base := full.width(), full.lo
 		if a.single {
-			a.doExch32(ip, a.sendP32[ip], func(srcs [][]complex64) {
+			a.doExchY32(ip, a.sendP32[ip], func(srcs [][]complex64) {
 				a.gatherYBlocks(nil, srcs, wp, base, chunked)
 			})
 		} else {
-			a.doExch(ip, a.sendP[ip], func(srcs [][]complex128) {
+			a.doExchY(ip, a.sendP[ip], func(srcs [][]complex128) {
 				a.gatherYBlocks(srcs, nil, wp, base, chunked)
 			})
 		}
@@ -997,11 +1086,11 @@ func (a *AsyncSlabReal) gatherZBlocks(four []complex128, srcs [][]complex128, sr
 func (a *AsyncSlabReal) fusedExchangeZ(four []complex128, chunked bool) {
 	if a.gran == PerSlab {
 		if a.single {
-			a.doExch32(0, a.send32, func(srcs [][]complex64) {
+			a.doExchZ32(0, a.send32, func(srcs [][]complex64) {
 				a.gatherZBlocks(four, nil, srcs, a.nxh, 0, chunked)
 			})
 		} else {
-			a.doExch(0, a.sendAll, func(srcs [][]complex128) {
+			a.doExchZ(0, a.sendAll, func(srcs [][]complex128) {
 				a.gatherZBlocks(four, srcs, nil, a.nxh, 0, chunked)
 			})
 		}
@@ -1010,11 +1099,11 @@ func (a *AsyncSlabReal) fusedExchangeZ(four []complex128, chunked bool) {
 	for ip, full := range a.xr {
 		wp, base := full.width(), full.lo
 		if a.single {
-			a.doExch32(ip, a.sendP32[ip], func(srcs [][]complex64) {
+			a.doExchZ32(ip, a.sendP32[ip], func(srcs [][]complex64) {
 				a.gatherZBlocks(four, nil, srcs, wp, base, chunked)
 			})
 		} else {
-			a.doExch(ip, a.sendP[ip], func(srcs [][]complex128) {
+			a.doExchZ(ip, a.sendP[ip], func(srcs [][]complex128) {
 				a.gatherZBlocks(four, srcs, nil, wp, base, chunked)
 			})
 		}

@@ -44,10 +44,13 @@ type ExchangePlan[T any] struct {
 	free bool
 
 	// Asynchrony-tolerant per-handle state (DoBounded only).
-	epoch int64 // last epoch this rank published
-	gsrcs [][]T // reusable gather table of selected ring slots
+	epoch int64  // last epoch this rank published
+	site  uint32 // quantity label for the next publication (SetSite)
+	gsrcs [][]T  // reusable gather table of selected ring slots
 	// Staleness window since the last TakeStaleness: worst per-peer
-	// epoch lag, summed lag, stale slab count and DoBounded calls.
+	// slab age, summed age, stale slab count and DoBounded calls. Ages
+	// are counted in same-site publications (whole exchange cycles),
+	// not raw epochs — see SetSite.
 	stMax   int
 	stSum   int64
 	stSlabs int64
@@ -78,6 +81,11 @@ type exchShared[T any] struct {
 	slabLen  int
 	rings    [][][]T
 	epochs   []atomic.Int64
+	// sites[r][epoch%S] labels what rank r published at that epoch
+	// (the caller's SetSite value). Written before the epoch tag's
+	// release store, read after a peer's acquire load — same discipline
+	// and same slot-retention argument as the rings themselves.
+	sites [][]uint32
 }
 
 // NewExchangePlan registers a fused-exchange plan over c. slabLen is
@@ -137,12 +145,14 @@ func newExchangePlan[T any](c *Comm, slabLen int, at bool, maxStale int, deadlin
 		if at {
 			slots := 2*maxStale + 2
 			sh.rings = make([][][]T, p)
+			sh.sites = make([][]uint32, p)
 			for r := range sh.rings {
 				ring := make([][]T, slots)
 				for s := range ring {
 					ring[s] = make([]T, slabLen)
 				}
 				sh.rings[r] = ring
+				sh.sites[r] = make([]uint32, slots)
 			}
 			sh.epochs = make([]atomic.Int64, p)
 		}
@@ -236,6 +246,24 @@ func (pl *ExchangePlan[T]) Free() {
 // epochs are observed promptly, long enough not to burn a core.
 const boundedPoll = 50 * time.Microsecond
 
+// SetSite labels the quantity the next DoBounded publishes. A plan
+// whose call sites are heterogeneous — different components, stages or
+// transpose directions sharing one epoch stream — must label each call
+// with a site ID that is identical across ranks at the same collective
+// position (the collective contract makes every rank's epoch→site
+// sequence the same, so the local rank's own label history describes
+// every peer's). DoBounded then only substitutes a peer's stale slab
+// when that slab was published for the *same* site: a lagging peer's
+// data is the same quantity from a whole number of exchange cycles
+// earlier, never a different quantity read in the wrong layout. On a
+// site mismatch the exchange falls back to a (watchdog-visible) full
+// wait for that peer. Plans that never call SetSite label every call 0
+// and retain plain epoch-lag semantics. Not safe for concurrent use
+// with DoBounded on the same handle.
+func (pl *ExchangePlan[T]) SetSite(site uint32) {
+	pl.site = site
+}
+
 // DoBounded executes one asynchrony-tolerant exchange on a plan built
 // with NewExchangePlanBounded. The rank's slab is copied into this
 // epoch's ring slot and the epoch tag released; the rank then waits —
@@ -243,10 +271,16 @@ const boundedPoll = 50 * time.Microsecond
 // peer's first publication), and after that only up to the plan
 // deadline for peers to reach the current epoch. The gather runs on
 // each peer's latest published slab, clamped to the current epoch so a
-// fast peer's future slab is never delivered early; the per-peer epoch
-// lag is recorded in the exchange.staleness histogram and each slab
-// accepted with lag > 0 in exchange.stale.slabs. maxStale may tighten
-// (never exceed) the plan's bound per call.
+// fast peer's future slab is never delivered early, and accepted only
+// if that slab carries the current call's site label (SetSite) — when
+// the peer's newest slab was published for a different exchange site,
+// the gather falls back to the peer's newest retained same-site slab
+// within the bound, and waits for the peer only when none is retained.
+// Each accepted slab's age (the number of
+// same-site publications it lags, i.e. whole exchange cycles) is
+// recorded in the exchange.staleness histogram and each slab with age
+// > 0 in exchange.stale.slabs. maxStale may tighten (never exceed) the
+// plan's bound per call.
 //
 // Unlike Do there is no exit barrier: the gather reads plan-owned ring
 // copies, so the caller may overwrite src the moment DoBounded returns
@@ -267,19 +301,25 @@ func (pl *ExchangePlan[T]) DoBounded(src []T, gather func(srcs [][]T), maxStale 
 		panic(fmt.Sprintf("mpi: rank %d: DoBounded staleness bound %d outside plan bound [0,%d]",
 			pl.c.rank, maxStale, sh.maxStale))
 	}
+	if len(src) != sh.slabLen {
+		panic(fmt.Sprintf("mpi: rank %d: DoBounded src length %d != plan slab length %d",
+			pl.c.rank, len(src), sh.slabLen))
+	}
 	c := pl.c
 	c.maybeCrash()
 	m := c.m()
 	m.exchCalls.Inc()
 	m.exchBytes.Add(pl.wire)
-	// Publish: copy src into this epoch's ring slot, then release the
-	// epoch tag. The atomic store orders the copy before any peer's
-	// acquire load, so an observed epoch implies that epoch's contents.
+	// Publish: copy src into this epoch's ring slot, label the slot
+	// with the call's site, then release the epoch tag. The atomic
+	// store orders both before any peer's acquire load, so an observed
+	// epoch implies that epoch's contents and label.
 	e := pl.epoch + 1
 	pl.epoch = e
 	me := c.rank
 	slots := len(sh.rings[me])
 	copy(sh.rings[me][int(e%int64(slots))], src)
+	sh.sites[me][int(e%int64(slots))] = pl.site
 	sh.epochs[me].Store(e)
 	c.w.progress.Add(1)
 
@@ -292,19 +332,48 @@ func (pl *ExchangePlan[T]) DoBounded(src []T, gather func(srcs [][]T), maxStale 
 	}
 	pl.waitPeers(lo, e)
 
-	// Assemble the gather table from each rank's freshest published
-	// epoch, clamped to e, and account the per-peer lag.
+	// Assemble the gather table from each rank's freshest site-matched
+	// publication, clamped to e (a stale slab is accepted only if it is
+	// this site's publication from an earlier cycle), and account each
+	// slab's age in same-site cycles. When the peer's newest slab
+	// carries a different site label, the ring still retains its older
+	// publications, so fall back to its newest same-site slab within
+	// the hard bound — the same quantity from a whole cycle earlier —
+	// and only wait when no retained slab qualifies. (The retained
+	// slots scanned here are at least maxStale+2 epochs behind any
+	// slot the peer can be concurrently overwriting, by the same
+	// divergence bound that keeps the ring contents safe.)
 	stEnabled := m.staleness.Enabled()
 	for r := range pl.gsrcs {
 		pe := sh.epochs[r].Load()
 		if pe > e {
 			pe = e
 		}
+		if pe < e && sh.sites[r][int(pe%int64(slots))] != pl.site {
+			x := pe - 1
+			for x >= lo && sh.sites[r][int(x%int64(slots))] != pl.site {
+				x--
+			}
+			if x >= lo {
+				pe = x
+			} else {
+				pe = pl.waitSiteMatch(r, e)
+			}
+		}
 		pl.gsrcs[r] = sh.rings[r][int(pe%int64(slots))]
 		if r == me {
 			continue
 		}
-		st := e - pe
+		// Age = how many same-site publications the slab lags. The
+		// accepted epoch is within the hard bound, so (pe, e] lies
+		// inside the local rank's own retained label history — and by
+		// the collective contract that history equals the peer's.
+		st := int64(0)
+		for x := pe + 1; x <= e; x++ {
+			if sh.sites[me][int(x%int64(slots))] == pl.site {
+				st++
+			}
+		}
 		if stEnabled {
 			m.staleness.Observe(float64(st))
 		}
@@ -373,6 +442,40 @@ func (pl *ExchangePlan[T]) waitPeers(lo, target int64) {
 	}
 }
 
+// waitSiteMatch blocks until peer r's latest publication either
+// carries the current call's site label or reaches epoch e, and
+// returns the epoch to gather from. A stale slab published for a
+// different exchange site is a different quantity in a (possibly)
+// different layout — substituting it would corrupt the gather rather
+// than age it — so a site mismatch falls back to synchronous behavior
+// with that peer. The wait is watchdog-visible ("bounded-wait") and
+// abortable like the hard-bound phase; it cannot deadlock, because the
+// lagging peer never blocks on ranks ahead of it (their epochs already
+// satisfy its hard bound) and so keeps publishing until it reaches a
+// matching site or the current epoch.
+//
+//psdns:hotpath
+func (pl *ExchangePlan[T]) waitSiteMatch(r int, e int64) int64 {
+	c, sh := pl.c, pl.sh
+	w := c.w
+	slots := int64(len(sh.rings[r]))
+	tok := w.watchEnter(c.rank, opBounded, r, sh.seq, true, false)
+	defer w.watchExit(tok)
+	for {
+		pe := sh.epochs[r].Load()
+		if pe >= e {
+			return e
+		}
+		if sh.sites[r][int(pe%slots)] == pl.site {
+			return pe
+		}
+		if w.isAborted() {
+			panic(errAborted)
+		}
+		time.Sleep(boundedPoll)
+	}
+}
+
 // minEpoch returns the lowest published epoch across all ranks.
 //
 //psdns:hotpath
@@ -387,10 +490,13 @@ func (pl *ExchangePlan[T]) minEpoch() int64 {
 	return min
 }
 
-// TakeStaleness returns the worst per-peer epoch lag, the summed lag,
+// TakeStaleness returns the worst accepted slab age, the summed age,
 // the number of stale peer slabs accepted and the number of DoBounded
-// calls since the previous take, then resets the window. Layers above
-// use it to drive staleness-weighted scheme corrections.
+// calls since the previous take, then resets the window. Ages are in
+// same-site publications (whole exchange cycles — with SetSite labels
+// that is whole iterations of the caller's outer loop; without labels
+// it degenerates to raw epoch lag). Layers above use it to drive
+// staleness-weighted scheme corrections.
 func (pl *ExchangePlan[T]) TakeStaleness() (max int, sum, slabs, calls int64) {
 	max, sum, slabs, calls = pl.stMax, pl.stSum, pl.stSlabs, pl.stCalls
 	pl.stMax, pl.stSum, pl.stSlabs, pl.stCalls = 0, 0, 0, 0

@@ -229,3 +229,92 @@ func TestAbortAfterPlanFree(t *testing.T) {
 		t.Fatalf("err = %v, want RankError on rank 0", err)
 	}
 }
+
+// A plan cycling through heterogeneous exchange sites must never
+// deliver a slab published for a different site: with the bound equal
+// to the cycle length, an accepted slab is either current or the same
+// site's publication exactly one cycle earlier. Rank 1 straggles with
+// a zero soft deadline so rank 0 runs as far ahead as the hard bound
+// allows — the regime where an unlabeled epoch ring would hand out
+// the neighbouring site's slab.
+func TestDoBoundedSiteConsistency(t *testing.T) {
+	const (
+		p      = 2
+		sites  = 3 // heterogeneous exchange sites per cycle
+		cycles = 6
+		stale  = 3 // = sites: up to one whole cycle of lag
+	)
+	TryRunOrFatal(t, p, func(c *Comm) {
+		pl := NewExchangePlanBounded[int64](c, p, stale, 0)
+		defer pl.Free()
+		me := c.Rank()
+		src := make([]int64, p)
+		epoch := int64(0)
+		for cyc := 0; cyc < cycles; cyc++ {
+			for sidx := 0; sidx < sites; sidx++ {
+				epoch++
+				if me == 1 {
+					time.Sleep(2 * time.Millisecond)
+				}
+				for i := range src {
+					src[i] = epoch
+				}
+				pl.SetSite(uint32(sidx))
+				e := epoch
+				pl.DoBounded(src, func(srcs [][]int64) {
+					got := srcs[1-me][0]
+					if got != e && got != e-sites {
+						panic(fmt.Sprintf("rank %d epoch %d site %d: gathered slab from epoch %d — a different exchange site",
+							me, e, sidx, got))
+					}
+				}, stale)
+			}
+		}
+		if max, _, _, _ := pl.TakeStaleness(); max > 1 {
+			panic(fmt.Sprintf("rank %d: accepted age %d exceeds one cycle", me, max))
+		}
+	})
+}
+
+// A bound smaller than the site cycle can never admit stale data:
+// every retained slab within the bound was published for a different
+// site, so the exchange falls back to a full wait and the gather
+// always sees the current epoch — the sub-cycle bound degenerates to
+// synchronous behavior rather than corrupting the gather.
+func TestDoBoundedSubCycleBoundStaysSynchronous(t *testing.T) {
+	const (
+		p      = 2
+		sites  = 3
+		cycles = 5
+		stale  = 2 // < sites: no same-site slab inside the bound
+	)
+	TryRunOrFatal(t, p, func(c *Comm) {
+		pl := NewExchangePlanBounded[int64](c, p, stale, 0)
+		defer pl.Free()
+		me := c.Rank()
+		src := make([]int64, p)
+		epoch := int64(0)
+		for cyc := 0; cyc < cycles; cyc++ {
+			for sidx := 0; sidx < sites; sidx++ {
+				epoch++
+				if me == 1 {
+					time.Sleep(time.Millisecond)
+				}
+				for i := range src {
+					src[i] = epoch
+				}
+				pl.SetSite(uint32(sidx))
+				e := epoch
+				pl.DoBounded(src, func(srcs [][]int64) {
+					if got := srcs[1-me][0]; got != e {
+						panic(fmt.Sprintf("rank %d epoch %d site %d: gathered epoch %d, want current",
+							me, e, sidx, got))
+					}
+				}, stale)
+			}
+		}
+		if _, _, slabs, _ := pl.TakeStaleness(); slabs != 0 {
+			panic(fmt.Sprintf("rank %d: sub-cycle bound accepted %d stale slabs", me, slabs))
+		}
+	})
+}

@@ -162,9 +162,17 @@ type SlabReal struct {
 	met    *phaseMetrics
 	closed bool
 
-	// Asynchrony-tolerant parameters (strat == exchange.AT only): the
-	// per-call staleness bound handed to DoBounded and the plan
-	// deadline configured at construction.
+	// Asynchrony-tolerant state (strat == exchange.AT only; exch stays
+	// nil): each transpose direction gets its own bounded plan so the
+	// two heterogeneous exchanges never share an epoch stream — a stale
+	// y→z slab is always an older y→z slab, never a z→y publication
+	// read in the wrong layout. atSite further labels each call with
+	// the caller's quantity index (SetATSite) so stale slabs only
+	// substitute for the same quantity. atStale is the per-call bound
+	// handed to DoBounded; atDeadline the plan deadline.
+	exchYZ     *mpi.ExchangePlan[complex128]
+	exchZY     *mpi.ExchangePlan[complex128]
+	atSite     uint32
 	atStale    int
 	atDeadline time.Duration
 
@@ -224,11 +232,14 @@ func NewSlabRealStrategy(comm *mpi.Comm, n, workers int, strat exchange.Strategy
 }
 
 // NewSlabRealAT builds the DNS transform on the asynchrony-tolerant
-// exchange: both transpose-exchanges run through DoBounded with the
-// given staleness bound (in exchange epochs) and per-plan deadline, so
-// a straggling rank delays its peers by at most the deadline once they
-// are within maxStale epochs. The observed staleness is drained with
-// TakeStaleness by scheme-correcting callers. Collective.
+// exchange: each transpose direction runs through its own bounded plan
+// via DoBounded with the given staleness bound (in that plan's
+// exchange epochs) and per-plan deadline, so a straggling rank delays
+// its peers by at most the deadline once they are within maxStale
+// epochs — and a stale slab is always the same direction's (and, with
+// SetATSite, the same quantity's) publication from an earlier cycle.
+// The observed staleness is drained with TakeStaleness by
+// scheme-correcting callers. Collective.
 func NewSlabRealAT(comm *mpi.Comm, n, workers, maxStale int, deadline time.Duration) *SlabReal {
 	if maxStale < 0 {
 		panic(fmt.Sprintf("pfft: negative staleness bound %d", maxStale))
@@ -264,7 +275,8 @@ func newSlabReal(comm *mpi.Comm, n, workers int, strat exchange.Strategy, maxSta
 	}
 	f.a2a = mpi.NewA2APlan(comm, f.pack, f.recv)
 	if strat == exchange.AT {
-		f.exch = mpi.NewExchangePlanBounded[complex128](comm, f.FourierLen(), maxStale, deadline)
+		f.exchYZ = mpi.NewExchangePlanBounded[complex128](comm, f.FourierLen(), maxStale, deadline)
+		f.exchZY = mpi.NewExchangePlanBounded[complex128](comm, len(f.mid), maxStale, deadline)
 	} else {
 		f.exch = mpi.NewExchangePlan[complex128](comm, f.FourierLen())
 	}
@@ -401,7 +413,15 @@ func (f *SlabReal) Close() {
 	f.closed = true
 	f.team.Close()
 	f.a2a.Free()
-	f.exch.Free()
+	if f.exch != nil {
+		f.exch.Free()
+	}
+	if f.exchYZ != nil {
+		f.exchYZ.Free()
+	}
+	if f.exchZY != nil {
+		f.exchZY.Free()
+	}
 	for w := range f.by {
 		f.by[w].Release()
 		f.bz[w].Release()
@@ -461,7 +481,8 @@ func (f *SlabReal) transposeYZ() {
 		f.met.a2a.ObserveSince(t)
 	case exchange.AT:
 		t := time.Now()
-		f.exch.DoBounded(f.curFour, f.fusedYZFn, f.atStale)
+		f.exchYZ.SetSite(f.atSite)
+		f.exchYZ.DoBounded(f.curFour, f.fusedYZFn, f.atStale)
 		f.met.a2a.ObserveSince(t)
 	default: // exchange.ChunkedFused
 		t := time.Now()
@@ -492,7 +513,8 @@ func (f *SlabReal) transposeZY() {
 		f.met.a2a.ObserveSince(t)
 	case exchange.AT:
 		t := time.Now()
-		f.exch.DoBounded(f.mid, f.fusedZYFn, f.atStale)
+		f.exchZY.SetSite(f.atSite)
+		f.exchZY.DoBounded(f.mid, f.fusedZYFn, f.atStale)
 		f.met.a2a.ObserveSince(t)
 	default: // exchange.ChunkedFused
 		t := time.Now()
@@ -526,12 +548,29 @@ func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 // exchange.Auto: autotuned plans report the winner).
 func (f *SlabReal) Strategy() exchange.Strategy { return f.strat }
 
+// SetATSite labels the quantity the next bounded exchanges carry (see
+// mpi.ExchangePlan.SetSite): callers interleaving several fields or
+// stages through one transform set a collectively-consistent site
+// index before each transform call, so accepted stale slabs are always
+// the same quantity from whole steps earlier. No-op on non-AT
+// transforms.
+func (f *SlabReal) SetATSite(site uint32) { f.atSite = site }
+
 // TakeStaleness drains the asynchrony-tolerant staleness window since
-// the previous take: the worst per-peer epoch lag, the summed lag, the
-// stale slab count and the number of bounded exchanges. All zeros on
-// non-AT transforms (and on AT transforms whose peers kept up).
+// the previous take, summed over both directional plans: the worst
+// accepted slab age (in same-site cycles), the summed age, the stale
+// slab count and the number of bounded exchanges. All zeros on non-AT
+// transforms (and on AT transforms whose peers kept up).
 func (f *SlabReal) TakeStaleness() (max int, sum, slabs, calls int64) {
-	return f.exch.TakeStaleness()
+	if f.exchYZ == nil {
+		return 0, 0, 0, 0
+	}
+	max, sum, slabs, calls = f.exchYZ.TakeStaleness()
+	m2, s2, sl2, c2 := f.exchZY.TakeStaleness()
+	if m2 > max {
+		max = m2
+	}
+	return max, sum + s2, slabs + sl2, calls + c2
 }
 
 // ExchangeYZ performs only the y→z transpose-exchange of four into the

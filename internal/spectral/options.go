@@ -142,6 +142,17 @@ func WithBandForcing(kf int) Option {
 // the AT machinery on a bitwise-synchronous path; negative bounds
 // panic at construction.
 //
+// Stale data is only ever accepted in whole-step quanta: the solver
+// labels every exchange with its within-step call index, and a
+// bounded exchange substitutes a peer's old slab only when it carries
+// the same label — the same quantity from k whole steps earlier,
+// never a different field or stage in the wrong layout. Each plan
+// runs several exchanges per step (for plain NS under RK2, six on the
+// forward plan and twelve on the inverse), so a bound smaller than a
+// plan's per-step exchange count never admits stale data on that
+// plan; to tolerate about one step of lag, set maxStale to the
+// scheme's per-step exchange count (≈ 6·stages for NS).
+//
 // With no WithTransform the solver builds its slab transform with
 // pfft.NewSlabRealAT. A caller-supplied transform must itself be
 // asynchrony-tolerant (pfft.NewSlabRealAT or a core.AsyncSlabReal

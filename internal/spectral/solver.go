@@ -148,14 +148,21 @@ type Solver struct {
 	atPrevNl [][]complex128
 	atHave   bool
 	atSteps  int
+	// atSite is the within-step transform call counter the
+	// timedTransform wrapper stamps onto every bounded exchange (see
+	// atSiteLabeler); reset at each step's entry so call i of every
+	// step labels the same physical quantity, making an accepted stale
+	// slab's age a whole number of time steps.
+	atSite uint32
 }
 
 // stalenessReporter is the staleness-accounting contract an
 // asynchrony-tolerant transform engine exposes (pfft.SlabReal and
 // core.AsyncSlabReal both implement it): drain the window of bounded
 // exchanges since the previous call, reporting the maximum per-slab
-// lag (epochs), the summed lag, the count of stale slabs gathered and
-// the count of bounded exchange calls.
+// age, the summed age, the count of stale slabs gathered and the
+// count of bounded exchange calls. Ages are in same-site cycles —
+// with the solver's per-step site labeling, whole time steps.
 type stalenessReporter interface {
 	TakeStaleness() (max int, sum, slabs, calls int64)
 }
@@ -257,6 +264,13 @@ func newSolverAT(comm *mpi.Comm, cfg Config, tr Transform, sys System, at bool) 
 		s.atPrevNl = make([][]complex128, nf)
 		for c := 0; c < nf; c++ {
 			s.atPrevNl[c] = make([]complex128, fl)
+		}
+		// Engines that accept quantity labels get every transform call
+		// stamped with the within-step call index, so their bounded
+		// exchanges only substitute stale slabs of the same quantity.
+		if lab, ok := tr.(atSiteLabeler); ok {
+			tt := s.tr.(*timedTransform)
+			tt.lab, tt.site = lab, &s.atSite
 		}
 	}
 
@@ -410,6 +424,10 @@ func (s *Solver) Step(dt float64) {
 
 //psdns:hotpath
 func (s *Solver) stepInner(dt float64) {
+	// Restart the within-step site labels (see atSite): the step body
+	// issues an identical transform sequence every step, so call i of
+	// step k+1 republishes the same quantity call i of step k did.
+	s.atSite = 0
 	if s.cfg.Dealias == Dealias23Shift {
 		// A new random-but-deterministic shift per step, identical on
 		// every rank (depends only on the step counter).
@@ -523,17 +541,24 @@ func (s *Solver) stepRK4(dt float64) {
 // the nonlinear term just evaluated is effectively delayed in time;
 // extrapolating it forward through its previous-step value,
 //
-//	N_corrected = N + w·(N − N_prev),   w = mean data age (stages)
+//	N_corrected = N + w·(N − N_prev),   w = mean data age (steps)
 //
 // cancels the leading-order staleness error while leaving the scheme
-// untouched when nothing was stale. The weight is the mean lag of the
-// gathered slabs over the drained window, converted from exchange
-// epochs to nonlinear-evaluation units and clamped to [0, 1] (a full
-// evaluation of delay is the most the first-order model can honestly
-// correct). With zero observed staleness the term is only recorded,
-// never modified, so a straggler-free AT run stays bitwise identical
-// to the synchronous scheme. Rank-local by design: each rank corrects
-// its own slab by the staleness it actually absorbed.
+// untouched when nothing was stale. The plans report each accepted
+// stale slab's age in same-site cycles, which the solver's per-step
+// site labeling makes whole time steps, so the weight is simply the
+// mean age of the peer slabs gathered since the previous drain —
+// sum/(calls·(P−1)) over the window's calls·(P−1) peer slabs — with
+// no unit conversion. A per-slab mean is invariant to how many
+// exchanges the drained window happened to cover (the first window of
+// a run covers a single nonlinear evaluation, where a fixed
+// per-scheme divisor would inflate the weight by the stage count).
+// Clamped to [0, 1]: one step of delay, N − N_prev, is the most the
+// first-order extrapolation can honestly correct. With zero observed
+// staleness the term is only recorded, never modified, so a
+// straggler-free AT run stays bitwise identical to the synchronous
+// scheme. Rank-local by design: each rank corrects its own slab by
+// the staleness it actually absorbed.
 //
 //psdns:hotpath
 func (s *Solver) atCorrect() {
@@ -543,14 +568,7 @@ func (s *Solver) atCorrect() {
 	_, sum, _, calls := s.atSrc.TakeStaleness()
 	w := 0.0
 	if ranks := s.comm.Size() - 1; sum > 0 && calls > 0 && ranks > 0 {
-		stages := 2.0
-		if s.cfg.Scheme == RK4 {
-			stages = 4.0
-		}
-		meanLag := float64(sum) / (float64(calls) * float64(ranks))
-		if perEval := float64(calls) / stages; perEval > 0 {
-			w = meanLag / perEval
-		}
+		w = float64(sum) / (float64(calls) * float64(ranks))
 		if w > 1 {
 			w = 1
 		}
