@@ -7,6 +7,7 @@ import (
 	"repro/internal/exchange"
 	"repro/internal/grid"
 	"repro/internal/pfft"
+	"repro/internal/tuning"
 )
 
 // --- The paper's asynchronous engine ---------------------------------------
@@ -128,6 +129,46 @@ func WithBoundedStaleness(maxStale int, deadline time.Duration) AsyncOption {
 	}
 }
 
+// TuneSpace enumerates the candidate whole-step configurations the
+// autotuner searches: exchange strategies × transfer granularity ×
+// pencil counts × worker-team sizes × wire precision. Empty dimensions
+// default to numerics-preserving singletons (the engine's own
+// configuration), so the default search only changes the data path,
+// never the answer.
+type TuneSpace = tuning.Space
+
+// WithAutotune runs the whole-step autotuner at construction: every
+// candidate in the tune space is timed with the collective
+// barrier-fenced best-of-k trial protocol and the max-over-ranks
+// winner is constructed. Without WithTuningCache the trials rerun on
+// every construction.
+func WithAutotune() AsyncOption {
+	return func(o *AsyncOptions) { o.Autotune = true }
+}
+
+// WithTuningCache enables whole-step autotuning backed by a
+// persistent JSON cache under dir (empty means artifacts/cache): a
+// warm cache keyed by (N, P, GOMAXPROCS, machine) skips the trials
+// entirely, so production restarts construct the previously-agreed
+// winner with zero trial exchanges.
+func WithTuningCache(dir string) AsyncOption {
+	return func(o *AsyncOptions) {
+		o.Autotune = true
+		o.TuneCacheDir = dir
+	}
+}
+
+// WithTuneSpace overrides the autotuner's default candidate space
+// (implies WithAutotune). Listing the precision dimension explicitly
+// is how single-precision exchanges enter the search — the default
+// space never trades accuracy for speed behind the caller's back.
+func WithTuneSpace(s TuneSpace) AsyncOption {
+	return func(o *AsyncOptions) {
+		o.Autotune = true
+		o.TuneSpace = &s
+	}
+}
+
 // NewAsync builds the asynchronous engine for an N³ transform,
 // configured by functional options:
 //
@@ -160,6 +201,32 @@ func NewSlabTransform(c *Comm, n int) *pfft.SlabReal { return pfft.NewSlabReal(c
 // with a worker team per rank.
 func NewThreadedSlabTransform(c *Comm, n, threads int) *pfft.SlabRealThreaded {
 	return pfft.NewSlabRealThreaded(c, n, threads)
+}
+
+// NewTunedSlabTransform builds the host slab transform through the
+// whole-step autotuner. A non-empty cacheDir persists the winning
+// configuration so later constructions with the same (N, P,
+// GOMAXPROCS, machine) key skip the trials; a nil space searches the
+// numerics-preserving default (concrete exchange strategies at the
+// given worker count). Collective.
+func NewTunedSlabTransform(c *Comm, n, workers int, cacheDir string, space *TuneSpace) *pfft.SlabReal {
+	var cfg tuning.Config
+	if space != nil {
+		cfg.Space = *space
+	}
+	if cacheDir != "" {
+		cfg.Cache = tuning.Open(cacheDir)
+	}
+	return pfft.NewSlabRealTuned(c, n, workers, cfg)
+}
+
+// NewSingleCommSlabTransform is the host slab transform with
+// single-precision transpose-exchanges: FFTs stay float64 while the
+// all-to-all wire format narrows to complex64, halving exchanged
+// bytes for ~1e-7 relative rounding per transform (the paper's
+// asynchronous-engine wire format, on the synchronous engine).
+func NewSingleCommSlabTransform(c *Comm, n, workers int) *pfft.SlabReal {
+	return pfft.NewSlabRealSingle(c, n, workers)
 }
 
 // Slab describes a rank's 1D-decomposition geometry.

@@ -21,7 +21,18 @@
 //     pack → all-to-all → unpack vs the zero-copy fused gathers);
 //   - step_at_n64 / exchange_at_n64: the asynchrony-tolerant step and
 //     isolated bounded exchange — the epoch-tagged DoBounded path plus
-//     the staleness-weighted correction, pinned allocation-free.
+//     the staleness-weighted correction, pinned allocation-free;
+//   - slab_f32_fwd_inv_n64_p4 / n128: the slab transform with
+//     single-precision transpose-exchanges (complex64 wire format,
+//     half the exchanged bytes);
+//   - slab_tuned_n64_p4: the slab transform constructed through the
+//     whole-step autotuner (trials at construction, outside the timed
+//     window), pinning the tuned configuration allocation-free.
+//
+// Besides the -baseline/-check gate, `bench -compare old.json
+// new.json` diffs two measurement files row by row (speedup per
+// workload) and exits non-zero when any shared row regresses beyond
+// -tolerance — the CI form of a before/after experiment.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/exchange"
@@ -38,6 +50,7 @@ import (
 	"repro/internal/pfft"
 	"repro/internal/spectral"
 	"repro/internal/transpose"
+	"repro/internal/tuning"
 )
 
 // Result is one workload's measurement.
@@ -59,33 +72,131 @@ type File struct {
 }
 
 // sample is the raw loop measurement a workload reports: wall time and
-// process-wide heap traffic across the timed iterations.
+// the heap allocations attributed to the timed iterations.
 type sample struct {
 	ns     int64
 	allocs int64
 	bytes  int64
 }
 
-// timeLoop runs f iters times bracketed by GC + memstats reads, after
-// warm warmup calls. It is the single measurement primitive, so every
-// workload is sampled the same way.
+func init() {
+	// Record every allocation in the memory profile so timeLoop can
+	// attribute the timed window's allocations exactly (see below).
+	runtime.MemProfileRate = 1
+}
+
+// profPre/profPost are timeLoop's reusable snapshot buffers. They are
+// sized before the pre-window snapshot so the snapshots themselves
+// never allocate inside the attributed window.
+var profPre, profPost []runtime.MemProfileRecord
+
+// timeLoop runs f iters times after warm warmup calls and reports wall
+// time plus the allocations attributed to the timed window.
+//
+// Allocations are measured by diffing memory-profile snapshots (at
+// MemProfileRate=1 every allocation is sampled) rather than MemStats
+// deltas: process-wide Mallocs counts the runtime's own post-GC
+// rebuilds of its per-P sudog/defer/timer caches, a constant ~10
+// allocations of background noise in a many-goroutine world that no
+// amount of settling removes deterministically. The profile diff sees
+// only real allocation sites with Go-level stacks, so a clean hot path
+// measures exactly zero and the gate needs no slack. Profile samples
+// publish at GC boundaries, hence the forced GCs fencing each snapshot.
 func timeLoop(iters, warm int, f func()) sample {
 	for i := 0; i < warm; i++ {
 		f()
 	}
+	if n, _ := runtime.MemProfile(nil, true); len(profPre) < n+4096 {
+		profPre = make([]runtime.MemProfileRecord, n+8192)
+		profPost = make([]runtime.MemProfileRecord, n+8192)
+	}
+	runtime.GC() // publish samples recorded before the window
 	runtime.GC()
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
+	npre, _ := runtime.MemProfile(profPre, true)
 	t0 := time.Now()
 	for i := 0; i < iters; i++ {
 		f()
 	}
 	el := time.Since(t0)
-	runtime.ReadMemStats(&m1)
-	return sample{
-		ns:     el.Nanoseconds(),
-		allocs: int64(m1.Mallocs - m0.Mallocs),
-		bytes:  int64(m1.TotalAlloc - m0.TotalAlloc),
+	runtime.GC() // publish the window's samples
+	runtime.GC()
+	npost, ok := runtime.MemProfile(profPost, true)
+	if !ok {
+		// More new allocation sites than the slack allowed for; grow and
+		// retake (the extra sites are still post-window-flushed state).
+		profPost = make([]runtime.MemProfileRecord, npost+8192)
+		npost, _ = runtime.MemProfile(profPost, true)
+	}
+	allocs, bytes := profDelta(profPre[:npre], profPost[:npost])
+	return sample{ns: el.Nanoseconds(), allocs: allocs, bytes: bytes}
+}
+
+// profDelta sums the growth in allocated objects and bytes between two
+// memory-profile snapshots, accumulated per call stack (a stack can
+// span several size-class buckets).
+func profDelta(pre, post []runtime.MemProfileRecord) (objs, bytes int64) {
+	type cum struct{ objs, bytes int64 }
+	acc := func(recs []runtime.MemProfileRecord) map[[32]uintptr]cum {
+		m := make(map[[32]uintptr]cum, len(recs))
+		for _, r := range recs {
+			c := m[r.Stack0]
+			c.objs += r.AllocObjects
+			c.bytes += r.AllocBytes
+			m[r.Stack0] = c
+		}
+		return m
+	}
+	base := acc(pre)
+	trace := os.Getenv("BENCH_TRACE_ALLOCS") != ""
+	for k, c := range acc(post) {
+		b := base[k]
+		if d := c.objs - b.objs; d > 0 {
+			if runtimeOnlyStack(k) {
+				// Background runtime housekeeping (e.g. the scavenger
+				// growing its timer heap) — not attributable to any
+				// workload code.
+				continue
+			}
+			objs += d
+			bytes += c.bytes - b.bytes
+			if trace {
+				fmt.Printf("-- %d window alloc(s), %d B:\n", d, c.bytes-b.bytes)
+				n := 0
+				for n < len(k) && k[n] != 0 {
+					n++
+				}
+				frames := runtime.CallersFrames(k[:n])
+				for {
+					fr, more := frames.Next()
+					fmt.Printf("   %s (%s:%d)\n", fr.Function, fr.File, fr.Line)
+					if !more {
+						break
+					}
+				}
+			}
+		}
+	}
+	return objs, bytes
+}
+
+// runtimeOnlyStack reports whether every frame of a profile stack is a
+// runtime-internal function: an allocation by one of the runtime's own
+// background goroutines rather than by workload code (which always has
+// at least one non-runtime frame on its stack).
+func runtimeOnlyStack(k [32]uintptr) bool {
+	n := 0
+	for n < len(k) && k[n] != 0 {
+		n++
+	}
+	frames := runtime.CallersFrames(k[:n])
+	for {
+		fr, more := frames.Next()
+		if fr.Function != "" && !strings.HasPrefix(fr.Function, "runtime.") {
+			return false
+		}
+		if !more {
+			return true
+		}
 	}
 }
 
@@ -105,10 +216,34 @@ type workload struct {
 // run the same collective loop (their allocations are part of the
 // process-wide measurement, which at steady state is zero anyway).
 func slabTransform(n, p int) func(iters, workers int) sample {
+	return slabTransformWith(p, func(c *mpi.Comm, workers int) *pfft.SlabReal {
+		return pfft.NewSlabRealWorkers(c, n, workers)
+	})
+}
+
+// slabTransformSingle is slabTransform on the single-precision-wire
+// engine: FFTs in float64, transpose-exchanges through complex64.
+func slabTransformSingle(n, p int) func(iters, workers int) sample {
+	return slabTransformWith(p, func(c *mpi.Comm, workers int) *pfft.SlabReal {
+		return pfft.NewSlabRealSingle(c, n, workers)
+	})
+}
+
+// slabTransformTuned is slabTransform on an engine constructed through
+// the whole-step autotuner (default numerics-preserving space, no
+// cache). The trials run at construction, outside the timed window;
+// the row pins the tuned configuration's steady state.
+func slabTransformTuned(n, p int) func(iters, workers int) sample {
+	return slabTransformWith(p, func(c *mpi.Comm, workers int) *pfft.SlabReal {
+		return pfft.NewSlabRealTuned(c, n, workers, tuning.Config{})
+	})
+}
+
+func slabTransformWith(p int, build func(c *mpi.Comm, workers int) *pfft.SlabReal) func(iters, workers int) sample {
 	return func(iters, workers int) sample {
 		var s sample
 		mpi.Run(p, func(c *mpi.Comm) {
-			f := pfft.NewSlabRealWorkers(c, n, workers)
+			f := build(c, workers)
 			defer f.Close()
 			four := make([]complex128, f.FourierLen())
 			phys := make([]float64, f.PhysicalLen())
@@ -127,6 +262,9 @@ func slabTransform(n, p int) func(iters, workers int) sample {
 					cycle()
 				}
 			}
+			// Hold every rank until measurement ends so teardown
+			// allocations can't publish into the window's profile flush.
+			c.Barrier()
 		})
 		return s
 	}
@@ -149,6 +287,9 @@ func dnsStep(n, p int) func(iters, workers int) sample {
 					step()
 				}
 			}
+			// Hold every rank until measurement ends so teardown
+			// allocations can't publish into the window's profile flush.
+			c.Barrier()
 		})
 		return s
 	}
@@ -182,6 +323,9 @@ func dnsStepOpts(n, p int, opts ...spectral.Option) func(iters, workers int) sam
 					step()
 				}
 			}
+			// Hold every rank until measurement ends so teardown
+			// allocations can't publish into the window's profile flush.
+			c.Barrier()
 		})
 		return s
 	}
@@ -214,6 +358,9 @@ func dnsStepAT(n, p, maxStale int) func(iters, workers int) sample {
 					step()
 				}
 			}
+			// Hold every rank until measurement ends so teardown
+			// allocations can't publish into the window's profile flush.
+			c.Barrier()
 		})
 		return s
 	}
@@ -277,6 +424,9 @@ func exchangeYZ(n, p int, st exchange.Strategy) func(iters, workers int) sample 
 					op()
 				}
 			}
+			// Hold every rank until measurement ends so teardown
+			// allocations can't publish into the window's profile flush.
+			c.Barrier()
 		})
 		return s
 	}
@@ -316,19 +466,33 @@ var workloads = []workload{
 	{"exchange_chunked_n128", 60, 12, true, exchangeYZ(128, 4, exchange.ChunkedFused)},
 	{"step_at_n64", 10, 2, true, dnsStepAT(64, 4, 1)},
 	{"exchange_at_n64", 400, 80, true, exchangeYZ(64, 4, exchange.AT)},
+	{"slab_f32_fwd_inv_n64_p4", 40, 8, true, slabTransformSingle(64, 4)},
+	{"slab_f32_fwd_inv_n128_p4", 10, 2, true, slabTransformSingle(128, 4)},
+	{"slab_tuned_n64_p4", 40, 8, true, slabTransformTuned(64, 4)},
 }
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "fewer iterations per workload (CI mode)")
-		out       = flag.String("out", "BENCH_step.json", "output path for the measurement file")
-		baseline  = flag.String("baseline", "", "committed baseline to compare against")
-		check     = flag.Bool("check", false, "exit non-zero on regression vs -baseline")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth vs baseline")
-		workers   = flag.Int("workers", 1, "worker-team size for transform workloads")
-		only      = flag.String("only", "", "run only the named workload")
+		quick       = flag.Bool("quick", false, "fewer iterations per workload (CI mode)")
+		out         = flag.String("out", "BENCH_step.json", "output path for the measurement file")
+		baseline    = flag.String("baseline", "", "committed baseline to compare against")
+		check       = flag.Bool("check", false, "exit non-zero on regression vs -baseline")
+		tolerance   = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth vs baseline")
+		workers     = flag.Int("workers", 1, "worker-team size for transform workloads")
+		only        = flag.String("only", "", "run only the named workload")
+		compareMode = flag.Bool("compare", false, "compare two measurement files (bench -compare old.json new.json) instead of running workloads")
 	)
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			log.Fatal("bench -compare needs exactly two files: old.json new.json")
+		}
+		if compareFiles(flag.Arg(0), flag.Arg(1), *tolerance) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	f := File{Schema: 1, GoVersion: runtime.Version(), Quick: *quick, Workers: *workers}
 	for _, w := range workloads {
@@ -400,6 +564,50 @@ func hotpathGate(results []Result, ws []workload) bool {
 	return failed
 }
 
+// compareFiles diffs two measurement files row by row — speedup is
+// old/new, so >1 is an improvement — and reports whether any row
+// shared by both files regressed beyond the tolerance or grew its
+// allocs/op. Rows present in only one file are listed but never fail.
+func compareFiles(oldPath, newPath string, tol float64) bool {
+	old, err := loadBaseline(oldPath)
+	if err != nil {
+		log.Fatalf("bench: read %s: %v", oldPath, err)
+	}
+	data, err := os.ReadFile(newPath)
+	if err != nil {
+		log.Fatalf("bench: read %s: %v", newPath, err)
+	}
+	var nf File
+	if err := json.Unmarshal(data, &nf); err != nil {
+		log.Fatalf("bench: parse %s: %v", newPath, err)
+	}
+	failed := false
+	fmt.Printf("%-26s %10s %14s %14s  %s\n", "workload", "speedup", "old ns/op", "new ns/op", "verdict")
+	for _, r := range nf.Results {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Printf("%-26s %10s %14s %14.0f  new row\n", r.Name, "-", "-", r.NsPerOp)
+			continue
+		}
+		delete(old, r.Name)
+		speedup := b.NsPerOp / r.NsPerOp
+		verdict := "ok"
+		if r.NsPerOp > b.NsPerOp*(1+tol) {
+			verdict = fmt.Sprintf("FAIL ns/op regression %.0f%% > %.0f%%", (r.NsPerOp/b.NsPerOp-1)*100, tol*100)
+			failed = true
+		}
+		if r.AllocsPerOp > b.AllocsPerOp+allocSlack {
+			verdict = fmt.Sprintf("FAIL allocs/op grew %.1f -> %.1f", b.AllocsPerOp, r.AllocsPerOp)
+			failed = true
+		}
+		fmt.Printf("%-26s %9.2fx %14.0f %14.0f  %s\n", r.Name, speedup, b.NsPerOp, r.NsPerOp, verdict)
+	}
+	for name := range old {
+		fmt.Printf("%-26s removed (present only in %s)\n", name, oldPath)
+	}
+	return failed
+}
+
 func loadBaseline(path string) (map[string]Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -416,12 +624,11 @@ func loadBaseline(path string) (map[string]Result, error) {
 	return m, nil
 }
 
-// allocSlack is the absolute allocs/op growth the gate tolerates. The
-// measurement is process-wide, so background ticker fires (the stall
-// watchdog's) leak a few allocations into long loops; a genuine hot
-// path regression (one make per plane or per pencil) adds tens to
-// hundreds per op and still trips the gate.
-const allocSlack = 16
+// allocSlack is the absolute allocs/op growth the gate tolerates.
+// Zero: timeLoop attributes allocations by memory-profile diff, which
+// is immune to the runtime's background cache churn, so a hotpath
+// workload that allocates anything at all is a real regression.
+const allocSlack = 0
 
 // compare prints a verdict per workload and reports whether any failed
 // the gate: ns/op beyond the tolerance, or allocs/op growing by more

@@ -30,6 +30,7 @@ import (
 	"repro/internal/pfft"
 	"repro/internal/spectral"
 	"repro/internal/stats"
+	"repro/internal/tuning"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 		np       = flag.Int("np", 3, "pencils per slab (async engine)")
 		gran     = flag.String("gran", "slab", "all-to-all granularity: pencil or slab (async)")
 		exch     = flag.String("exchange", "auto", "transpose-exchange strategy: auto, staged, fused, chunked or at (auto microbenchmarks at startup and pins the winner; at needs -at-stale)")
+		autotune = flag.Bool("autotune", false, "whole-step autotuning: search exchange strategy and engine knobs together at startup and pin the collectively-agreed winner")
+		tuneDir  = flag.String("tunecache", "", "persist autotuner decisions as JSON under this directory (implies -autotune; a warm cache skips the startup trials)")
 		atStale  = flag.Int("at-stale", -1, "asynchrony-tolerant stepping: bounded-staleness exchanges with this staleness bound in exchange epochs (-1 = off; implies -exchange at)")
 		atDL     = flag.Duration("at-deadline", 50*time.Millisecond, "asynchrony-tolerant stepping: soft wait for peers within the staleness bound (0 = never wait past the hard bound)")
 		ngpu     = flag.Int("ngpu", 1, "devices per rank (async engine)")
@@ -109,6 +112,12 @@ func main() {
 	if strategy == exchange.AT && *atStale < 0 {
 		log.Fatalf("-exchange at needs a staleness bound: set -at-stale (0 waits for every peer, k lets peers lag k exchange epochs)")
 	}
+	if *tuneDir != "" {
+		*autotune = true
+	}
+	if *autotune && strategy != exchange.Auto {
+		log.Fatalf("-autotune searches the strategy itself; it combines only with -exchange auto, not %s", strategy)
+	}
 
 	runOpts := []mpi.RunOption{mpi.WithWatchdog(mpi.Watchdog{
 		Off:           !*watchOn,
@@ -164,12 +173,23 @@ func main() {
 				Exchange:     strategy,
 				ATMaxStale:   max(*atStale, 0),
 				ATDeadline:   *atDL,
+				Autotune:     *autotune,
+				TuneCacheDir: *tuneDir,
 			})
 			defer tr.Close()
 			pinned = tr.Strategy()
 			opts = append(opts, spectral.WithTransform(tr))
 		} else if strategy == exchange.AT {
 			tr := pfft.NewSlabRealAT(c, *n, *workers, *atStale, *atDL)
+			defer tr.Close()
+			pinned = tr.Strategy()
+			opts = append(opts, spectral.WithTransform(tr))
+		} else if *autotune {
+			var cfg tuning.Config
+			if *tuneDir != "" {
+				cfg.Cache = tuning.Open(*tuneDir)
+			}
+			tr := pfft.NewSlabRealTuned(c, *n, *workers, cfg)
 			defer tr.Close()
 			pinned = tr.Strategy()
 			opts = append(opts, spectral.WithTransform(tr))

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"repro/internal/cuda"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/pool"
 	"repro/internal/transpose"
+	"repro/internal/tuning"
 )
 
 // Granularity selects how much data each MPI all-to-all carries.
@@ -79,6 +79,19 @@ type Options struct {
 	// reach the current epoch before accepting their latest published
 	// slabs; ≤ 0 never waits past the hard staleness bound.
 	ATDeadline time.Duration
+	// Autotune expands plan-time autotuning from the exchange strategy
+	// alone to the whole-step tune space (strategy × granularity × np ×
+	// workers × precision, per TuneSpace): construction delegates to
+	// NewAsyncSlabRealTuned, consulting the persistent tuning cache in
+	// TuneCacheDir first and persisting the winner after live trials.
+	Autotune bool
+	// TuneCacheDir is the tuning-cache directory Autotune uses; empty
+	// means no persistence (live trials on every construction).
+	TuneCacheDir string
+	// TuneSpace overrides the default whole-step search space (nil
+	// searches strategies × granularities at the option-given np,
+	// workers and precision).
+	TuneSpace *tuning.Space
 }
 
 // span is a half-open index range.
@@ -212,6 +225,17 @@ type AsyncSlabReal struct {
 func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 	if n%2 != 0 {
 		panic(fmt.Sprintf("core: N must be even, got %d", n))
+	}
+	if opt.Autotune {
+		cfg := tuning.Config{}
+		if opt.TuneSpace != nil {
+			cfg.Space = *opt.TuneSpace
+		}
+		if opt.TuneCacheDir != "" {
+			cfg.Cache = tuning.Open(opt.TuneCacheDir)
+		}
+		opt.Autotune = false
+		return NewAsyncSlabRealTuned(comm, n, opt, cfg)
 	}
 	if opt.NP == 0 {
 		opt.NP = 3
@@ -860,42 +884,36 @@ func (a *AsyncSlabReal) stagedExchangeY() {
 }
 
 // autotune times every concrete exchange strategy on the engine's
-// actual geometry, granularity and team, and returns the collectively-
-// agreed winner: per-rank best-of-k times are allgathered and
-// exchange.Resolve picks the strategy whose slowest rank is fastest
-// (ties to the earlier candidate, so Staged never loses to a wash).
-// Collective; plan-time only. Trials run the y→z exchange over the
-// engine's own send/recv buffers — contents are irrelevant to timing.
+// actual geometry, granularity and team through the shared trial
+// protocol (tuning.TrialBest / tuning.ResolveTimes), and returns the
+// collectively-agreed winner: per-rank best-of-k times are allgathered
+// and the strategy whose slowest rank is fastest wins (ties to the
+// earlier candidate, so Staged never loses to a wash). Collective;
+// plan-time only.
 func (a *AsyncSlabReal) autotune() exchange.Strategy {
-	const trials = 3
 	cands := exchange.Concrete
 	mine := make([]float64, len(cands))
 	for i, st := range cands {
-		best := math.Inf(1)
-		for k := 0; k < trials; k++ {
-			a.comm.Barrier()
-			t0 := time.Now()
-			switch st {
-			case exchange.Staged:
-				a.stagedExchangeY()
-			case exchange.Fused:
-				a.fusedExchangeY(false)
-			default:
-				a.fusedExchangeY(true)
-			}
-			if dt := time.Since(t0).Seconds(); dt < best {
-				best = dt
-			}
-		}
-		mine[i] = best
+		st := st
+		mine[i] = tuning.TrialBest(a.comm, tuning.Trials, func() { a.runTrial(st) })
 	}
-	all := make([]float64, len(cands)*a.comm.Size())
-	mpi.Allgather(a.comm, mine, all)
-	perRank := make([][]float64, a.comm.Size())
-	for r := range perRank {
-		perRank[r] = all[r*len(cands) : (r+1)*len(cands)]
+	win, _ := tuning.ResolveTimes(a.comm, mine)
+	return cands[win]
+}
+
+// runTrial executes one y→z exchange under st over the engine's own
+// send/recv buffers — contents are irrelevant to timing. Collective;
+// this is the trial body both the strategy autotuner above and the
+// whole-step tuner (NewAsyncSlabRealTuned) time.
+func (a *AsyncSlabReal) runTrial(st exchange.Strategy) {
+	switch st {
+	case exchange.Staged:
+		a.stagedExchangeY()
+	case exchange.Fused:
+		a.fusedExchangeY(false)
+	default:
+		a.fusedExchangeY(true)
 	}
-	return exchange.Resolve(cands, perRank)
 }
 
 // regionZ streams x-split pencils of the mid slab [my][nz][nxh],

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cuda"
+	"repro/internal/transpose"
 )
 
 // Single-precision communication staging: the paper's production code
@@ -10,31 +11,22 @@ import (
 // float64 for verifiable accuracy, but the pipeline can stage its
 // all-to-all payloads through complex64 buffers, halving the bytes on
 // the wire exactly as the paper's code would, at the cost of ~1e-7
-// relative rounding per transform.
+// relative rounding per transform. The strided convert kernels
+// themselves live in transpose (NarrowStrided/WidenStrided) so the
+// synchronous slab engine's float32 pipeline shares one implementation
+// with this engine.
 
 // narrow2DAsync enqueues a strided narrowing copy (complex128 →
 // complex64) on the stream — the fused pack+convert+D2H of the
 // single-precision path.
 func narrow2DAsync(s *cuda.Stream, dst []complex64, dstStride int, src []complex128, srcStride, rowLen, nrows int) {
 	s.Launch("narrow2d", func() {
-		for r := 0; r < nrows; r++ {
-			d := dst[r*dstStride : r*dstStride+rowLen]
-			sc := src[r*srcStride : r*srcStride+rowLen]
-			for i, v := range sc {
-				d[i] = complex64(v)
-			}
-		}
+		transpose.NarrowStrided(dst, dstStride, src, srcStride, rowLen, nrows)
 	})
 }
 
 // widenStrided performs the host-side unpack+convert (complex64 →
 // complex128), the zero-copy scatter of the single-precision path.
 func widenStrided(dst []complex128, dstStride int, src []complex64, srcStride, rowLen, nrows int) {
-	for r := 0; r < nrows; r++ {
-		d := dst[r*dstStride : r*dstStride+rowLen]
-		sc := src[r*srcStride : r*srcStride+rowLen]
-		for i, v := range sc {
-			d[i] = complex128(v)
-		}
-	}
+	transpose.WidenStrided(dst, dstStride, src, srcStride, rowLen, nrows)
 }

@@ -120,8 +120,24 @@ func Resolve(cands []Strategy, perRank [][]float64) Strategy {
 	if len(cands) == 0 {
 		panic("exchange: Resolve with no candidates")
 	}
-	best, bestCost := cands[0], -1.0
-	for i, s := range cands {
+	i, _ := ResolveIndex(len(cands), perRank)
+	return cands[i]
+}
+
+// ResolveIndex is the candidate-agnostic core of Resolve: given each
+// rank's best wall times for ncands candidates of any kind (exchange
+// strategies, whole-step tuning points, …), it returns the index of
+// the candidate whose max-over-ranks cost is smallest, together with
+// that cost, applying the same tie-break-to-earlier and non-positive-
+// time disqualification rules. Every rank resolves the same index from
+// the same gathered table. The returned cost is -1 when every
+// candidate was disqualified (the winner then defaults to index 0).
+func ResolveIndex(ncands int, perRank [][]float64) (int, float64) {
+	if ncands == 0 {
+		panic("exchange: ResolveIndex with no candidates")
+	}
+	best, bestCost := 0, -1.0
+	for i := 0; i < ncands; i++ {
 		cost, ok := 0.0, true
 		for _, times := range perRank {
 			t := times[i]
@@ -137,8 +153,8 @@ func Resolve(cands []Strategy, perRank [][]float64) Strategy {
 			continue
 		}
 		if bestCost < 0 || cost < bestCost {
-			best, bestCost = s, cost
+			best, bestCost = i, cost
 		}
 	}
-	return best
+	return best, bestCost
 }

@@ -1,0 +1,118 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// The codelets must compute the exact strided DFT the recursion would:
+// check them directly against the naive reference on strided input
+// (with non-zero garbage between the strided samples, so any stride
+// bug reads a visible wrong value), both directions. Note the raw
+// codelets are unnormalized — the 1/n of Inverse is applied by run —
+// so the inverse reference is the unnormalized conjugate transform.
+func TestCodeletsMatchNaiveStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 8} {
+		for _, s := range []int{1, 2, 3, 5} {
+			x := randComplex(rng, (n-1)*s+1)
+			strided := make([]complex128, n)
+			for i := range strided {
+				strided[i] = x[i*s]
+			}
+			for _, dir := range []Direction{Forward, Inverse} {
+				want := naiveDFT(strided, dir)
+				if dir == Inverse { // undo naiveDFT's 1/n normalization
+					for i := range want {
+						want[i] *= complex(float64(n), 0)
+					}
+				}
+				out := make([]complex128, n)
+				switch n {
+				case 2:
+					dft2(out, x, s)
+				case 4:
+					dft4(out, x, s, dir)
+				case 8:
+					dft8(out, x, s, dir)
+				}
+				for i := range out {
+					if d := cmplx.Abs(out[i] - want[i]); d > 1e-12 {
+						t.Errorf("n=%d s=%d dir=%d: out[%d] differs by %g", n, s, dir, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// dft2 and dft4 use the same association order and exact ±1/∓i
+// constants as the radix combine they replaced, so forward followed by
+// unnormalized inverse must be exactly n·x for inputs whose sums stay
+// exact in floating point — a bitwise regression guard on the codelet
+// arithmetic.
+func TestCodeletExactRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(1+i), float64(-i)) // small integers: all sums exact
+		}
+		fwd := make([]complex128, n)
+		back := make([]complex128, n)
+		switch n {
+		case 2:
+			dft2(fwd, x, 1)
+			dft2(back, fwd, 1)
+		case 4:
+			dft4(fwd, x, 1, Forward)
+			dft4(back, fwd, 1, Inverse)
+		case 8:
+			dft8(fwd, x, 1, Forward)
+			dft8(back, fwd, 1, Inverse)
+		}
+		for i := range x {
+			want := complex(float64(n), 0) * x[i]
+			if n == 8 {
+				// dft8's √2/2 twiddles round; exact only up to 1 ulp-ish.
+				if cmplx.Abs(back[i]-want) > 1e-14*float64(n) {
+					t.Errorf("n=%d: round trip differs at %d: %v vs %v", n, i, back[i], want)
+				}
+				continue
+			}
+			if back[i] != want {
+				t.Errorf("n=%d: round trip not exact at %d: %v vs %v", n, i, back[i], want)
+			}
+		}
+	}
+}
+
+func BenchmarkPlanPow2(b *testing.B) {
+	for _, n := range []int{8, 64, 128} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		out := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i%7), float64(i%5))
+		}
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Forward(out, x)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

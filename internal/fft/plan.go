@@ -118,10 +118,24 @@ func (p *Plan) run(dst, src []complex128, dir Direction) {
 }
 
 // recurse computes the length-n DFT of x[0], x[s], … x[(n−1)·s] into
-// out[0:n] by decimation in time over the remaining factors.
+// out[0:n] by decimation in time over the remaining factors. Short
+// power-of-two lengths dispatch to the direct codelets (codelet.go)
+// before factor decomposition: at those lengths the remaining factors
+// are exactly {4}, {4,2} or {2}, so the codelet computes the same DFT
+// without the per-leaf recursion and twiddle-table traffic.
 func (p *Plan) recurse(out, x []complex128, n, s int, dir Direction, factors []int) {
-	if n == 1 {
+	switch n {
+	case 1:
 		out[0] = x[0]
+		return
+	case 2:
+		dft2(out, x, s)
+		return
+	case 4:
+		dft4(out, x, s, dir)
+		return
+	case 8:
+		dft8(out, x, s, dir)
 		return
 	}
 	r := factors[0]

@@ -1,0 +1,18 @@
+package hw
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Fingerprint identifies the executing machine for persisted tuning
+// decisions: a tuning-cache entry recorded on one machine must never be
+// replayed on a different one, where the autotuner's trial timings (and
+// so its winner) could differ. The fingerprint deliberately captures
+// only what the in-process runtime's trials can actually be sensitive
+// to — instruction set, operating system and core count — so a cache
+// survives process restarts on the same machine but misses after a
+// hardware change.
+func Fingerprint() string {
+	return fmt.Sprintf("%s-%s-c%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}

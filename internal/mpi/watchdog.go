@@ -142,8 +142,12 @@ func newWatchState(cfg Watchdog, p int) *watchState {
 		rankOps: make([]int, p),
 		live:    make([]bool, p),
 		nlive:   p,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		// Full freelist capacity up front (8KB of pointers) so the
+		// append in exit never grows the backing array mid-operation:
+		// enter/exit sits inside every barrier and blocking wait.
+		free: make([]*blockedOp, 0, maxFreeOps),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	for i := range ws.live {
 		ws.live[i] = true

@@ -2,17 +2,19 @@ package pfft
 
 import (
 	"fmt"
-	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/exchange"
 	"repro/internal/fft"
 	"repro/internal/grid"
+	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/par"
 	"repro/internal/pool"
 	"repro/internal/transpose"
+	"repro/internal/tuning"
 )
 
 // phaseMetrics are the per-rank phase histograms of the synchronous
@@ -201,6 +203,33 @@ type SlabReal struct {
 	gatherYZPeerBody, gatherZYPeerBody func(w, lo, hi int)
 	fusedYZFn, fusedZYFn               func(srcs [][]complex128)
 	chunkedYZFn, chunkedZYFn           func(srcs [][]complex128)
+
+	// Single-precision wire pipeline (single == true): the FFT stages
+	// still compute in float64, but the transpose-exchange narrows each
+	// slab to complex64 before it moves and widens after — half the
+	// bytes through the pack/exchange/unpack (or fused-gather) path,
+	// ~1e-7 relative rounding per transform, exactly the paper's
+	// production wire format. Only the complex64 halves of the staging
+	// buffers and plans exist in this mode; pack/recv/a2a/exch above
+	// stay nil.
+	single       bool
+	four32       []complex64 // narrowed Fourier-side slab [mz][ny][nxh]
+	mid32        []complex64 // narrowed physical-side slab [my][nz][nxh]
+	pack32       []complex64
+	recv32       []complex64
+	a2a32        *mpi.A2APlan[complex64]
+	exch32       *mpi.ExchangePlan[complex64]
+	curSrcs32    [][]complex64
+	curPeerSrc32 []complex64
+
+	narrowFourBody, widenFourBody          func(w, lo, hi int) // over iz planes
+	narrowMidBody, widenMidBody            func(w, lo, hi int) // over iy planes
+	pack32YZBody, unp32ZYBody              func(w, lo, hi int) // over iz
+	pack32ZYBody, unp32YZBody              func(w, lo, hi int) // over iy
+	gather32YZBody, gather32ZYBody         func(w, lo, hi int)
+	gather32YZPeerBody, gather32ZYPeerBody func(w, lo, hi int)
+	fused32YZFn, fused32ZYFn               func(srcs [][]complex64)
+	chunked32YZFn, chunked32ZYFn           func(srcs [][]complex64)
 }
 
 // NewSlabReal builds the DNS transform for an N³ real field (even N)
@@ -228,7 +257,100 @@ func NewSlabRealStrategy(comm *mpi.Comm, n, workers int, strat exchange.Strategy
 	if strat == exchange.AT {
 		panic("pfft: exchange.AT needs a staleness bound; use NewSlabRealAT")
 	}
-	return newSlabReal(comm, n, workers, strat, 0, 0)
+	return newSlabReal(comm, n, workers, strat, 0, 0, false)
+}
+
+// NewSlabRealSingle builds the DNS transform on the single-precision
+// wire pipeline: FFT stages compute in float64, but every transpose-
+// exchange narrows the moving slab to complex64 first — half the bytes
+// through pack/exchange/unpack for ~1e-7 relative rounding per
+// transform, the paper's production wire format. The exchange strategy
+// is autotuned over the complex64 path at plan time. Collective.
+func NewSlabRealSingle(comm *mpi.Comm, n, workers int) *SlabReal {
+	return newSlabReal(comm, n, workers, exchange.Auto, 0, 0, true)
+}
+
+// NewSlabRealTuned builds the DNS transform by searching cfg.Space —
+// the whole-step tune space over (exchange strategy × workers × wire
+// precision; the slab engine has no pencils, so the NP and PerSlab
+// dimensions collapse) — with the barrier-fenced best-of-k max-over-
+// ranks trial protocol, and pins the collectively-agreed winner. When
+// cfg.Cache holds a decision for this (N, P, GOMAXPROCS, machine) key
+// the trials are skipped entirely and the cached point is constructed
+// directly — a warm production restart performs zero trial exchanges
+// (the tune.trials counter stays flat). The cached point pins every
+// searched dimension, including the worker-team size; workers is only
+// the default substituted into an empty Workers dimension. Collective.
+func NewSlabRealTuned(comm *mpi.Comm, n, workers int, cfg tuning.Config) *SlabReal {
+	key := tuning.Key{
+		Engine:   "slab",
+		N:        n,
+		P:        comm.Size(),
+		Maxprocs: runtime.GOMAXPROCS(0),
+		Machine:  hw.Fingerprint(),
+	}
+	if pt, ok := cfg.Lookup(comm, key); ok {
+		return newSlabReal(comm, n, pt.Workers, pt.Strategy, 0, 0, pt.Single)
+	}
+	pts := slabPoints(cfg.Space, workers)
+	// One trial engine per distinct (workers, single) pair, built
+	// lazily in candidate order so every rank constructs (a collective)
+	// in the same sequence; within an engine the strategies reuse the
+	// prebuilt bodies exactly as the strategy autotuner does.
+	type group struct {
+		workers int
+		single  bool
+	}
+	engines := map[group]*SlabReal{}
+	trial := pool.GetComplex(grid.NewSlab(n, comm.Size(), comm.Rank()).MZ() * n * (n/2 + 1))
+	mine := make([]float64, len(pts))
+	for i, pt := range pts {
+		g := group{pt.Workers, pt.Single}
+		eng := engines[g]
+		if eng == nil {
+			eng = newSlabReal(comm, n, g.workers, exchange.Staged, 0, 0, g.single)
+			engines[g] = eng
+		}
+		st := pt.Strategy
+		mine[i] = tuning.TrialBest(comm, tuning.Trials, func() { eng.runTrial(st, trial) })
+	}
+	pool.PutComplex(trial)
+	win, cost := tuning.ResolveTimes(comm, mine)
+	pt := pts[win]
+	cfg.Store(comm, key, pt, cost)
+	keep := engines[group{pt.Workers, pt.Single}]
+	for _, e := range engines {
+		if e != keep {
+			e.Close()
+		}
+	}
+	keep.strat = pt.Strategy
+	comm.Metrics().GaugeRank("exchange.strategy", comm.Rank()).Set(pt.Strategy.Code())
+	return keep
+}
+
+// slabPoints enumerates cfg.Space for the slab engine: the NP and
+// PerSlab dimensions do not exist here, so points differing only in
+// them are canonicalized (NP 0, PerSlab false) and deduplicated,
+// preserving the space's tie-break order.
+func slabPoints(space tuning.Space, workers int) []tuning.Point {
+	type slabKey struct {
+		st      exchange.Strategy
+		workers int
+		single  bool
+	}
+	seen := map[slabKey]bool{}
+	var out []tuning.Point
+	for _, pt := range space.Points(0, workers) {
+		k := slabKey{pt.Strategy, pt.Workers, pt.Single}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pt.NP, pt.PerSlab = 0, false
+		out = append(out, pt)
+	}
+	return out
 }
 
 // NewSlabRealAT builds the DNS transform on the asynchrony-tolerant
@@ -244,12 +366,15 @@ func NewSlabRealAT(comm *mpi.Comm, n, workers, maxStale int, deadline time.Durat
 	if maxStale < 0 {
 		panic(fmt.Sprintf("pfft: negative staleness bound %d", maxStale))
 	}
-	return newSlabReal(comm, n, workers, exchange.AT, maxStale, deadline)
+	return newSlabReal(comm, n, workers, exchange.AT, maxStale, deadline, false)
 }
 
-func newSlabReal(comm *mpi.Comm, n, workers int, strat exchange.Strategy, maxStale int, deadline time.Duration) *SlabReal {
+func newSlabReal(comm *mpi.Comm, n, workers int, strat exchange.Strategy, maxStale int, deadline time.Duration, single bool) *SlabReal {
 	if n%2 != 0 {
 		panic(fmt.Sprintf("pfft: SlabReal requires even N, got %d", n))
+	}
+	if single && strat == exchange.AT {
+		panic("pfft: the single-precision pipeline does not support the asynchrony-tolerant exchange")
 	}
 	s := grid.NewSlab(n, comm.Size(), comm.Rank())
 	nxh := n/2 + 1
@@ -260,10 +385,9 @@ func newSlabReal(comm *mpi.Comm, n, workers int, strat exchange.Strategy, maxSta
 		nxh:    nxh,
 		team:   par.NewTeam(workers),
 		layout: transpose.NewSlabLayout(nxh, n, s.MZ(), comm.Size()),
-		pack:   pool.GetComplex(s.MZ() * n * nxh),
-		recv:   pool.GetComplex(s.MZ() * n * nxh),
 		mid:    pool.GetComplex(s.MY() * n * nxh),
 		met:    newPhaseMetrics(comm),
+		single: single,
 
 		atStale:    maxStale,
 		atDeadline: deadline,
@@ -273,12 +397,27 @@ func newSlabReal(comm *mpi.Comm, n, workers int, strat exchange.Strategy, maxSta
 		f.bz = append(f.bz, fft.NewBatch(n, nxh, nxh, 1, nxh, 1))
 		f.bx = append(f.bx, fft.NewRealBatch(n, n, 1, n, 1, nxh))
 	}
-	f.a2a = mpi.NewA2APlan(comm, f.pack, f.recv)
-	if strat == exchange.AT {
-		f.exchYZ = mpi.NewExchangePlanBounded[complex128](comm, f.FourierLen(), maxStale, deadline)
-		f.exchZY = mpi.NewExchangePlanBounded[complex128](comm, len(f.mid), maxStale, deadline)
+	// Staging buffers and persistent exchange plans exist only in the
+	// precision the pipeline ships; single is a constructor parameter,
+	// identical on every rank, so the collective registration order
+	// stays uniform.
+	if single {
+		f.four32 = pool.GetComplex64(s.MZ() * n * nxh)
+		f.mid32 = pool.GetComplex64(s.MY() * n * nxh)
+		f.pack32 = pool.GetComplex64(s.MZ() * n * nxh)
+		f.recv32 = pool.GetComplex64(s.MZ() * n * nxh)
+		f.a2a32 = mpi.NewA2APlan(comm, f.pack32, f.recv32)
+		f.exch32 = mpi.NewExchangePlan[complex64](comm, f.FourierLen())
 	} else {
-		f.exch = mpi.NewExchangePlan[complex128](comm, f.FourierLen())
+		f.pack = pool.GetComplex(s.MZ() * n * nxh)
+		f.recv = pool.GetComplex(s.MZ() * n * nxh)
+		f.a2a = mpi.NewA2APlan(comm, f.pack, f.recv)
+		if strat == exchange.AT {
+			f.exchYZ = mpi.NewExchangePlanBounded[complex128](comm, f.FourierLen(), maxStale, deadline)
+			f.exchZY = mpi.NewExchangePlanBounded[complex128](comm, len(f.mid), maxStale, deadline)
+		} else {
+			f.exch = mpi.NewExchangePlan[complex128](comm, f.FourierLen())
+		}
 	}
 	f.buildBodies()
 	if strat == exchange.Auto {
@@ -341,18 +480,21 @@ func (f *SlabReal) buildBodies() {
 	// directly from every peer's published slab (f.curSrcs) — pack,
 	// wire copy and unpack fused into one pass. The *Peer bodies gather
 	// one peer's contribution only, for the chunked pairwise rounds.
+	// All gathers run the cache-blocked variants (bitwise-identical,
+	// tiled traversal) so the strided side stops thrashing at N ≥ 128.
 	me, p := f.comm.Rank(), f.comm.Size()
+	const tile = transpose.DefaultGatherTile
 	f.gatherYZBody = func(_, lo, hi int) {
-		transpose.GatherYZRange(&f.layout, f.mid, f.curSrcs, me, lo, hi)
+		transpose.GatherYZRangeBlocked(&f.layout, f.mid, f.curSrcs, me, lo, hi, tile)
 	}
 	f.gatherZYBody = func(_, lo, hi int) {
-		transpose.GatherZYRange(&f.layout, f.curFour, f.curSrcs, me, lo, hi)
+		transpose.GatherZYRangeBlocked(&f.layout, f.curFour, f.curSrcs, me, lo, hi, tile)
 	}
 	f.gatherYZPeerBody = func(_, lo, hi int) {
-		transpose.GatherYZPeer(&f.layout, f.mid, f.curPeerSrc, me, f.curPeer, lo, hi)
+		transpose.GatherYZPeerBlocked(&f.layout, f.mid, f.curPeerSrc, me, f.curPeer, lo, hi, tile)
 	}
 	f.gatherZYPeerBody = func(_, lo, hi int) {
-		transpose.GatherZYPeer(&f.layout, f.curFour, f.curPeerSrc, me, f.curPeer, lo, hi)
+		transpose.GatherZYPeerBlocked(&f.layout, f.curFour, f.curPeerSrc, me, f.curPeer, lo, hi, tile)
 	}
 	f.fusedYZFn = func(srcs [][]complex128) {
 		f.curSrcs = srcs
@@ -383,6 +525,78 @@ func (f *SlabReal) buildBodies() {
 		}
 		f.curPeerSrc = nil
 	}
+
+	if !f.single {
+		return
+	}
+	// Single-precision pipeline bodies: strided narrow/widen passes
+	// bracketing the exchange, and complex64 twins of the pack/unpack
+	// and gather kernels (the transpose kernels are generic, so the
+	// same code moves both precisions). pl is the elements per z-plane
+	// on the Fourier side and per y-plane on the physical side.
+	pl := n * nxh
+	f.narrowFourBody = func(_, lo, hi int) {
+		transpose.NarrowStrided(f.four32[lo*pl:], pl, f.curFour[lo*pl:], pl, pl, hi-lo)
+	}
+	f.widenFourBody = func(_, lo, hi int) {
+		transpose.WidenStrided(f.curFour[lo*pl:], pl, f.four32[lo*pl:], pl, pl, hi-lo)
+	}
+	f.narrowMidBody = func(_, lo, hi int) {
+		transpose.NarrowStrided(f.mid32[lo*pl:], pl, f.mid[lo*pl:], pl, pl, hi-lo)
+	}
+	f.widenMidBody = func(_, lo, hi int) {
+		transpose.WidenStrided(f.mid[lo*pl:], pl, f.mid32[lo*pl:], pl, pl, hi-lo)
+	}
+	f.pack32YZBody = func(_, lo, hi int) {
+		transpose.PackYZRange(&f.layout, f.pack32, f.four32, lo, hi)
+	}
+	f.unp32YZBody = func(_, lo, hi int) {
+		transpose.UnpackYZRange(&f.layout, f.mid32, f.recv32, lo, hi)
+	}
+	f.pack32ZYBody = func(_, lo, hi int) {
+		transpose.PackZYRange(&f.layout, f.pack32, f.mid32, lo, hi)
+	}
+	f.unp32ZYBody = func(_, lo, hi int) {
+		transpose.UnpackZYRange(&f.layout, f.four32, f.recv32, lo, hi)
+	}
+	f.gather32YZBody = func(_, lo, hi int) {
+		transpose.GatherYZRangeBlocked(&f.layout, f.mid32, f.curSrcs32, me, lo, hi, tile)
+	}
+	f.gather32ZYBody = func(_, lo, hi int) {
+		transpose.GatherZYRangeBlocked(&f.layout, f.four32, f.curSrcs32, me, lo, hi, tile)
+	}
+	f.gather32YZPeerBody = func(_, lo, hi int) {
+		transpose.GatherYZPeerBlocked(&f.layout, f.mid32, f.curPeerSrc32, me, f.curPeer, lo, hi, tile)
+	}
+	f.gather32ZYPeerBody = func(_, lo, hi int) {
+		transpose.GatherZYPeerBlocked(&f.layout, f.four32, f.curPeerSrc32, me, f.curPeer, lo, hi, tile)
+	}
+	f.fused32YZFn = func(srcs [][]complex64) {
+		f.curSrcs32 = srcs
+		f.team.ForWorkers(f.s.MY(), f.gather32YZBody)
+		f.curSrcs32 = nil
+	}
+	f.fused32ZYFn = func(srcs [][]complex64) {
+		f.curSrcs32 = srcs
+		f.team.ForWorkers(f.s.MZ(), f.gather32ZYBody)
+		f.curSrcs32 = nil
+	}
+	f.chunked32YZFn = func(srcs [][]complex64) {
+		for r := 0; r < p; r++ {
+			f.curPeer = (me + r) % p
+			f.curPeerSrc32 = srcs[f.curPeer]
+			f.team.ForWorkers(f.s.MY(), f.gather32YZPeerBody)
+		}
+		f.curPeerSrc32 = nil
+	}
+	f.chunked32ZYFn = func(srcs [][]complex64) {
+		for r := 0; r < p; r++ {
+			f.curPeer = (me + r) % p
+			f.curPeerSrc32 = srcs[f.curPeer]
+			f.team.ForWorkers(f.s.MZ(), f.gather32ZYPeerBody)
+		}
+		f.curPeerSrc32 = nil
+	}
 }
 
 // Slab reports the decomposition geometry.
@@ -412,7 +626,9 @@ func (f *SlabReal) Close() {
 	}
 	f.closed = true
 	f.team.Close()
-	f.a2a.Free()
+	if f.a2a != nil {
+		f.a2a.Free()
+	}
 	if f.exch != nil {
 		f.exch.Free()
 	}
@@ -427,10 +643,21 @@ func (f *SlabReal) Close() {
 		f.bz[w].Release()
 		f.bx[w].Release()
 	}
-	pool.PutComplex(f.pack)
-	pool.PutComplex(f.recv)
+	if f.single {
+		f.a2a32.Free()
+		f.exch32.Free()
+		pool.PutComplex64(f.four32)
+		pool.PutComplex64(f.mid32)
+		pool.PutComplex64(f.pack32)
+		pool.PutComplex64(f.recv32)
+		f.four32, f.mid32, f.pack32, f.recv32 = nil, nil, nil, nil
+	} else {
+		pool.PutComplex(f.pack)
+		pool.PutComplex(f.recv)
+		f.pack, f.recv = nil, nil
+	}
 	pool.PutComplex(f.mid)
-	f.pack, f.recv, f.mid = nil, nil, nil
+	f.mid = nil
 }
 
 // FourierToPhysical transforms four=[mz][ny][nxh] (complex) into
@@ -464,6 +691,10 @@ func (f *SlabReal) FourierToPhysical(phys []float64, four []complex128) {
 //
 //psdns:hotpath
 func (f *SlabReal) transposeYZ() {
+	if f.single {
+		f.transposeYZ32()
+		return
+	}
 	switch f.strat {
 	case exchange.Staged:
 		t := time.Now()
@@ -496,6 +727,10 @@ func (f *SlabReal) transposeYZ() {
 //
 //psdns:hotpath
 func (f *SlabReal) transposeZY() {
+	if f.single {
+		f.transposeZY32()
+		return
+	}
 	switch f.strat {
 	case exchange.Staged:
 		t := time.Now()
@@ -523,6 +758,68 @@ func (f *SlabReal) transposeZY() {
 	}
 }
 
+// transposeYZ32 is the single-precision y→z exchange: narrow the
+// y-transformed slab to complex64 (timed as pack), move it through the
+// pinned strategy's complex64 path, and widen into mid (timed as
+// unpack). The narrow/widen passes bracket every strategy, so the wire
+// — staged blocks or fused gathers alike — always carries half bytes.
+//
+//psdns:hotpath
+func (f *SlabReal) transposeYZ32() {
+	t := time.Now()
+	f.team.ForWorkers(f.s.MZ(), f.narrowFourBody)
+	if f.strat == exchange.Staged {
+		f.team.ForWorkers(f.s.MZ(), f.pack32YZBody)
+	}
+	f.met.pack.ObserveSince(t)
+	t = time.Now()
+	switch f.strat {
+	case exchange.Staged:
+		f.a2a32.Do()
+	case exchange.Fused:
+		f.exch32.Do(f.four32, f.fused32YZFn)
+	default: // exchange.ChunkedFused
+		f.exch32.Do(f.four32, f.chunked32YZFn)
+	}
+	f.met.a2a.ObserveSince(t)
+	t = time.Now()
+	if f.strat == exchange.Staged {
+		f.team.ForWorkers(f.s.MY(), f.unp32YZBody)
+	}
+	f.team.ForWorkers(f.s.MY(), f.widenMidBody)
+	f.met.unpack.ObserveSince(t)
+}
+
+// transposeZY32 is the single-precision z→y exchange, the mirror of
+// transposeYZ32: narrow mid, exchange in complex64, widen into the
+// Fourier slab.
+//
+//psdns:hotpath
+func (f *SlabReal) transposeZY32() {
+	t := time.Now()
+	f.team.ForWorkers(f.s.MY(), f.narrowMidBody)
+	if f.strat == exchange.Staged {
+		f.team.ForWorkers(f.s.MY(), f.pack32ZYBody)
+	}
+	f.met.pack.ObserveSince(t)
+	t = time.Now()
+	switch f.strat {
+	case exchange.Staged:
+		f.a2a32.Do()
+	case exchange.Fused:
+		f.exch32.Do(f.mid32, f.fused32ZYFn)
+	default: // exchange.ChunkedFused
+		f.exch32.Do(f.mid32, f.chunked32ZYFn)
+	}
+	f.met.a2a.ObserveSince(t)
+	t = time.Now()
+	if f.strat == exchange.Staged {
+		f.team.ForWorkers(f.s.MZ(), f.unp32ZYBody)
+	}
+	f.team.ForWorkers(f.s.MZ(), f.widenFourBody)
+	f.met.unpack.ObserveSince(t)
+}
+
 // PhysicalToFourier transforms phys=[my][nz][nx] (real) into
 // four=[mz][ny][nxh] (complex), unnormalized.
 //
@@ -547,6 +844,10 @@ func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 // Strategy reports the pinned transpose-exchange strategy (never
 // exchange.Auto: autotuned plans report the winner).
 func (f *SlabReal) Strategy() exchange.Strategy { return f.strat }
+
+// Single reports whether the transform ships its exchanges through the
+// single-precision wire pipeline.
+func (f *SlabReal) Single() bool { return f.single }
 
 // SetATSite labels the quantity the next bounded exchanges carry (see
 // mpi.ExchangePlan.SetSite): callers interleaving several fields or
@@ -589,46 +890,48 @@ func (f *SlabReal) ExchangeYZ(four []complex128) {
 }
 
 // autotune times every concrete exchange strategy on this plan's
-// actual geometry and team, and returns the collectively-agreed
-// winner: each rank's best-of-k times are allgathered and
-// exchange.Resolve picks the strategy whose slowest rank is fastest
-// (ties to the earlier candidate, so Staged is never beaten by a
-// statistical wash). Every rank computes the same winner from the same
-// gathered table — no extra agreement round is needed. Collective;
-// runs at plan time only, using a pooled trial slab released before
-// returning.
+// actual geometry, team and wire precision through the shared trial
+// protocol (tuning.TrialBest / tuning.ResolveTimes): each rank's
+// best-of-k times are allgathered and the strategy whose slowest rank
+// is fastest wins (ties to the earlier candidate, so Staged is never
+// beaten by a statistical wash). Every rank computes the same winner
+// from the same gathered table — no extra agreement round is needed.
+// Collective; runs at plan time only, using a pooled trial slab
+// released before returning.
 func (f *SlabReal) autotune() exchange.Strategy {
-	const trials = 3
 	cands := exchange.Concrete
 	trial := pool.GetComplex(f.FourierLen())
 	mine := make([]float64, len(cands))
 	for i, st := range cands {
-		best := math.Inf(1)
-		for k := 0; k < trials; k++ {
-			f.comm.Barrier()
-			t0 := time.Now()
-			f.runTrial(st, trial)
-			if dt := time.Since(t0).Seconds(); dt < best {
-				best = dt
-			}
-		}
-		mine[i] = best
+		st := st
+		mine[i] = tuning.TrialBest(f.comm, tuning.Trials, func() { f.runTrial(st, trial) })
 	}
 	pool.PutComplex(trial)
-	all := make([]float64, len(cands)*f.comm.Size())
-	mpi.Allgather(f.comm, mine, all)
-	perRank := make([][]float64, f.comm.Size())
-	for r := range perRank {
-		perRank[r] = all[r*len(cands) : (r+1)*len(cands)]
-	}
-	return exchange.Resolve(cands, perRank)
+	win, _ := tuning.ResolveTimes(f.comm, mine)
+	return cands[win]
 }
 
-// runTrial executes one y→z exchange of the trial slab under st.
-// Collective (every strategy's exchange is bracketed by plan
-// barriers).
+// runTrial executes one y→z exchange of the trial slab under st, on
+// the wire precision the plan was built for. Collective (every
+// strategy's exchange is bracketed by plan barriers).
 func (f *SlabReal) runTrial(st exchange.Strategy, four []complex128) {
 	f.curFour = four
+	if f.single {
+		f.team.ForWorkers(f.s.MZ(), f.narrowFourBody)
+		switch st {
+		case exchange.Staged:
+			f.team.ForWorkers(f.s.MZ(), f.pack32YZBody)
+			f.a2a32.Do()
+			f.team.ForWorkers(f.s.MY(), f.unp32YZBody)
+		case exchange.Fused:
+			f.exch32.Do(f.four32, f.fused32YZFn)
+		default:
+			f.exch32.Do(f.four32, f.chunked32YZFn)
+		}
+		f.team.ForWorkers(f.s.MY(), f.widenMidBody)
+		f.curFour = nil
+		return
+	}
 	switch st {
 	case exchange.Staged:
 		f.team.ForWorkers(f.s.MZ(), f.packYZBody)

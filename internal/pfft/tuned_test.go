@@ -1,0 +1,271 @@
+package pfft
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/tuning"
+)
+
+// The single-precision wire pipeline keeps every FFT in float64 and
+// narrows only the transpose-exchange payloads, so a forward transform
+// must track the float64 engine to single-precision rounding — well
+// under 1e-5 relative rms — and a forward+inverse round trip must
+// reproduce the input to the same tolerance.
+func TestSlabRealSingleAccuracy(t *testing.T) {
+	const n, p = 32, 4
+	if err := mpi.TryRun(p, func(c *mpi.Comm) {
+		ref := NewSlabRealWorkers(c, n, 2)
+		defer ref.Close()
+		f32 := NewSlabRealSingle(c, n, 2)
+		defer f32.Close()
+		if !f32.Single() {
+			panic("NewSlabRealSingle engine does not report Single()")
+		}
+		fl, pl := ref.FourierLen(), ref.PhysicalLen()
+
+		rng := rand.New(rand.NewSource(int64(7 + c.Rank())))
+		physIn := make([]float64, pl)
+		for i := range physIn {
+			physIn[i] = rng.NormFloat64()
+		}
+		refFour := make([]complex128, fl)
+		scratch := make([]float64, pl)
+		copy(scratch, physIn)
+		ref.PhysicalToFourier(refFour, scratch)
+
+		four := make([]complex128, fl)
+		copy(scratch, physIn)
+		f32.PhysicalToFourier(four, scratch)
+
+		var num, den float64
+		for i := range four {
+			d := four[i] - refFour[i]
+			num += real(d)*real(d) + imag(d)*imag(d)
+			den += real(refFour[i])*real(refFour[i]) + imag(refFour[i])*imag(refFour[i])
+		}
+		if rms := math.Sqrt(num / den); rms > 1e-5 {
+			panic(fmt.Sprintf("rank %d: f32 forward relative rms %.3g vs float64, want ≤ 1e-5", c.Rank(), rms))
+		}
+
+		out := make([]float64, pl)
+		f32.FourierToPhysical(out, four)
+		num, den = 0, 0
+		for i := range out {
+			d := out[i] - physIn[i]
+			num += d * d
+			den += physIn[i] * physIn[i]
+		}
+		if rms := math.Sqrt(num / den); rms > 1e-5 {
+			panic(fmt.Sprintf("rank %d: f32 round-trip relative rms %.3g, want ≤ 1e-5", c.Rank(), rms))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The f32 pipeline's steady state must stay allocation-free like every
+// other strategy: the narrow/widen bodies and complex64 plans are all
+// prebuilt at construction.
+func TestSlabRealSingleSteadyStateZeroAllocs(t *testing.T) {
+	const n, p, runs = 32, 4, 10
+	if err := mpi.TryRun(p, func(c *mpi.Comm) {
+		f := NewSlabRealSingle(c, n, 2)
+		defer f.Close()
+		four := make([]complex128, f.FourierLen())
+		phys := make([]float64, f.PhysicalLen())
+		for i := range phys {
+			phys[i] = float64(i%13) * 0.25
+		}
+		cycle := func() {
+			f.PhysicalToFourier(four, phys)
+			f.FourierToPhysical(phys, four)
+		}
+		for i := 0; i < 3; i++ {
+			cycle()
+		}
+		if c.Rank() == 0 {
+			if avg := testing.AllocsPerRun(runs, cycle); avg != 0 {
+				panic(fmt.Sprintf("f32 steady state allocates %.2f per cycle", avg))
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				cycle()
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every float64 point of the default tune space is bitwise-identical
+// to the plain engine (the tuner may only change the data path), so a
+// tuned construction must reproduce the untuned transform exactly,
+// whatever winner its trials pick.
+func TestSlabRealTunedBitwiseIdentity(t *testing.T) {
+	const n, p = 24, 4
+	if err := mpi.TryRun(p, func(c *mpi.Comm) {
+		ref := NewSlabRealStrategy(c, n, 2, exchange.Staged)
+		defer ref.Close()
+		tuned := NewSlabRealTuned(c, n, 2, tuning.Config{})
+		defer tuned.Close()
+		if tuned.Single() {
+			panic("default tune space searched precision")
+		}
+		fl, pl := ref.FourierLen(), ref.PhysicalLen()
+
+		rng := rand.New(rand.NewSource(int64(11 + c.Rank())))
+		physIn := make([]float64, pl)
+		for i := range physIn {
+			physIn[i] = rng.NormFloat64()
+		}
+		refFour := make([]complex128, fl)
+		scratch := make([]float64, pl)
+		copy(scratch, physIn)
+		ref.PhysicalToFourier(refFour, scratch)
+
+		four := make([]complex128, fl)
+		copy(scratch, physIn)
+		tuned.PhysicalToFourier(four, scratch)
+		for i := range four {
+			if four[i] != refFour[i] {
+				panic(fmt.Sprintf("rank %d: tuned (winner %s) forward differs at %d",
+					c.Rank(), tuned.Strategy(), i))
+			}
+		}
+
+		refPhys := make([]float64, pl)
+		ref.FourierToPhysical(refPhys, refFour)
+		out := make([]float64, pl)
+		tuned.FourierToPhysical(out, four)
+		for i := range out {
+			if out[i] != refPhys[i] {
+				panic(fmt.Sprintf("rank %d: tuned inverse differs at %d", c.Rank(), i))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A warm tuning cache must skip the trials entirely — the tune.trials
+// counter stays flat across the second construction — and the engine
+// it builds must be bitwise-equivalent to the trial-selected one.
+func TestSlabRealTunedWarmCacheSkipsTrials(t *testing.T) {
+	const n, p = 24, 4
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	reg.SetOn(true)
+	if err := mpi.RunWith(p, reg, func(c *mpi.Comm) {
+		cfg := tuning.Config{Cache: tuning.Open(dir)}
+		trials := c.Metrics().CounterRank("tune.trials", c.Rank())
+
+		cold := NewSlabRealTuned(c, n, 2, cfg)
+		defer cold.Close()
+		after := trials.Value()
+		if after == 0 {
+			panic(fmt.Sprintf("rank %d: cold construction ran no trials", c.Rank()))
+		}
+		if c.Rank() == 0 {
+			if _, err := os.Stat(filepath.Join(dir, "tuning.json")); err != nil {
+				panic(fmt.Sprintf("tuning cache not persisted: %v", err))
+			}
+		}
+
+		warm := NewSlabRealTuned(c, n, 2, cfg)
+		defer warm.Close()
+		if got := trials.Value(); got != after {
+			panic(fmt.Sprintf("rank %d: warm construction ran %d trial exchanges, want 0", c.Rank(), got-after))
+		}
+		if warm.Strategy() != cold.Strategy() || warm.Single() != cold.Single() {
+			panic(fmt.Sprintf("rank %d: warm engine (%s, single=%v) differs from trial-selected (%s, single=%v)",
+				c.Rank(), warm.Strategy(), warm.Single(), cold.Strategy(), cold.Single()))
+		}
+
+		// Bitwise equivalence of the cache-hit engine with the
+		// trial-selected one.
+		fl, pl := cold.FourierLen(), cold.PhysicalLen()
+		rng := rand.New(rand.NewSource(int64(13 + c.Rank())))
+		physIn := make([]float64, pl)
+		for i := range physIn {
+			physIn[i] = rng.NormFloat64()
+		}
+		a, b := make([]complex128, fl), make([]complex128, fl)
+		scratch := make([]float64, pl)
+		copy(scratch, physIn)
+		cold.PhysicalToFourier(a, scratch)
+		copy(scratch, physIn)
+		warm.PhysicalToFourier(b, scratch)
+		for i := range a {
+			if a[i] != b[i] {
+				panic(fmt.Sprintf("rank %d: cache-hit engine differs from trial-selected at %d", c.Rank(), i))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A corrupted cache file must fall back to live trials, not crash or
+// replay garbage.
+func TestSlabRealTunedCorruptCacheFallsBack(t *testing.T) {
+	const n, p = 24, 2
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tuning.json"), []byte("\x00 not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	reg.SetOn(true)
+	if err := mpi.RunWith(p, reg, func(c *mpi.Comm) {
+		cfg := tuning.Config{Cache: tuning.Open(dir)}
+		trials := c.Metrics().CounterRank("tune.trials", c.Rank())
+		f := NewSlabRealTuned(c, n, 1, cfg)
+		defer f.Close()
+		if trials.Value() == 0 {
+			panic(fmt.Sprintf("rank %d: corrupt cache did not fall back to live trials", c.Rank()))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Searching the precision dimension explicitly may pick the f32 wire;
+// whatever wins must still satisfy the f32 accuracy bound.
+func TestSlabRealTunedPrecisionSearch(t *testing.T) {
+	const n, p = 24, 2
+	if err := mpi.TryRun(p, func(c *mpi.Comm) {
+		cfg := tuning.Config{Space: tuning.Space{Single: []bool{false, true}}}
+		f := NewSlabRealTuned(c, n, 1, cfg)
+		defer f.Close()
+		pl, fl := f.PhysicalLen(), f.FourierLen()
+		physIn := make([]float64, pl)
+		rng := rand.New(rand.NewSource(int64(17 + c.Rank())))
+		for i := range physIn {
+			physIn[i] = rng.NormFloat64()
+		}
+		four := make([]complex128, fl)
+		scratch := make([]float64, pl)
+		copy(scratch, physIn)
+		f.PhysicalToFourier(four, scratch)
+		out := make([]float64, pl)
+		f.FourierToPhysical(out, four)
+		var num, den float64
+		for i := range out {
+			d := out[i] - physIn[i]
+			num += d * d
+			den += physIn[i] * physIn[i]
+		}
+		if rms := math.Sqrt(num / den); rms > 1e-5 {
+			panic(fmt.Sprintf("rank %d: precision-searched round-trip rms %.3g (single=%v)", c.Rank(), rms, f.Single()))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package transpose
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The cache-blocked gathers reorder the traversal only: every tile
+// depth — degenerate (1), the pinned default, non-dividing (3), and
+// larger than the plane count — must be bitwise-identical to the plain
+// kernels, per peer and over ragged row partitions.
+func TestGatherBlockedMatchesPlain(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		nxh, ny, mz := 5, 7*p, 6
+		l := NewSlabLayout(nxh, ny, mz, p)
+		srcs := buildFourierSlabs(&l)
+		for me := 0; me < p; me++ {
+			want := make([]complex128, l.Total)
+			GatherYZRange(&l, want, srcs, me, 0, l.My)
+			for _, tile := range []int{1, 3, DefaultGatherTile, mz, mz + 5, 0} {
+				got := make([]complex128, l.Total)
+				GatherYZRangeBlocked(&l, got, srcs, me, 0, l.My, tile)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("P=%d me=%d tile=%d: blocked YZ differs at %d: %v vs %v",
+							p, me, tile, i, got[i], want[i])
+					}
+				}
+				// Ragged per-peer row partition, pairwise-exchange order —
+				// the chunked-fused call pattern.
+				chunked := make([]complex128, l.Total)
+				for r := 0; r < p; r++ {
+					s := (me + r) % p
+					for _, cut := range [][2]int{{0, 2}, {2, l.My}} {
+						if cut[0] < cut[1] {
+							GatherYZPeerBlocked(&l, chunked, srcs[s], me, s, cut[0], cut[1], tile)
+						}
+					}
+				}
+				for i := range want {
+					if chunked[i] != want[i] {
+						t.Fatalf("P=%d me=%d tile=%d: chunked blocked YZ differs at %d", p, me, tile, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGatherZYBlockedMatchesPlain(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		nxh, ny, mz := 4, 3*p, 5
+		l := NewSlabLayout(nxh, ny, mz, p)
+		srcs := make([][]complex128, p)
+		for s := range srcs {
+			srcs[s] = make([]complex128, l.Total)
+			for i := range srcs[s] {
+				srcs[s][i] = complex(float64(s*l.Total+i), -float64(s))
+			}
+		}
+		for me := 0; me < p; me++ {
+			want := make([]complex128, l.Total)
+			GatherZYRange(&l, want, srcs, me, 0, l.Mz)
+			for _, tile := range []int{1, 3, DefaultGatherTile, l.My, l.My + 2, 0} {
+				got := make([]complex128, l.Total)
+				GatherZYRangeBlocked(&l, got, srcs, me, 0, l.Mz, tile)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("P=%d me=%d tile=%d: blocked ZY differs at %d: %v vs %v",
+							p, me, tile, i, got[i], want[i])
+					}
+				}
+				chunked := make([]complex128, l.Total)
+				for r := 0; r < p; r++ {
+					s := (me + r) % p
+					for _, cut := range [][2]int{{0, 1}, {1, l.Mz}} {
+						if cut[0] < cut[1] {
+							GatherZYPeerBlocked(&l, chunked, srcs[s], me, s, cut[0], cut[1], tile)
+						}
+					}
+				}
+				for i := range want {
+					if chunked[i] != want[i] {
+						t.Fatalf("P=%d me=%d tile=%d: chunked blocked ZY differs at %d", p, me, tile, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The blocked gathers also serve the float32 wire pipeline through the
+// same generic instantiations; complex64 must route identically.
+func TestGatherBlockedComplex64(t *testing.T) {
+	const p = 4
+	nxh, ny, mz := 3, 8, 4
+	l := NewSlabLayout(nxh, ny, mz, p)
+	srcs := make([][]complex64, p)
+	for s := range srcs {
+		srcs[s] = make([]complex64, l.Total)
+		for i := range srcs[s] {
+			srcs[s][i] = complex(float32(s*l.Total+i), float32(s))
+		}
+	}
+	for me := 0; me < p; me++ {
+		want := make([]complex64, l.Total)
+		GatherYZRange(&l, want, srcs, me, 0, l.My)
+		got := make([]complex64, l.Total)
+		GatherYZRangeBlocked(&l, got, srcs, me, 0, l.My, DefaultGatherTile)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("me=%d: complex64 blocked YZ differs at %d", me, i)
+			}
+		}
+	}
+}
+
+// NarrowStrided/WidenStrided are the shared precision kernels of the
+// float32 wire pipelines: narrowing then widening a strided window
+// must reproduce every float64 value that complex64 can represent
+// round-trip, and leave the gaps between rows untouched.
+func TestNarrowWidenStrided(t *testing.T) {
+	const rowLen, nrows, dstStride, srcStride = 6, 5, 9, 8
+	src := make([]complex128, srcStride*nrows)
+	for i := range src {
+		src[i] = complex(float64(i)+0.5, -float64(i)) // exact in float32
+	}
+	narrow := make([]complex64, dstStride*nrows)
+	NarrowStrided(narrow, dstStride, src, srcStride, rowLen, nrows)
+	wide := make([]complex128, srcStride*nrows)
+	WidenStrided(wide, srcStride, narrow, dstStride, rowLen, nrows)
+	for r := 0; r < nrows; r++ {
+		for i := 0; i < rowLen; i++ {
+			if wide[r*srcStride+i] != src[r*srcStride+i] {
+				t.Fatalf("row %d elem %d: round-trip %v != %v", r, i, wide[r*srcStride+i], src[r*srcStride+i])
+			}
+		}
+		for i := rowLen; i < srcStride; i++ {
+			if wide[r*srcStride+i] != 0 {
+				t.Fatalf("row %d: gap element %d written", r, i)
+			}
+		}
+		for i := rowLen; i < dstStride && r < nrows-1; i++ {
+			if narrow[r*dstStride+i] != 0 {
+				t.Fatalf("row %d: narrow gap element %d written", r, i)
+			}
+		}
+	}
+}
+
+func BenchmarkGatherYZ(b *testing.B) {
+	const n, p = 128, 4
+	nxh := n/2 + 1
+	l := NewSlabLayout(nxh, n, n/p, p)
+	srcs := make([][]complex128, p)
+	for s := range srcs {
+		srcs[s] = make([]complex128, l.Total)
+	}
+	dst := make([]complex128, l.Total)
+	for _, bc := range []struct {
+		name string
+		tile int
+	}{
+		{"plain", 0},
+		{fmt.Sprintf("blocked_t%d", DefaultGatherTile), DefaultGatherTile},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(16 * l.Total))
+			for i := 0; i < b.N; i++ {
+				if bc.tile == 0 {
+					GatherYZRange(&l, dst, srcs, 0, 0, l.My)
+				} else {
+					GatherYZRangeBlocked(&l, dst, srcs, 0, 0, l.My, bc.tile)
+				}
+			}
+		})
+	}
+}

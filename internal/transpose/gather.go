@@ -82,3 +82,96 @@ func GatherZYPeer[T any](l *SlabLayout, dst, src []T, me, s, izLo, izHi int) {
 		}
 	}
 }
+
+// --- cache-blocked gather variants ---------------------------------------
+//
+// The plain peer gathers stream one side contiguously and stride the
+// other by a whole row of planes (Nz·Nxh or Ny·Nxh elements). At
+// N ≥ 128 that stride exceeds 100 KiB, so every step of the strided
+// side touches a fresh cache region: by the time the outer loop wraps
+// back, the lines it wrote have been evicted and each inner copy pays
+// a miss. The blocked variants tile the outer strided dimension so one
+// tile's destination lines stay resident across the whole contiguous
+// sweep — the classic blocked-transpose traversal. Element order
+// within every copied row is unchanged and the copies are disjoint, so
+// blocked and plain gathers are bitwise-identical; only the traversal
+// order differs. DefaultGatherTile is chosen from the cmd/stridedcopy
+// per-tile sweep (8 rows ≈ 8·Nxh·16 B ≈ 2–16 KiB of resident
+// destination per tile, comfortably inside L1/L2 across the swept N).
+
+// DefaultGatherTile is the tile depth (in planes of the strided
+// dimension) used by the engines' blocked gathers.
+const DefaultGatherTile = 8
+
+// GatherYZRangeBlocked is GatherYZRange with cache-blocked peer
+// gathers. Bitwise-identical output; tiled traversal.
+//
+//psdns:hotpath
+func GatherYZRangeBlocked[T any](l *SlabLayout, dst []T, srcs [][]T, me, iyLo, iyHi, tile int) {
+	for s := 0; s < l.P; s++ {
+		GatherYZPeerBlocked(l, dst, srcs[s], me, s, iyLo, iyHi, tile)
+	}
+}
+
+// GatherYZPeerBlocked is GatherYZPeer with the iz dimension tiled: for
+// each tile of z-planes the iy sweep writes contiguous runs of
+// tile·Nxh destination elements (consecutive iz are adjacent in dst)
+// while reading source rows that advance contiguously in iy, so both
+// sides stay inside a tile-bounded working set instead of striding a
+// full Nz·Nxh row per step.
+//
+//psdns:hotpath
+func GatherYZPeerBlocked[T any](l *SlabLayout, dst, src []T, me, s, iyLo, iyHi, tile int) {
+	nxh, ny, nz, my, mz := l.Nxh, l.Ny, l.Nz, l.My, l.Mz
+	if tile <= 0 {
+		tile = mz
+	}
+	yBase := me * my
+	for izLo := 0; izLo < mz; izLo += tile {
+		izHi := min(izLo+tile, mz)
+		for iy := iyLo; iy < iyHi; iy++ {
+			srcOff := (izLo*ny + yBase + iy) * nxh
+			dstOff := (iy*nz + s*mz + izLo) * nxh
+			for iz := izLo; iz < izHi; iz++ {
+				copy(dst[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
+				srcOff += ny * nxh
+				dstOff += nxh
+			}
+		}
+	}
+}
+
+// GatherZYRangeBlocked is GatherZYRange with cache-blocked peer
+// gathers. Bitwise-identical output; tiled traversal.
+//
+//psdns:hotpath
+func GatherZYRangeBlocked[T any](l *SlabLayout, dst []T, srcs [][]T, me, izLo, izHi, tile int) {
+	for s := 0; s < l.P; s++ {
+		GatherZYPeerBlocked(l, dst, srcs[s], me, s, izLo, izHi, tile)
+	}
+}
+
+// GatherZYPeerBlocked is GatherZYPeer with the iy dimension tiled: for
+// each tile of y-rows the iz sweep writes contiguous runs of tile·Nxh
+// destination elements while the source advances contiguously in iz.
+//
+//psdns:hotpath
+func GatherZYPeerBlocked[T any](l *SlabLayout, dst, src []T, me, s, izLo, izHi, tile int) {
+	nxh, ny, nz, my, mz := l.Nxh, l.Ny, l.Nz, l.My, l.Mz
+	if tile <= 0 {
+		tile = my
+	}
+	zBase := me * mz
+	for iyLo := 0; iyLo < my; iyLo += tile {
+		iyHi := min(iyLo+tile, my)
+		for iz := izLo; iz < izHi; iz++ {
+			srcOff := (iyLo*nz + zBase + iz) * nxh
+			dstOff := (iz*ny + s*my + iyLo) * nxh
+			for iy := iyLo; iy < iyHi; iy++ {
+				copy(dst[dstOff:dstOff+nxh], src[srcOff:srcOff+nxh])
+				srcOff += nz * nxh
+				dstOff += nxh
+			}
+		}
+	}
+}

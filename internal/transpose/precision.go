@@ -1,0 +1,39 @@
+package transpose
+
+// Strided precision converters shared by both engines' single-precision
+// wire paths: the paper's production code keeps 4-byte words on every
+// wire (Table 1's memory model, Table 2's message sizes), while our
+// numerics compute in float64 for verifiable accuracy. NarrowStrided is
+// the pack-side convert (complex128 → complex64, ~1e-7 relative
+// rounding per transform) and WidenStrided the unpack-side restore;
+// between them a slab crosses the exchange at half the bytes. Both are
+// pure strided copy loops over row windows, so a worker team can split
+// the row range without write conflicts.
+
+// NarrowStrided converts nrows rows of rowLen elements from src
+// (row stride srcStride) into dst (row stride dstStride).
+//
+//psdns:hotpath
+func NarrowStrided(dst []complex64, dstStride int, src []complex128, srcStride, rowLen, nrows int) {
+	for r := 0; r < nrows; r++ {
+		d := dst[r*dstStride : r*dstStride+rowLen]
+		sc := src[r*srcStride : r*srcStride+rowLen]
+		for i, v := range sc {
+			d[i] = complex64(v)
+		}
+	}
+}
+
+// WidenStrided converts nrows rows of rowLen elements from src
+// (row stride srcStride) into dst (row stride dstStride).
+//
+//psdns:hotpath
+func WidenStrided(dst []complex128, dstStride int, src []complex64, srcStride, rowLen, nrows int) {
+	for r := 0; r < nrows; r++ {
+		d := dst[r*dstStride : r*dstStride+rowLen]
+		sc := src[r*srcStride : r*srcStride+rowLen]
+		for i, v := range sc {
+			d[i] = complex128(v)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package tuning
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/mpi"
+)
+
+// Trials is the best-of-k depth of the trial protocol: each candidate
+// is timed k times and only its best wall time competes, so a single
+// scheduler hiccup cannot disqualify a fast configuration.
+const Trials = 3
+
+// TrialBest runs the collective barrier-fenced best-of-k trial for one
+// candidate and returns this rank's best wall time in seconds. run
+// must be a collective exchange body (every rank calls TrialBest for
+// the same candidate at the same point in its collective order); the
+// barrier in front of every repetition keeps ranks aligned so no rank
+// times a peer's leftover skew. Every run is counted in the per-rank
+// tune.trials counter — the metric warm-cache tests assert stays flat
+// when a cache hit skips the trials.
+func TrialBest(c *mpi.Comm, k int, run func()) float64 {
+	trials := c.Metrics().CounterRank("tune.trials", c.Rank())
+	best := math.Inf(1)
+	for i := 0; i < k; i++ {
+		c.Barrier()
+		t0 := time.Now()
+		run()
+		if dt := time.Since(t0).Seconds(); dt < best {
+			best = dt
+		}
+		trials.Inc()
+	}
+	return best
+}
+
+// ResolveTimes gathers each rank's per-candidate best times and
+// resolves the collectively-agreed winner: candidate costs are max
+// over ranks (a collective exchange completes when its slowest rank
+// does) and the smallest cost wins, ties toward the earlier candidate.
+// Every rank computes the same (index, cost) from the same gathered
+// table, so no extra agreement round is needed. Collective.
+func ResolveTimes(c *mpi.Comm, mine []float64) (int, float64) {
+	all := make([]float64, len(mine)*c.Size())
+	mpi.Allgather(c, mine, all)
+	perRank := make([][]float64, c.Size())
+	for r := range perRank {
+		perRank[r] = all[r*len(mine) : (r+1)*len(mine)]
+	}
+	return exchange.ResolveIndex(len(mine), perRank)
+}

@@ -1,0 +1,111 @@
+// Package tuning generalizes the plan-time exchange autotuner into a
+// whole-step autotuner: instead of timing only the transpose-exchange
+// strategy, a tuned constructor searches a TuneSpace over every knob
+// the paper's production runs tune together — exchange strategy,
+// transfer granularity (per-pencil vs per-slab), pencil count, worker
+// team size and wire precision — using the same barrier-fenced
+// best-of-k, max-over-ranks Resolve protocol the strategy autotuner
+// already uses (exchange.ResolveIndex), and persists the winner in a
+// JSON tuning cache keyed by (N, P, GOMAXPROCS, machine fingerprint)
+// so production restarts skip the trials entirely.
+//
+// The package holds the engine-agnostic pieces: the search space and
+// its enumeration (Space, Point), the collective trial protocol
+// (TrialBest, ResolveTimes) with its trial-count metric, and the
+// persistent cache with its collective lookup (Config.Lookup/Store).
+// The engines (pfft.NewSlabRealTuned, core.NewAsyncSlabRealTuned) own
+// the trial bodies, because only they know how to run one exchange of
+// a given configuration.
+package tuning
+
+import "repro/internal/exchange"
+
+// Point is one configuration in the whole-step tune space. Engines
+// search the sub-space meaningful to them (the slab transform has no
+// pencils, so it ignores NP and PerSlab); the unused dimensions keep
+// their defaults and ride along unchanged.
+type Point struct {
+	// Strategy is the transpose-exchange strategy (always concrete:
+	// Auto is a request to search, AT changes the answer and is never
+	// a tuning point).
+	Strategy exchange.Strategy `json:"strategy"`
+	// PerSlab selects one whole-slab exchange over per-pencil
+	// exchanges (the async engine's Granularity).
+	PerSlab bool `json:"per_slab"`
+	// NP is the pencil count per slab (async engine only).
+	NP int `json:"np"`
+	// Workers is the per-rank worker-team size.
+	Workers int `json:"workers"`
+	// Single stages exchange payloads through complex64 buffers,
+	// halving the bytes on the wire for ~1e-7 relative rounding.
+	Single bool `json:"single"`
+}
+
+// Space is the cartesian tune space: every combination of the listed
+// dimension values is a candidate Point. Empty dimensions default to
+// the singleton zero point of that dimension (Strategies to the
+// concrete strategy list), so the zero Space searches exchange
+// strategies only — exactly the PR-5 autotuner.
+type Space struct {
+	Strategies []exchange.Strategy
+	PerSlab    []bool
+	NP         []int
+	Workers    []int
+	Single     []bool
+}
+
+// withDefaults fills empty dimensions: concrete strategies, and the
+// provided engine defaults for the scalar dimensions.
+func (s Space) withDefaults(np, workers int) Space {
+	if len(s.Strategies) == 0 {
+		s.Strategies = exchange.Concrete
+	}
+	if len(s.PerSlab) == 0 {
+		s.PerSlab = []bool{false}
+	}
+	if len(s.NP) == 0 {
+		s.NP = []int{np}
+	}
+	if len(s.Workers) == 0 {
+		s.Workers = []int{workers}
+	}
+	if len(s.Single) == 0 {
+		s.Single = []bool{false}
+	}
+	return s
+}
+
+// Points enumerates the space in deterministic order, strategies
+// varying fastest. Resolve ties break toward the earlier point, so
+// listing the safe defaults first (Staged, double precision) keeps the
+// tuner conservative under a statistical wash, exactly as the strategy
+// autotuner is. np and workers are the engine defaults substituted
+// into empty dimensions.
+func (s Space) Points(np, workers int) []Point {
+	s = s.withDefaults(np, workers)
+	var pts []Point
+	for _, sg := range s.Single {
+		for _, w := range s.Workers {
+			for _, n := range s.NP {
+				for _, ps := range s.PerSlab {
+					for _, st := range s.Strategies {
+						pts = append(pts, Point{
+							Strategy: st, PerSlab: ps, NP: n,
+							Workers: w, Single: sg,
+						})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Config carries a tuned constructor's inputs: the space to search and
+// the persistent cache consulted before (and updated after) the
+// trials. A nil Cache tunes live on every construction; a zero Space
+// searches exchange strategies only.
+type Config struct {
+	Space Space
+	Cache *Cache
+}
