@@ -4,7 +4,7 @@
 GO ?= go
 PSDNSLINT := bin/psdnslint
 
-.PHONY: all build test lint fmt bench clean
+.PHONY: all build test lint lint-fix fmt bench clean
 
 all: build test lint
 
@@ -22,11 +22,22 @@ lint: $(PSDNSLINT)
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
-	$(GO) vet -vettool=$$PWD/$(PSDNSLINT) ./...
+	$(GO) vet -vettool=$$PWD/$(PSDNSLINT) ./... ./examples/...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# lint-fix is the triage form of lint: it runs the whole analyzer
+# suite across every package (including examples) without stopping at
+# the first failure and prints each finding as a file:line link —
+# paste-able into an editor or terminal that hyperlinks them. Always
+# exits 0; use `make lint` as the gate.
+lint-fix: $(PSDNSLINT)
+	@$(GO) vet -vettool=$$PWD/$(PSDNSLINT) ./... ./examples/... 2>&1 \
+		| grep -v '^#' | grep -v '^$$' \
+		| sed 's|^\./||' || true
+	@echo "lint-fix: findings above (if any) as file:line — fix or add //psdns:allow <analyzer> <reason>"
 
 # The vettool must be a prebuilt binary: go vet invokes it once per
 # package with the -V/-flags/cfg protocol, which `go run` cannot serve.

@@ -31,8 +31,11 @@
 //
 // Besides the -baseline/-check gate, `bench -compare old.json
 // new.json` diffs two measurement files row by row (speedup per
-// workload) and exits non-zero when any shared row regresses beyond
-// -tolerance — the CI form of a before/after experiment.
+// workload) and exits 1 when any shared row regresses beyond
+// -tolerance — the CI form of a before/after experiment. A workload
+// present in the old file but absent from the new one exits 2 (the
+// offending row is printed as FAIL): a silently dropped or renamed
+// workload must not read as a pass.
 package main
 
 import (
@@ -274,9 +277,12 @@ func dnsStep(n, p int) func(iters, workers int) sample {
 	return func(iters, workers int) sample {
 		var s sample
 		mpi.Run(p, func(c *mpi.Comm) {
+			tr := pfft.NewSlabRealWorkers(c, n, workers)
+			defer tr.Close()
 			sol := spectral.NewSolverWithTransform(c, spectral.Config{
 				N: n, Nu: 0.01, Scheme: spectral.RK2, Dealias: spectral.Dealias23,
-			}, pfft.NewSlabRealWorkers(c, n, workers))
+			}, tr)
+			defer sol.Close()
 			sol.SetRandomIsotropic(3, 0.5, 1)
 			step := func() { sol.Step(1e-4) }
 			c.Barrier()
@@ -303,13 +309,16 @@ func dnsStepOpts(n, p int, opts ...spectral.Option) func(iters, workers int) sam
 	return func(iters, workers int) sample {
 		var s sample
 		mpi.Run(p, func(c *mpi.Comm) {
+			tr := pfft.NewSlabRealWorkers(c, n, workers)
+			defer tr.Close()
 			all := append([]spectral.Option{
 				spectral.WithNu(0.01),
 				spectral.WithScheme(spectral.RK2),
 				spectral.WithDealias(spectral.Dealias23),
-				spectral.WithTransform(pfft.NewSlabRealWorkers(c, n, workers)),
+				spectral.WithTransform(tr),
 			}, opts...)
 			sol := spectral.New(c, n, all...)
+			defer sol.Close()
 			sol.SetRandomIsotropic(3, 0.5, 1)
 			for f := 3; f < sol.Fields(); f++ {
 				sol.SetFieldBlob(f, 2.5, 0.5, int64(40+f))
@@ -341,13 +350,16 @@ func dnsStepAT(n, p, maxStale int) func(iters, workers int) sample {
 	return func(iters, workers int) sample {
 		var s sample
 		mpi.Run(p, func(c *mpi.Comm) {
+			tr := pfft.NewSlabRealAT(c, n, workers, maxStale, 2*time.Second)
+			defer tr.Close()
 			sol := spectral.New(c, n,
 				spectral.WithNu(0.01),
 				spectral.WithScheme(spectral.RK2),
 				spectral.WithDealias(spectral.Dealias23),
-				spectral.WithTransform(pfft.NewSlabRealAT(c, n, workers, maxStale, 2*time.Second)),
+				spectral.WithTransform(tr),
 				spectral.WithAsyncTolerance(maxStale),
 			)
+			defer sol.Close()
 			sol.SetRandomIsotropic(3, 0.5, 1)
 			step := func() { sol.Step(1e-4) }
 			c.Barrier()
@@ -488,7 +500,13 @@ func main() {
 		if flag.NArg() != 2 {
 			log.Fatal("bench -compare needs exactly two files: old.json new.json")
 		}
-		if compareFiles(flag.Arg(0), flag.Arg(1), *tolerance) {
+		failed, missing := compareFiles(flag.Arg(0), flag.Arg(1), *tolerance)
+		switch {
+		case missing:
+			// Distinct status: a disappeared workload is a harness
+			// change, not a measured regression.
+			os.Exit(2)
+		case failed:
 			os.Exit(1)
 		}
 		return
@@ -565,10 +583,14 @@ func hotpathGate(results []Result, ws []workload) bool {
 }
 
 // compareFiles diffs two measurement files row by row — speedup is
-// old/new, so >1 is an improvement — and reports whether any row
-// shared by both files regressed beyond the tolerance or grew its
-// allocs/op. Rows present in only one file are listed but never fail.
-func compareFiles(oldPath, newPath string, tol float64) bool {
+// old/new, so >1 is an improvement — and reports whether any shared
+// row regressed beyond the tolerance or grew its allocs/op (failed),
+// and whether any workload present in the old file disappeared from
+// the new one (missing). A vanished row usually means a renamed or
+// dropped workload silently escaping the gate, so the caller exits
+// with a distinct status for it. Rows present only in the new file
+// are informational.
+func compareFiles(oldPath, newPath string, tol float64) (failed, missing bool) {
 	old, err := loadBaseline(oldPath)
 	if err != nil {
 		log.Fatalf("bench: read %s: %v", oldPath, err)
@@ -581,7 +603,6 @@ func compareFiles(oldPath, newPath string, tol float64) bool {
 	if err := json.Unmarshal(data, &nf); err != nil {
 		log.Fatalf("bench: parse %s: %v", newPath, err)
 	}
-	failed := false
 	fmt.Printf("%-26s %10s %14s %14s  %s\n", "workload", "speedup", "old ns/op", "new ns/op", "verdict")
 	for _, r := range nf.Results {
 		b, ok := old[r.Name]
@@ -603,9 +624,12 @@ func compareFiles(oldPath, newPath string, tol float64) bool {
 		fmt.Printf("%-26s %9.2fx %14.0f %14.0f  %s\n", r.Name, speedup, b.NsPerOp, r.NsPerOp, verdict)
 	}
 	for name := range old {
-		fmt.Printf("%-26s removed (present only in %s)\n", name, oldPath)
+		r := old[name]
+		fmt.Printf("%-26s %10s %14.0f %14s  FAIL workload missing from %s\n",
+			name, "-", r.NsPerOp, "-", newPath)
+		missing = true
 	}
-	return failed
+	return failed, missing
 }
 
 func loadBaseline(path string) (map[string]Result, error) {

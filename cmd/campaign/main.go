@@ -97,6 +97,9 @@ func main() {
 				} else {
 					solver.Energy()
 				}
+				// The coarse stage's state now lives in the new
+				// solver; release the old engine's plans (collective).
+				prev.Close()
 			}
 			var th *spectral.Scalar
 			if st.Scalar {
@@ -178,6 +181,9 @@ func main() {
 			}
 			prev = solver
 		}
+		if prev != nil {
+			prev.Close()
+		}
 	})
 }
 
@@ -200,14 +206,18 @@ func buildSolver(c *mpi.Comm, cfg Config, n int) *spectral.Solver {
 		tr := core.NewAsyncSlabReal(c, n, core.Options{
 			NP: np, Granularity: gran, SingleComm: cfg.SingleComm,
 		})
-		return spectral.NewSolverWithTransform(c, scfg, tr)
+		s := spectral.NewSolverWithTransform(c, scfg, tr)
+		s.OwnTransform()
+		return s
 	case "threaded":
 		threads := cfg.Threads
 		if threads == 0 {
 			threads = 2
 		}
-		return spectral.NewSolverWithTransform(c, scfg,
+		s := spectral.NewSolverWithTransform(c, scfg,
 			pfftThreaded(c, n, threads))
+		s.OwnTransform()
+		return s
 	default:
 		return spectral.NewSolver(c, scfg)
 	}

@@ -200,6 +200,7 @@ func main() {
 			opts = append(opts, spectral.WithTransform(tr))
 		}
 		solver := spectral.New(c, *n, opts...)
+		defer solver.Close()
 		if c.Rank() == 0 {
 			fmt.Printf("transpose-exchange strategy: %s\n", pinned)
 			fmt.Printf("equation set: %s (%d fields)\n", solver.System().Name(), solver.Fields())

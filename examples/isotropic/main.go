@@ -40,6 +40,7 @@ func main() {
 			spectral.WithForcingNoise(1.0, 11),
 			spectral.WithTransform(tr),
 		)
+		defer s.Close()
 		s.SetRandomIsotropic(2.5, 0.6, 11)
 		for i := 0; i < steps; i++ {
 			s.Step(dt)

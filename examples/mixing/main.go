@@ -39,6 +39,7 @@ func main() {
 			spectral.WithForcing(2, 0.1),
 		}
 		s := spectral.New(c, n, opts...)
+		defer s.Close()
 		s.SetRandomIsotropic(2.5, 0.6, 31)
 		th := s.NewScalar(nu / sc)
 		th.MeanGrad = 1.0
@@ -70,6 +71,7 @@ func main() {
 
 		// "Next job": fresh solver objects restored from disk.
 		s2 := spectral.New(c, n, opts...)
+		defer s2.Close()
 		th2 := s2.NewScalar(0)
 		if err := s2.LoadCheckpoint(dir, th2); err != nil {
 			log.Fatalf("rank %d: restart: %v", c.Rank(), err)

@@ -32,6 +32,7 @@ func main() {
 			spectral.WithDealias(spectral.Dealias23),
 			spectral.WithTransform(tr),
 		)
+		defer solver.Close()
 
 		solver.SetTaylorGreen()
 		e0 := solver.Energy()

@@ -21,6 +21,7 @@ func run(n, ranks int, dt float64, steps int, scheme spectral.Scheme) (eHist []f
 			spectral.WithScheme(scheme),
 			spectral.WithDealias(spectral.Dealias23),
 		)
+		defer s.Close()
 		s.SetTaylorGreen()
 		if c.Rank() == 0 {
 			eHist = append(eHist, s.Energy())

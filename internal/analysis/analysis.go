@@ -1,4 +1,4 @@
-// Package analysis implements the psdnslint analyzer suite: five
+// Package analysis implements the psdnslint analyzer suite: eight
 // static analyzers that enforce the invariants the runtime design
 // depends on and that so far were only guarded by AllocsPerRun tests
 // and the runtime watchdog:
@@ -12,7 +12,14 @@
 //   - lockorder:  no mailbox entry points, channel sends, or nested
 //     cond.Wait while holding a mutex inside internal/mpi;
 //   - metricname: metric names are constants following the
-//     subsystem.noun[.verb] convention, each registered as one kind.
+//     subsystem.noun[.verb] convention, each registered as one kind;
+//   - collsym:    rank-dependent branches issue the same mpi
+//     collective sequence on every arm (CFG + within-package
+//     summaries; see cfg.go and summary.go);
+//   - planfree:   constructed mpi plans reach Free/Close on all
+//     paths, with field-escaped plans checked at their owner's Close;
+//   - atsite:     DoBounded only on bounded-constructed, SetSite
+//     labeled plans, and exchange.AT never enters candidate sets.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is self-contained: the repository
@@ -24,9 +31,11 @@
 //
 //	//psdns:allow <analyzer> <reason>
 //
-// on the offending line or the line above it. The reason is
-// mandatory; a bare directive suppresses nothing and is itself
-// reported. Findings in _test.go files are never reported: tests
+// on the offending line, the line above it, or — for findings inside
+// a multi-line statement — the statement's first line or the line
+// above that. The reason is mandatory; a bare directive suppresses
+// nothing and is itself reported, as is a directive naming an unknown
+// analyzer. Findings in _test.go files are never reported: tests
 // exercise raw tags, throwaway metric names and deliberate leaks.
 package analysis
 
@@ -77,7 +86,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full psdnslint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, PoolPair, MPIReq, LockOrder, MetricName}
+	return []*Analyzer{HotAlloc, PoolPair, MPIReq, LockOrder, MetricName, CollSym, PlanFree, ATSite}
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult
@@ -172,10 +181,17 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	}
 
 	allows := collectAllows(fset, files)
+	// Unknown-name reporting is against the full suite, not just the
+	// analyzers this run enabled: a single-analyzer test run must not
+	// misreport a directive aimed at a sibling analyzer.
 	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	spans := stmtSpans(fset, files)
 
 	var out []Diagnostic
 	for _, d := range all {
@@ -183,13 +199,23 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		if strings.HasSuffix(posn.Filename, "_test.go") {
 			continue
 		}
-		if dir := matchAllow(allows, posn, d.Analyzer); dir != nil && dir.reason != "" {
+		if dir := matchAllow(allows, spans, posn, d.Analyzer); dir != nil && dir.reason != "" {
 			continue
 		}
 		out = append(out, d)
 	}
 	for _, dir := range allows {
-		if dir.reason == "" && known[dir.analyzer] && !strings.HasSuffix(dir.file, "_test.go") {
+		if strings.HasSuffix(dir.file, "_test.go") {
+			continue
+		}
+		switch {
+		case dir.analyzer != "" && !known[dir.analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "psdnslint",
+				Message:  fmt.Sprintf("psdns:allow names unknown analyzer %q; the directive suppresses nothing", dir.analyzer),
+			})
+		case dir.reason == "" && known[dir.analyzer]:
 			out = append(out, Diagnostic{
 				Pos:      dir.pos,
 				Analyzer: dir.analyzer,
@@ -211,15 +237,60 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	return out
 }
 
+// stmtSpan is the line extent of one statement, used to let a
+// directive above a multi-line statement cover findings on its
+// continuation lines.
+type stmtSpan struct {
+	start, end int
+}
+
+// stmtSpans records the line span of every statement per file.
+func stmtSpans(fset *token.FileSet, files []*ast.File) map[string][]stmtSpan {
+	out := map[string][]stmtSpan{}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			if s, ok := n.(ast.Stmt); ok {
+				out[name] = append(out[name], stmtSpan{
+					start: fset.Position(s.Pos()).Line,
+					end:   fset.Position(s.End()).Line,
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// stmtStartLine returns the first line of the innermost multi-line
+// statement containing the given line, or 0 when the line is not on a
+// continuation line of any statement.
+func stmtStartLine(spans []stmtSpan, line int) int {
+	best := 0
+	bestSize := 1 << 30
+	for _, sp := range spans {
+		if sp.start < line && line <= sp.end && sp.end-sp.start < bestSize {
+			best, bestSize = sp.start, sp.end-sp.start
+		}
+	}
+	return best
+}
+
 // matchAllow finds a directive covering a diagnostic: same file, same
-// analyzer, on the diagnostic's line or the line above it.
-func matchAllow(allows []allowDirective, posn token.Position, analyzer string) *allowDirective {
+// analyzer, on the diagnostic's line, the line above it, or — when
+// the finding sits on a continuation line of a multi-line statement —
+// the statement's first line or the line above that.
+func matchAllow(allows []allowDirective, spans map[string][]stmtSpan, posn token.Position, analyzer string) *allowDirective {
+	stmtLine := stmtStartLine(spans[posn.Filename], posn.Line)
 	for i := range allows {
 		d := &allows[i]
 		if d.analyzer != analyzer || d.file != posn.Filename {
 			continue
 		}
 		if d.line == posn.Line || d.line == posn.Line-1 {
+			return d
+		}
+		if stmtLine > 0 && (d.line == stmtLine || d.line == stmtLine-1) {
 			return d
 		}
 	}

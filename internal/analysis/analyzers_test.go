@@ -26,3 +26,22 @@ func TestLockOrder(t *testing.T) {
 func TestMetricName(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.MetricName, "metricname")
 }
+
+func TestCollSym(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.CollSym, "collsym")
+}
+
+func TestPlanFree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.PlanFree, "planfree")
+}
+
+func TestATSite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ATSite, "atsite")
+}
+
+// TestSuppressEdgeCases drives the directive edge cases through a
+// real analyzer: multi-line statement coverage, unknown analyzer
+// names, and reason-less directives.
+func TestSuppressEdgeCases(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MPIReq, "suppress")
+}

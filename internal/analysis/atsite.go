@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ATSite guards the asynchrony-tolerant exchange contract:
+//
+//  1. DoBounded is only called on plans constructed with a staleness
+//     bound (NewExchangePlanBounded). A bounded receive on a plan
+//     whose peers publish without epoch tags returns slabs of
+//     unknowable staleness — the cross-site corruption class PR 7
+//     fixed at runtime;
+//  2. a plan with multiple DoBounded call sites must be SetSite
+//     labeled, so the per-direction staleness accounting can tell the
+//     YZ and ZY transposes apart;
+//  3. exchange.AT never flows into a concrete strategy candidate set
+//     ([]exchange.Strategy literals or appends): AT is an execution
+//     mode, not a tunable strategy, and an autotuner that trials it
+//     changes the answer it is timing.
+var ATSite = &Analyzer{
+	Name: "atsite",
+	Doc:  "DoBounded requires bounded-constructed, site-labeled plans; exchange.AT stays out of candidate sets",
+	Run:  runATSite,
+}
+
+func runATSite(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "mpi" {
+		return // the runtime's own internals define the bounded protocol
+	}
+
+	// Constructor mode per plan key (a local/param object or a struct
+	// field). Keys that see both modes, or whose construction is not
+	// syntactically visible (closure-built, passed in), stay unknown
+	// and are skipped — lenient by design.
+	const (
+		modeSync  = "sync"
+		modeAT    = "at"
+		modeMixed = "mixed"
+	)
+	modes := map[types.Object]string{}
+	setMode := func(key types.Object, m string) {
+		if key == nil {
+			return
+		}
+		if prev, ok := modes[key]; ok && prev != m {
+			modes[key] = modeMixed
+			return
+		}
+		modes[key] = m
+	}
+	ctorMode := func(e ast.Expr) string {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return ""
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Name() != "mpi" {
+			return ""
+		}
+		switch f.Name() {
+		case "NewExchangePlan":
+			return modeSync
+		case "NewExchangePlanBounded":
+			return modeAT
+		}
+		return ""
+	}
+	keyOf := func(e ast.Expr) types.Object {
+		e = ast.Unparen(e)
+		if field := fieldOf(pass.Info, e); field != nil {
+			return field
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[id]
+		}
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Rhs {
+					if m := ctorMode(n.Rhs[i]); m != "" {
+						setMode(keyOf(n.Lhs[i]), m)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i := range n.Values {
+					if m := ctorMode(n.Values[i]); m != "" {
+						setMode(pass.Info.Defs[n.Names[i]], m)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Walk DoBounded/SetSite call sites and candidate-set literals.
+	boundedSites := map[types.Object][]token.Pos{}
+	sited := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				checkATFlow(pass, n)
+				return true
+			}
+			checkATFlow(pass, n)
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "mpi" {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil || !isNamed(sig.Recv().Type(), "mpi", "ExchangePlan") {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := keyOf(sel.X)
+			switch fn.Name() {
+			case "DoBounded":
+				if key == nil {
+					return true
+				}
+				if modes[key] == modeSync {
+					pass.Reportf(call.Pos(),
+						"DoBounded on a plan constructed without a staleness bound (NewExchangePlan); use NewExchangePlanBounded")
+				}
+				boundedSites[key] = append(boundedSites[key], call.Pos())
+			case "SetSite":
+				if key != nil {
+					sited[key] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Deterministic order over keys for stable output.
+	var flagged []token.Pos
+	for key, sites := range boundedSites {
+		if len(sites) < 2 || sited[key] {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		flagged = append(flagged, sites[1])
+	}
+	sort.Slice(flagged, func(i, j int) bool { return flagged[i] < flagged[j] })
+	for _, pos := range flagged {
+		pass.Reportf(pos,
+			"multiple DoBounded sites on one plan without SetSite labeling; label each site so staleness accounting stays per-direction")
+	}
+}
+
+// checkATFlow flags exchange.AT inside []exchange.Strategy composite
+// literals and appends.
+func checkATFlow(pass *Pass, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		if !isStrategySlice(pass.Info.TypeOf(n)) {
+			return
+		}
+		for _, elt := range n.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if isATRef(pass.Info, elt) {
+				pass.Reportf(elt.Pos(),
+					"exchange.AT in a concrete strategy candidate set; AT is an execution mode, not a tunable strategy")
+			}
+		}
+	case *ast.CallExpr:
+		if !isBuiltin(pass.Info, n, "append") || len(n.Args) == 0 {
+			return
+		}
+		if !isStrategySlice(pass.Info.TypeOf(n.Args[0])) {
+			return
+		}
+		for _, a := range n.Args[1:] {
+			if isATRef(pass.Info, a) {
+				pass.Reportf(a.Pos(),
+					"exchange.AT appended to a concrete strategy candidate set; AT is an execution mode, not a tunable strategy")
+			}
+		}
+	}
+}
+
+// isStrategySlice reports whether t is a slice or array of
+// exchange.Strategy.
+func isStrategySlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isNamed(u.Elem(), "exchange", "Strategy")
+	case *types.Array:
+		return isNamed(u.Elem(), "exchange", "Strategy")
+	}
+	return false
+}
+
+// isATRef reports whether the expression denotes exchange.AT.
+func isATRef(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	obj := info.Uses[id]
+	return obj != nil && obj.Name() == "AT" && obj.Pkg() != nil && obj.Pkg().Name() == "exchange"
+}

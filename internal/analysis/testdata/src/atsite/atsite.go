@@ -1,0 +1,58 @@
+// Package atsite exercises the asynchrony-tolerant exchange contract:
+// DoBounded only on bounded-constructed plans, SetSite labeling for
+// multi-site plans, and exchange.AT out of candidate sets.
+package atsite
+
+import (
+	"exchange"
+	"mpi"
+)
+
+// DoBounded on a plan built without a staleness bound.
+func badUnboundedDoBounded(c *mpi.Comm, src []complex128) {
+	p := mpi.NewExchangePlan(c, 8)
+	defer p.Free()
+	p.DoBounded(src, nil, 2) // want `DoBounded on a plan constructed without a staleness bound`
+}
+
+// Clean twin: bounded construction, one labeled site.
+func goodBounded(c *mpi.Comm, src []complex128) {
+	p := mpi.NewExchangePlanBounded(c, 8, 2, 0)
+	defer p.Free()
+	p.SetSite("yz")
+	p.DoBounded(src, nil, 2)
+}
+
+// Two DoBounded sites on one plan without SetSite: the staleness
+// accounting cannot tell the directions apart.
+func badUnlabeledSites(c *mpi.Comm, src []complex128) {
+	p := mpi.NewExchangePlanBounded(c, 8, 2, 0)
+	defer p.Free()
+	p.DoBounded(src, nil, 2)
+	p.DoBounded(src, nil, 2) // want `multiple DoBounded sites on one plan without SetSite labeling`
+}
+
+// Clean twin: both sites labeled.
+func goodLabeledSites(c *mpi.Comm, src []complex128) {
+	p := mpi.NewExchangePlanBounded(c, 8, 2, 0)
+	defer p.Free()
+	p.SetSite("yz")
+	p.DoBounded(src, nil, 2)
+	p.SetSite("zy")
+	p.DoBounded(src, nil, 2)
+}
+
+// exchange.AT must not enter concrete candidate sets.
+func badCandidateLiteral() []exchange.Strategy {
+	return []exchange.Strategy{exchange.Staged, exchange.AT} // want `exchange\.AT in a concrete strategy candidate set`
+}
+
+func badCandidateAppend(cands []exchange.Strategy) []exchange.Strategy {
+	return append(cands, exchange.AT) // want `exchange\.AT appended to a concrete strategy candidate set`
+}
+
+// Clean twin: candidates come from the Concrete list, which excludes
+// AT by construction.
+func goodCandidates() []exchange.Strategy {
+	return append([]exchange.Strategy{}, exchange.Concrete...)
+}

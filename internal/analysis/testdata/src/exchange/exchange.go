@@ -1,0 +1,18 @@
+// Package exchange is a fixture stub with the strategy enum the
+// atsite analyzer matches on: package name "exchange", a Strategy
+// type, the AT mode constant, and the Concrete candidate list.
+package exchange
+
+type Strategy int
+
+const (
+	Auto Strategy = iota
+	Staged
+	Fused
+	ChunkedFused
+	AT
+)
+
+// Concrete lists the strategies an autotuner chooses between; AT is
+// excluded by design.
+var Concrete = []Strategy{Staged, Fused, ChunkedFused}

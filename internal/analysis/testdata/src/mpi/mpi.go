@@ -7,6 +7,10 @@ package mpi
 type Comm struct{ rank int }
 
 func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Size() int { return 1 }
+func (c *Comm) Barrier()  {}
+
+func Allgather(c *Comm, send, recv []float64) {}
 
 type Request struct{ done chan struct{} }
 
@@ -33,4 +37,20 @@ func NewExchangePlanBounded(c *Comm, slabLen, maxStale int, deadlineNs int64) *E
 }
 func (p *ExchangePlan) Do(src []complex128, gather func([][]complex128))                   {}
 func (p *ExchangePlan) DoBounded(src []complex128, gather func([][]complex128), stale int) {}
+func (p *ExchangePlan) SetSite(site string)                                                {}
 func (p *ExchangePlan) Free()                                                              {}
+
+// A2APlan and ReducePlan mirror the persistent all-to-all and
+// reduction plans for the planfree/collsym/atsite fixtures.
+type A2APlan struct{}
+
+func NewA2APlan(c *Comm, n int) *A2APlan      { return &A2APlan{} }
+func (p *A2APlan) Do(send, recv []complex128) {}
+func (p *A2APlan) Free()                      {}
+
+type ReducePlan struct{ pl *ExchangePlan }
+
+func NewReducePlan(c *Comm, n int) *ReducePlan { return &ReducePlan{} }
+func (r *ReducePlan) Sum(vals []float64)       {}
+func (r *ReducePlan) Max(vals []float64)       {}
+func (r *ReducePlan) Free()                    {}

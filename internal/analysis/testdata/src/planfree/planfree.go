@@ -1,0 +1,68 @@
+// Package planfree exercises the plan-lifecycle analyzer: local plans
+// must reach Free on all paths, and plans escaping into struct fields
+// must be freed at their owner's Close.
+package planfree
+
+import "mpi"
+
+// Local plan never freed.
+func badLocalLeak(c *mpi.Comm) {
+	p := mpi.NewExchangePlan(c, 8) // want `plan from NewExchangePlan may not reach Free on function exit`
+	_ = p
+}
+
+// Freed on the happy path only: the error return leaks it.
+func badLeakOnReturn(c *mpi.Comm, fail bool) error {
+	p := mpi.NewExchangePlan(c, 8) // want `plan from NewExchangePlan may not reach Free on this return path`
+	if fail {
+		return errFixture
+	}
+	p.Free()
+	return nil
+}
+
+// Clean twin: deferred Free covers every path.
+func goodDeferredFree(c *mpi.Comm, fail bool) error {
+	p := mpi.NewExchangePlan(c, 8)
+	defer p.Free()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// Clean: returning the plan hands ownership to the caller.
+func goodReturned(c *mpi.Comm) *mpi.A2APlan {
+	p := mpi.NewA2APlan(c, 4)
+	return p
+}
+
+type fixtureErr struct{}
+
+func (fixtureErr) Error() string { return "fixture" }
+
+var errFixture error = fixtureErr{}
+
+// engine owns its plans; planfree checks field-escaped plans at the
+// package level: every field a plan is stored into must be freed
+// somewhere (directly, through an index, or element-wise in a range).
+type engine struct {
+	ex   *mpi.ExchangePlan
+	red  *mpi.ReducePlan
+	a2as []*mpi.A2APlan
+}
+
+func (e *engine) setup(c *mpi.Comm) {
+	e.ex = mpi.NewExchangePlan(c, 8)
+	e.red = mpi.NewReducePlan(c, 1) // want `plan stored in field engine\.red is never freed in this package`
+	for i := 0; i < 2; i++ {
+		e.a2as = append(e.a2as, mpi.NewA2APlan(c, 4))
+	}
+}
+
+func (e *engine) Close() {
+	e.ex.Free()
+	for _, pl := range e.a2as {
+		pl.Free()
+	}
+}

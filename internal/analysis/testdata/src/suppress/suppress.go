@@ -1,0 +1,30 @@
+// Package suppress exercises the //psdns:allow directive's edge
+// cases: a directive above a multi-line statement covers findings on
+// its continuation lines, and a directive naming an unknown analyzer
+// is itself reported.
+package suppress
+
+import "mpi"
+
+// The raw-tag finding lands on the continuation line holding the
+// literal; the directive above the statement's first line must cover
+// it.
+func multilineStatement(c *mpi.Comm, buf []float64) {
+	//psdns:allow mpireq fixture exercises statement-start suppression
+	mpi.Send(c, 1,
+		42,
+		buf)
+}
+
+// A typo'd analyzer name suppresses nothing and is reported.
+func wrongAnalyzerName(c *mpi.Comm, buf []float64) {
+	//psdns:allow mpireqq typo should be caught // want `psdns:allow names unknown analyzer "mpireqq"`
+	mpi.Send(c, 1, 43, buf) // want `raw tag literal 43`
+}
+
+// A known-analyzer directive with no reason is reported and
+// suppresses nothing.
+func missingReason(c *mpi.Comm, buf []float64) {
+	//psdns:allow mpireq // want `psdns:allow mpireq requires a non-empty reason`
+	mpi.Send(c, 1, 44, buf) // want `raw tag literal 44`
+}

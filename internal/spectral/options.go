@@ -212,6 +212,7 @@ func New(comm *mpi.Comm, n int, opts ...Option) *Solver {
 		}
 	}
 	tr := o.tr
+	ownTr := false
 	if tr == nil {
 		if n < 4 || n%2 != 0 {
 			panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", n))
@@ -221,6 +222,9 @@ func New(comm *mpi.Comm, n int, opts ...Option) *Solver {
 		} else {
 			tr = pfft.NewSlabReal(comm, n)
 		}
+		ownTr = true
 	}
-	return newSolverAT(comm, o.cfg, tr, sys, o.atStale >= 0)
+	s := newSolverAT(comm, o.cfg, tr, sys, o.atStale >= 0)
+	s.ownTr = ownTr
+	return s
 }

@@ -154,7 +154,43 @@ type Solver struct {
 	// step labels the same physical quantity, making an accepted stale
 	// slab's age a whole number of time steps.
 	atSite uint32
+
+	// ownTr records that the solver built its transform itself (New /
+	// NewSolver without WithTransform) and therefore closes it; a
+	// caller-supplied engine stays the caller's to close. closed makes
+	// Close idempotent.
+	ownTr  bool
+	closed bool
 }
+
+// Close releases the solver's collectively-registered resources: the
+// system's persistent plans (through an optional Close method, e.g.
+// the forced systems' band-energy ReducePlan) and, when the solver
+// constructed its own transform engine, that engine's exchange and
+// all-to-all plans. Collective — every rank must call it — and
+// idempotent. Solvers running on a caller-supplied transform leave
+// the engine open for the caller to close.
+func (s *Solver) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if c, ok := s.sys.(interface{ Close() }); ok {
+		c.Close()
+	}
+	if s.ownTr {
+		if c, ok := s.Transform().(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
+}
+
+// OwnTransform transfers ownership of a caller-supplied transform to
+// the solver: Close will close the engine along with the system. For
+// call sites that build a transform solely for one solver and never
+// touch it again (a builder returning just the *Solver); a transform
+// shared across solvers must stay caller-owned.
+func (s *Solver) OwnTransform() { s.ownTr = true }
 
 // stalenessReporter is the staleness-accounting contract an
 // asynchrony-tolerant transform engine exposes (pfft.SlabReal and
@@ -176,7 +212,9 @@ func NewSolver(comm *mpi.Comm, cfg Config) *Solver {
 	if cfg.N < 4 || cfg.N%2 != 0 {
 		panic(fmt.Sprintf("spectral: N must be even and ≥4, got %d", cfg.N))
 	}
-	return NewSolverWithTransform(comm, cfg, pfft.NewSlabReal(comm, cfg.N))
+	s := NewSolverWithTransform(comm, cfg, pfft.NewSlabReal(comm, cfg.N))
+	s.ownTr = true
+	return s
 }
 
 // NewSolverWithTransform allocates a solver running on a caller-chosen

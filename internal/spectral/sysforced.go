@@ -71,6 +71,11 @@ func (y *ForcedNS) Diagnostics(s *Solver) []Diagnostic {
 // Forcing exposes the controller (e.g. to retune Eps between runs).
 func (y *ForcedNS) Forcing() *StochasticForcing { return y.forcing }
 
+// Close frees the forcing controller's persistent reduction plan
+// (collective). Invoked by Solver.Close through the optional-Close
+// system contract.
+func (y *ForcedNS) Close() { y.forcing.Close() }
+
 // StochasticForcing injects kinetic energy into the large scales
 // (shells 1 ≤ k ≤ KF) at exactly the prescribed rate Eps: after each
 // step of size dt the band modes are scaled by the uniform factor
@@ -123,6 +128,15 @@ func NewStochasticForcing(spec ForcingSpec) *StochasticForcing {
 func (f *StochasticForcing) setup(s *Solver) {
 	f.red = mpi.NewReducePlan(s.comm, 1)
 	f.buf = make([]float64, 1)
+}
+
+// Close frees the persistent band-energy reduction plan (collective;
+// idempotent). A controller that is never Setup has nothing to free.
+func (f *StochasticForcing) Close() {
+	if f.red != nil {
+		f.red.Free()
+		f.red = nil
+	}
 }
 
 // BandEnergy returns the kinetic energy in the forced band
