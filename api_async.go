@@ -57,6 +57,33 @@ func ParseExchangeStrategy(s string) (ExchangeStrategy, error) {
 	return exchange.Parse(s)
 }
 
+// Decomposition selects how the 3D field is distributed over the P
+// ranks: the slab layout (the zero value, P slabs of N/P planes, valid
+// while P divides N), an explicit Pr×Pc pencil process grid (lifting
+// the slab's P ≤ N scaling wall), or an autotuned choice among every
+// valid layout.
+type Decomposition = tuning.Decomp
+
+// The named decompositions. DecompSlab is the zero value; DecompAuto
+// asks a tuned constructor to measure every valid layout and keep the
+// winner.
+var (
+	DecompSlab = tuning.DecompSlab
+	DecompAuto = tuning.DecompAuto
+)
+
+// PencilDecomp is the pencil decomposition over a pr×pc process grid:
+// pr row groups over y (z in spectral layout) and pc column groups
+// over z (x in spectral layout). Valid when pr·pc = P, pr | N, pc | N
+// and pc ≤ N/2+1.
+func PencilDecomp(pr, pc int) Decomposition { return tuning.Pencil(pr, pc) }
+
+// ParseDecomposition parses "slab", "auto", or an explicit "PRxPC"
+// grid such as "2x4" (the -decomp flag vocabulary of cmd/dns).
+func ParseDecomposition(s string) (Decomposition, error) {
+	return tuning.ParseDecomp(s)
+}
+
 // AsyncOption customizes NewAsync.
 type AsyncOption func(*AsyncOptions)
 
@@ -109,6 +136,17 @@ func WithWaitDeadline(d time.Duration) AsyncOption {
 // identical to staged; only the data path differs.
 func WithExchangeStrategy(s ExchangeStrategy) AsyncOption {
 	return func(o *AsyncOptions) { o.Exchange = s }
+}
+
+// WithDecomposition declares the engine's field decomposition. The
+// asynchronous pipeline is slab-only (its pencils are the within-slab
+// batching of Fig 3, not a process-grid axis), so anything but
+// DecompSlab panics at construction; the option exists so one
+// Decomposition value can thread through solver, async-engine and
+// transform construction uniformly. Pencil grids run through
+// NewTunedTransform.
+func WithDecomposition(d Decomposition) AsyncOption {
+	return func(o *AsyncOptions) { o.Decomp = d }
 }
 
 // WithBoundedStaleness runs the engine's transpose-exchanges in
@@ -218,6 +256,33 @@ func NewTunedSlabTransform(c *Comm, n, workers int, cacheDir string, space *Tune
 		cfg.Cache = tuning.Open(cacheDir)
 	}
 	return pfft.NewSlabRealTuned(c, n, workers, cfg)
+}
+
+// RealTransform is the decomposition-generic view of the distributed
+// real-field transforms: real physical fields in, conjugate-symmetric
+// half-spectra out, 1/N³ normalization on the inverse. SlabReal and
+// the pencil engine implement it with bitwise-identical results for
+// every valid decomposition.
+type RealTransform = pfft.Real
+
+// NewTunedTransform builds the real-field transform for decomposition
+// d through the whole-step autotuner: DecompSlab searches exchange
+// strategies on the slab engine, an explicit Pr×Pc grid searches them
+// on that pencil grid, and DecompAuto makes the decomposition itself a
+// tune dimension over every valid layout — the constructor that runs
+// at P > N, where no slab layout exists. A non-empty cacheDir persists
+// the winning configuration so later constructions with the same
+// (engine, N, P, GOMAXPROCS, machine) key skip the trials; a nil space
+// searches the numerics-preserving default. Collective.
+func NewTunedTransform(c *Comm, n, workers int, d Decomposition, cacheDir string, space *TuneSpace) RealTransform {
+	var cfg tuning.Config
+	if space != nil {
+		cfg.Space = *space
+	}
+	if cacheDir != "" {
+		cfg.Cache = tuning.Open(cacheDir)
+	}
+	return pfft.NewRealTuned(c, n, workers, d, cfg)
 }
 
 // NewSingleCommSlabTransform is the host slab transform with

@@ -27,7 +27,11 @@
 //     half the exchanged bytes);
 //   - slab_tuned_n64_p4: the slab transform constructed through the
 //     whole-step autotuner (trials at construction, outside the timed
-//     window), pinning the tuned configuration allocation-free.
+//     window), pinning the tuned configuration allocation-free;
+//   - pencil_fwd_inv_n64_p4 / p8: the forward+inverse transform on the
+//     2D pencil engine (2×2 and 2×4 process grids), pinning the
+//     two-transpose dataflow — column and row exchanges through
+//     per-sub-communicator plans — allocation-free at steady state.
 //
 // Besides the -baseline/-check gate, `bench -compare old.json
 // new.json` diffs two measurement files row by row (speedup per
@@ -240,6 +244,43 @@ func slabTransformTuned(n, p int) func(iters, workers int) sample {
 	return slabTransformWith(p, func(c *mpi.Comm, workers int) *pfft.SlabReal {
 		return pfft.NewSlabRealTuned(c, n, workers, tuning.Config{})
 	})
+}
+
+// pencilTransform measures one forward+inverse cycle of the pencil
+// transform engine at fixed N over a Pr×Pc process grid, pinning the
+// steady state of the two-transpose dataflow (column and row
+// exchanges both on the chunked zero-copy gather). Rank 0 samples;
+// peers run the same collective loop.
+func pencilTransform(n, pr, pc int) func(iters, workers int) sample {
+	return func(iters, workers int) sample {
+		var s sample
+		mpi.Run(pr*pc, func(c *mpi.Comm) {
+			row, col := c.CartGrid(pr, pc)
+			f := pfft.NewPencilReal(col, row, n, workers, exchange.Both(exchange.ChunkedFused))
+			defer f.Close()
+			four := make([]complex128, f.FourierLen())
+			phys := make([]float64, f.PhysicalLen())
+			for i := range phys {
+				phys[i] = float64(i%17) * 0.5
+			}
+			cycle := func() {
+				f.PhysicalToFourier(four, phys)
+				f.FourierToPhysical(phys, four)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				s = timeLoop(iters, 2, cycle)
+			} else {
+				for i := 0; i < iters+2; i++ {
+					cycle()
+				}
+			}
+			// Hold every rank until measurement ends so teardown
+			// allocations can't publish into the window's profile flush.
+			c.Barrier()
+		})
+		return s
+	}
 }
 
 func slabTransformWith(p int, build func(c *mpi.Comm, workers int) *pfft.SlabReal) func(iters, workers int) sample {
@@ -481,6 +522,8 @@ var workloads = []workload{
 	{"slab_f32_fwd_inv_n64_p4", 40, 8, true, slabTransformSingle(64, 4)},
 	{"slab_f32_fwd_inv_n128_p4", 10, 2, true, slabTransformSingle(128, 4)},
 	{"slab_tuned_n64_p4", 40, 8, true, slabTransformTuned(64, 4)},
+	{"pencil_fwd_inv_n64_p4", 40, 8, true, pencilTransform(64, 2, 2)},
+	{"pencil_fwd_inv_n64_p8", 20, 4, true, pencilTransform(64, 2, 4)},
 }
 
 func main() {

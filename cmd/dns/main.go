@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -45,6 +46,7 @@ func main() {
 		np       = flag.Int("np", 3, "pencils per slab (async engine)")
 		gran     = flag.String("gran", "slab", "all-to-all granularity: pencil or slab (async)")
 		exch     = flag.String("exchange", "auto", "transpose-exchange strategy: auto, staged, fused, chunked or at (auto microbenchmarks at startup and pins the winner; at needs -at-stale)")
+		decomp   = flag.String("decomp", "slab", "field decomposition: slab, auto, or a PRxPC pencil grid such as 2x4 (non-slab selects the transform drive loop — one forward+inverse transform pair per step — which also runs at ranks > N, past the slab scaling wall)")
 		autotune = flag.Bool("autotune", false, "whole-step autotuning: search exchange strategy and engine knobs together at startup and pin the collectively-agreed winner")
 		tuneDir  = flag.String("tunecache", "", "persist autotuner decisions as JSON under this directory (implies -autotune; a warm cache skips the startup trials)")
 		atStale  = flag.Int("at-stale", -1, "asynchrony-tolerant stepping: bounded-staleness exchanges with this staleness bound in exchange epochs (-1 = off; implies -exchange at)")
@@ -81,8 +83,15 @@ func main() {
 		*metOn = true
 	}
 
-	if *n%*ranks != 0 {
-		log.Fatalf("ranks must divide N: %d %% %d != 0", *n, *ranks)
+	dec, err := tuning.ParseDecomp(*decomp)
+	if err != nil {
+		log.Fatalf("-decomp: %v", err)
+	}
+	if dec.IsSlab() && *n%*ranks != 0 {
+		log.Fatalf("ranks must divide N: %d %% %d != 0 (a pencil -decomp lifts this constraint)", *n, *ranks)
+	}
+	if dec.IsPencil() && !dec.Valid(*n, *ranks) {
+		log.Fatalf("-decomp %s invalid for N=%d ranks=%d (need Pr·Pc=ranks, Pr|N, Pc|N, Pc ≤ N/2+1)", dec, *n, *ranks)
 	}
 	if *system != "" && spectral.SystemCode(*system) < 0 {
 		log.Fatalf("-system: unknown equation set %q; registered systems: %s",
@@ -141,6 +150,30 @@ func main() {
 			f.Crash = map[int]int{rank: op}
 		}
 		runOpts = append(runOpts, mpi.WithFaults(f))
+	}
+
+	if !dec.IsSlab() {
+		// Non-slab decompositions are a transform-level feature: the
+		// solver's state lives on the slab layout, so -decomp pencil/auto
+		// drives the tuned transform directly — one forward+inverse pair
+		// per step — which is also the only mode that runs at ranks > N.
+		if *engine == "async" {
+			log.Fatalf("-decomp %s: the asynchronous engine is slab-only; drop -engine async", dec)
+		}
+		if strategy == exchange.AT {
+			log.Fatalf("-decomp %s combines with a concrete or auto -exchange, not at", dec)
+		}
+		if err := runTransformDrive(dec, strategy, *n, *ranks, *steps, *workers, *tuneDir, *metOn, runOpts); err != nil {
+			log.Fatalf("run failed: %v", err)
+		}
+		if *metOn {
+			fft.PublishMetrics(metrics.Default())
+			snap := metrics.Default().Snapshot()
+			printPhaseBreakdown(snap, *steps)
+			fmt.Println("runtime metrics (max over ranks):")
+			fmt.Print(snap.MaxOverRanks().Text())
+		}
+		os.Exit(0)
 	}
 
 	fmt.Printf("DNS %d³ on %d ranks, %s, engine=%s ν=%g dt=%g\n",
@@ -390,4 +423,74 @@ func printPhaseBreakdown(snap metrics.Snapshot, steps int) {
 	}
 	fmt.Printf("  %-10s %10.4fs/step  (phases cover %.1f%% of wall)\n",
 		"wall", wall.Value/float64(steps), 100*total/wall.Value)
+}
+
+// runTransformDrive is the -decomp pencil/auto mode: build the tuned
+// real-field transform for the requested decomposition and drive
+// forward+inverse transform pairs, reporting per-step wall times (max
+// over ranks) and the round-trip error. This is the path that runs at
+// ranks > N, where no slab layout exists.
+func runTransformDrive(dec tuning.Decomp, strategy exchange.Strategy, n, ranks, steps, workers int, tuneDir string, metOn bool, runOpts []mpi.RunOption) error {
+	fmt.Printf("transform drive %d³ on %d ranks, decomp=%s (forward+inverse pair per step)\n", n, ranks, dec)
+	return mpi.TryRun(ranks, func(c *mpi.Comm) {
+		var cfg tuning.Config
+		if tuneDir != "" {
+			cfg.Cache = tuning.Open(tuneDir)
+		}
+		if strategy != exchange.Auto {
+			cfg.Space.Strategies = []exchange.Strategy{strategy}
+		}
+		tr := pfft.NewRealTuned(c, n, workers, dec, cfg)
+		defer tr.Close()
+		root := c.Rank() == 0
+		if root {
+			switch e := tr.(type) {
+			case *pfft.PencilReal:
+				l := e.Layout()
+				fmt.Printf("decomposition: pencil %dx%d\n", l.Pr, l.Pc)
+				fmt.Printf("transpose-exchange strategies: yz=%s zy=%s\n", e.Strategy(), e.StrategyZY())
+			case *pfft.SlabReal:
+				fmt.Println("decomposition: slab")
+				fmt.Printf("transpose-exchange strategies: yz=%s zy=%s\n", e.Strategy(), e.StrategyZY())
+			}
+		}
+		phys := make([]float64, tr.PhysicalLen())
+		orig := make([]float64, tr.PhysicalLen())
+		four := make([]complex128, tr.FourierLen())
+		base := c.Rank() * tr.PhysicalLen()
+		for i := range phys {
+			phys[i] = math.Sin(0.37 * float64(base+i))
+		}
+		copy(orig, phys)
+		timer := stats.NewStepTimer(c)
+		if metOn {
+			c.Barrier()
+			metrics.Enable()
+		}
+		for i := 0; i < steps; i++ {
+			timer.Begin()
+			tr.PhysicalToFourier(four, phys)
+			tr.FourierToPhysical(phys, four)
+			wall := timer.End()
+			if root {
+				fmt.Printf("step %3d  wall=%.3fs\n", i+1, wall)
+			}
+		}
+		if metOn {
+			c.Barrier()
+			metrics.Disable()
+		}
+		diff := []float64{0}
+		for i := range phys {
+			if d := math.Abs(phys[i] - orig[i]); d > diff[0] {
+				diff[0] = d
+			}
+		}
+		mpi.AllreduceMax(c, diff)
+		if root {
+			fmt.Printf("round-trip max|err| after %d pairs: %.3e\n", steps, diff[0])
+			fmt.Printf("time/step (max over ranks, averaged): %.3fs over %d steps\n",
+				timer.MeanMax(), timer.Steps())
+		}
+	}, runOpts...)
 }

@@ -109,3 +109,34 @@ func allowedConditional(c *mpi.Comm) {
 		c.Barrier()
 	}
 }
+
+// Pencil grids: a plan exchange on a sub-communicator is as much a
+// collective as one on the world; gating the row-group exchange on the
+// grid coordinate stalls the whole column of the process grid.
+func badRowGatedPencilExchange(c *mpi.Comm, buf []complex128, gather func([][]complex128)) {
+	row, col := c.CartGrid(2, 2)
+	rowEx := mpi.NewExchangePlan(row, 8)
+	colEx := mpi.NewExchangePlan(col, 8)
+	colEx.Do(buf, gather)
+	if c.Rank()/2 == 0 { // want `rank-dependent branch diverges in collective sequence`
+		rowEx.Do(buf, gather)
+	}
+	rowEx.Free()
+	colEx.Free()
+}
+
+// Symmetric twin: the row and column exchanges of a pencil transpose
+// run unconditionally on every rank; only local packing is gated on
+// the grid coordinate.
+func goodPencilExchangePair(c *mpi.Comm, buf []complex128, gather func([][]complex128), pack func()) {
+	row, col := c.CartGrid(2, 2)
+	rowEx := mpi.NewExchangePlan(row, 8)
+	colEx := mpi.NewExchangePlan(col, 8)
+	if c.Rank()/2 == 0 {
+		pack()
+	}
+	colEx.Do(buf, gather)
+	rowEx.Do(buf, gather)
+	rowEx.Free()
+	colEx.Free()
+}

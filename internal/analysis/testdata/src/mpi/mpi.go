@@ -10,6 +10,12 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return 1 }
 func (c *Comm) Barrier()  {}
 
+// Split and CartGrid mirror the sub-communicator constructors; both
+// are collectives over the parent, and the communicators they return
+// carry collectives of their own (the pencil row/column exchanges).
+func (c *Comm) Split(color, key int) *Comm           { return &Comm{} }
+func (c *Comm) CartGrid(pr, pc int) (row, col *Comm) { return &Comm{}, &Comm{} }
+
 func Allgather(c *Comm, send, recv []float64) {}
 
 type Request struct{ done chan struct{} }

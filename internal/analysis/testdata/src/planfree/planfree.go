@@ -66,3 +66,38 @@ func (e *engine) Close() {
 		pl.Free()
 	}
 }
+
+// pencilEngine owns one plan per grid direction, the pencil
+// transpose's row/column pair; Close frees only the row plan, so the
+// column plan's barrier stays registered on every rank of its group.
+type pencilEngine struct {
+	rowEx *mpi.ExchangePlan
+	colEx *mpi.ExchangePlan
+}
+
+func (e *pencilEngine) setup(c *mpi.Comm) {
+	row, col := c.CartGrid(2, 2)
+	e.rowEx = mpi.NewExchangePlan(row, 8)
+	e.colEx = mpi.NewExchangePlan(col, 8) // want `plan stored in field pencilEngine\.colEx is never freed in this package`
+}
+
+func (e *pencilEngine) Close() {
+	e.rowEx.Free()
+}
+
+// Clean twin: both directions freed at Close.
+type pencilEngineOK struct {
+	rowEx *mpi.ExchangePlan
+	colEx *mpi.ExchangePlan
+}
+
+func (e *pencilEngineOK) setup(c *mpi.Comm) {
+	row, col := c.CartGrid(2, 2)
+	e.rowEx = mpi.NewExchangePlan(row, 8)
+	e.colEx = mpi.NewExchangePlan(col, 8)
+}
+
+func (e *pencilEngineOK) Close() {
+	e.rowEx.Free()
+	e.colEx.Free()
+}

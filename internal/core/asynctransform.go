@@ -92,6 +92,13 @@ type Options struct {
 	// searches strategies × granularities at the option-given np,
 	// workers and precision).
 	TuneSpace *tuning.Space
+	// Decomp is the field decomposition. The asynchronous pipeline is
+	// built on the slab layout (its pencils are the within-slab batching
+	// of Fig 3, not a process-grid axis), so only tuning.DecompSlab —
+	// the zero value — is accepted; pencil grids and DecompAuto panic,
+	// pointing at pfft.NewRealTuned, the decomposition-generic
+	// constructor.
+	Decomp tuning.Decomp
 }
 
 // span is a half-open index range.
@@ -225,6 +232,9 @@ type AsyncSlabReal struct {
 func NewAsyncSlabReal(comm *mpi.Comm, n int, opt Options) *AsyncSlabReal {
 	if n%2 != 0 {
 		panic(fmt.Sprintf("core: N must be even, got %d", n))
+	}
+	if !opt.Decomp.IsSlab() {
+		panic(fmt.Sprintf("core: the asynchronous engine is slab-only, got decomposition %s; use pfft.NewRealTuned for pencil grids", opt.Decomp))
 	}
 	if opt.Autotune {
 		cfg := tuning.Config{}

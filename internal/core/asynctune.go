@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 
 	"repro/internal/exchange"
@@ -67,7 +68,7 @@ func NewAsyncSlabRealTuned(comm *mpi.Comm, n int, opt Options, cfg tuning.Config
 		// searched when the space asks for it explicitly.
 		space.Single = []bool{opt.SingleComm}
 	}
-	pts := space.Points(np, workers)
+	pts := asyncPoints(space, np, workers)
 	mine := make([]float64, len(pts))
 	var (
 		eng *AsyncSlabReal
@@ -96,6 +97,34 @@ func NewAsyncSlabRealTuned(comm *mpi.Comm, n int, opt Options, cfg tuning.Config
 	pt := pts[win]
 	cfg.Store(comm, key, pt, cost)
 	return NewAsyncSlabReal(comm, n, applyPoint(opt, pt))
+}
+
+// asyncPoints enumerates the async engine's sub-space. The engine has
+// one exchange knob driving both transpose directions and runs on the
+// slab layout only, so the per-direction and decomposition dimensions
+// collapse (StrategyZY := Strategy, Pr = Pc = 0) and the collapsed
+// list is deduplicated — the trial count stays one per distinct engine
+// configuration, not one per foreign-dimension combination. A space
+// that asks for pencil grids explicitly is a caller error: the
+// decomposition dimension belongs to pfft.NewRealTuned.
+func asyncPoints(space tuning.Space, np, workers int) []tuning.Point {
+	for _, d := range space.Decomps {
+		if !d.IsSlab() {
+			panic(fmt.Sprintf("core: the asynchronous engine is slab-only, tune space lists decomposition %s; use pfft.NewRealTuned for pencil grids", d))
+		}
+	}
+	seen := map[tuning.Point]bool{}
+	var out []tuning.Point
+	for _, pt := range space.Points(np, workers) {
+		pt.StrategyZY = pt.Strategy
+		pt.Pr, pt.Pc = 0, 0
+		if seen[pt] {
+			continue
+		}
+		seen[pt] = true
+		out = append(out, pt)
+	}
+	return out
 }
 
 // applyPoint pins every tuned dimension of pt onto opt.

@@ -104,6 +104,56 @@ func Parse(s string) (Strategy, error) {
 	return Auto, fmt.Errorf("exchange: unknown strategy %q (want auto, staged, fused, chunked or at)", s)
 }
 
+// Pair names one strategy per transpose direction: YZ for the
+// Fourier→physical transpose and ZY for physical→Fourier. The two
+// directions move the same bytes through mirrored access patterns, so
+// an autotuner can (and does) pick them independently.
+type Pair struct {
+	YZ Strategy
+	ZY Strategy
+}
+
+// Both returns the pair that uses s in both directions.
+func Both(s Strategy) Pair { return Pair{YZ: s, ZY: s} }
+
+// String renders the pair as "yz/zy" ("fused/staged"), collapsing to
+// the single name when both directions agree.
+func (p Pair) String() string {
+	if p.YZ == p.ZY {
+		return p.YZ.String()
+	}
+	return p.YZ.String() + "/" + p.ZY.String()
+}
+
+// ParsePair maps a flag value to a Pair: either one strategy name for
+// both directions ("fused") or a "yz/zy" pair ("fused/staged").
+func ParsePair(s string) (Pair, error) {
+	yz, zy, ok := stringsCut(s, '/')
+	if !ok {
+		st, err := Parse(s)
+		return Both(st), err
+	}
+	sy, err := Parse(yz)
+	if err != nil {
+		return Pair{}, err
+	}
+	sz, err := Parse(zy)
+	if err != nil {
+		return Pair{}, err
+	}
+	return Pair{YZ: sy, ZY: sz}, nil
+}
+
+// stringsCut avoids importing strings for one call site.
+func stringsCut(s string, sep byte) (before, after string, found bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == sep {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
 // Resolve picks the winner from trial times gathered across ranks.
 // perRank[r][i] is rank r's best wall time (seconds) for candidate
 // cands[i]. A collective exchange completes when its slowest rank

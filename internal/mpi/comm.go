@@ -20,8 +20,15 @@ type world struct {
 	reg     *metrics.Registry
 
 	// watch is the stall watchdog's bookkeeping; nil on unmonitored
-	// worlds (sub-communicators created by Split).
+	// worlds. Split sub-worlds run their own watchState under the
+	// parent's configuration (wd/wdOn below), so stalls inside
+	// sub-communicator exchanges are detected too.
 	watch *watchState
+	// wd is the watchdog configuration this world runs under (already
+	// defaulted); wdOn records whether monitoring is enabled. Split
+	// copies both into sub-worlds.
+	wd   Watchdog
+	wdOn bool
 	// faults is the compiled fault-injection plan; nil when none.
 	faults *faultState
 
@@ -30,6 +37,13 @@ type world struct {
 	progress atomic.Int64
 	// pending counts fault-delayed messages still on a timer.
 	pending atomic.Int64
+
+	// fromParent maps a parent-world rank to this sub-world's rank for
+	// worlds created by Split; nil on the root world. It lets rankDone
+	// cascade a rank's exit into every sub-communicator the rank is a
+	// member of, so no sub-world's deadlock detector keeps waiting on a
+	// rank that can never re-enter it.
+	fromParent map[int]int
 
 	mu       sync.Mutex
 	children []*world // sub-communicators created by Split
@@ -87,6 +101,65 @@ func (w *world) isAborted() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.aborted
+}
+
+// stopWatches stops this world's watchdog monitor and, recursively,
+// every descendant sub-world's. Called once by run after all ranks
+// have returned; Split sub-worlds have no teardown of their own, so
+// their monitors live until the whole run ends.
+func (w *world) stopWatches() {
+	if w.watch != nil {
+		close(w.watch.stop)
+		<-w.watch.done
+	}
+	w.mu.Lock()
+	children := append([]*world(nil), w.children...)
+	w.mu.Unlock()
+	for _, c := range children {
+		c.stopWatches()
+	}
+}
+
+// deepStallErr returns this world's stall verdict, or the first one
+// recorded by a descendant sub-world's watchdog: a stall detected
+// inside a sub-communicator exchange aborts the whole run, and the
+// parent's ranks then die of the bare cascade, so the sub-world holds
+// the only typed account of what happened.
+func (w *world) deepStallErr() *StallError {
+	if st := w.stallErr(); st != nil {
+		return st
+	}
+	w.mu.Lock()
+	children := append([]*world(nil), w.children...)
+	w.mu.Unlock()
+	for _, c := range children {
+		if st := c.deepStallErr(); st != nil {
+			return st
+		}
+	}
+	return nil
+}
+
+// rankDone records that one of this world's ranks has returned from
+// its rank function, here and transitively in every sub-communicator
+// the rank belongs to. A returned rank can never re-enter an exchange,
+// so leaving it "live" in a sub-world's watchState would let a
+// deadlock among the remaining members — e.g. pencil ranks blocked in
+// a row-group transpose whose peer exited — sit below the quiescence
+// detector forever.
+func (w *world) rankDone(rank int) {
+	if w == nil {
+		return
+	}
+	w.watch.rankDone(rank)
+	w.mu.Lock()
+	kids := append([]*world(nil), w.children...)
+	w.mu.Unlock()
+	for _, ch := range kids {
+		if sub, ok := ch.fromParent[rank]; ok {
+			ch.rankDone(sub)
+		}
+	}
 }
 
 // adoptChild registers a sub-communicator for cascading aborts.
@@ -273,7 +346,8 @@ func run(p int, fn func(*Comm), reg *metrics.Registry, opts []RunOption) error {
 	}
 	w := newWorld(p, cfg.reg, fs)
 	if !cfg.wd.Off {
-		w.watch = newWatchState(cfg.wd.withDefaults(), p)
+		w.wd, w.wdOn = cfg.wd.withDefaults(), true
+		w.watch = newWatchState(w.wd, p)
 		go w.watch.monitor(w)
 	}
 	var wg sync.WaitGroup
@@ -282,7 +356,7 @@ func run(p int, fn func(*Comm), reg *metrics.Registry, opts []RunOption) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			defer w.watch.rankDone(rank)
+			defer w.rankDone(rank)
 			defer func() {
 				if e := recover(); e != nil {
 					panics[rank] = e
@@ -293,10 +367,7 @@ func run(p int, fn func(*Comm), reg *metrics.Registry, opts []RunOption) error {
 		}(r)
 	}
 	wg.Wait()
-	if w.watch != nil {
-		close(w.watch.stop)
-		<-w.watch.done
-	}
+	w.stopWatches()
 	// Report the primary panic, skipping ranks that died from the
 	// cascade itself.
 	for r, e := range panics {
@@ -304,8 +375,10 @@ func run(p int, fn func(*Comm), reg *metrics.Registry, opts []RunOption) error {
 			return &RankError{Rank: r, Err: panicErr(e)}
 		}
 	}
-	// No rank misbehaved on its own: a watchdog stall is the cause.
-	if st := w.stallErr(); st != nil {
+	// No rank misbehaved on its own: a watchdog stall is the cause —
+	// possibly detected by a sub-communicator's watchdog, whose abort
+	// cascades up as bare errAborted panics on the parent's ranks.
+	if st := w.deepStallErr(); st != nil {
 		return st
 	}
 	for r, e := range panics {
@@ -390,8 +463,15 @@ func (c *Comm) Barrier() {
 // Split partitions the communicator into sub-communicators by color,
 // ordering ranks within each new communicator by (key, old rank) as
 // MPI_Comm_split does. Every rank must call Split collectively.
-// Sub-communicators inherit the parent's abort cascade but are not
-// covered by the parent world's watchdog or fault injection.
+//
+// Sub-communicators inherit the parent's robustness wiring: the abort
+// cascade, the watchdog configuration (each sub-world runs its own
+// monitor, so a stall inside a sub-communicator exchange surfaces as
+// a typed StallError), and the fault plan's crash schedules (a rank's
+// crash follows it into every communicator it joins; the operation
+// index counts per communicator, since each Comm keeps its own
+// counter). Message-level fault rules stay with the parent world's
+// mailboxes: the sub-communicator's traffic is new traffic.
 func (c *Comm) Split(color, key int) *Comm {
 	type entry struct{ color, key, rank int }
 	mine := entry{color, key, c.rank}
@@ -421,7 +501,20 @@ func (c *Comm) Split(color, key int) *Comm {
 	// distributes it to its group members over the parent communicator.
 	var nw *world
 	if group[0].rank == c.rank {
-		nw = newWorld(len(group), c.w.reg, nil)
+		parentRanks := make([]int, len(group))
+		for i, e := range group {
+			parentRanks[i] = e.rank
+		}
+		nw = newWorld(len(group), c.w.reg, c.w.faults.forSubgroup(parentRanks))
+		nw.fromParent = make(map[int]int, len(parentRanks))
+		for sub, pr := range parentRanks {
+			nw.fromParent[pr] = sub
+		}
+		if c.w.wdOn {
+			nw.wd, nw.wdOn = c.w.wd, true
+			nw.watch = newWatchState(nw.wd, len(group))
+			go nw.watch.monitor(nw)
+		}
 		c.w.adoptChild(nw) // cascade aborts into the sub-communicator
 		for _, e := range group[1:] {
 			Send(c, e.rank, splitTag, []*world{nw})

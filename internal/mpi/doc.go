@@ -48,6 +48,9 @@
 //
 // WithFaults injects deterministic message pathologies (drop,
 // duplicate, delay, rank crashes) for chaos testing; see Faults.
-// Sub-communicators created by Split share the parent's abort cascade
-// but are not covered by the parent's watchdog or fault plan.
+// Sub-communicators created by Split share the parent's abort cascade,
+// run their own watchdog under the parent's configuration, and inherit
+// the fault plan's crash schedules (re-keyed to the sub-communicator's
+// ranks, operation counts per communicator); message-level fault rules
+// apply to the parent world's mailboxes only.
 package mpi

@@ -194,6 +194,40 @@ func compileFaults(f *Faults, p int, reg *metrics.Registry) (*faultState, error)
 	return fs, nil
 }
 
+// forSubgroup derives the fault state a Split sub-world inherits:
+// crash schedules follow each rank into the sub-communicator (the
+// crash map is re-keyed to the sub-world's ranks; the operation index
+// counts per communicator because every Comm keeps its own counter),
+// while message rules stay with the parent world's mailboxes. Returns
+// nil when no group member has a scheduled crash, so rule-only fault
+// plans add no per-message overhead to sub-communicators.
+func (fs *faultState) forSubgroup(parentRanks []int) *faultState {
+	if fs == nil || fs.crash == nil {
+		return nil
+	}
+	crash := make(map[int]int)
+	for child, parent := range parentRanks {
+		if op, ok := fs.crash[parent]; ok {
+			crash[child] = op
+		}
+	}
+	if len(crash) == 0 {
+		return nil
+	}
+	p := len(parentRanks)
+	// The rng and counter slices must be sized even though no rules
+	// ever draw from them: outcome indexes rngs before consulting the
+	// rule list, and nil counters are no-ops.
+	return &faultState{
+		p:      p,
+		crash:  crash,
+		rngs:   make([]*rand.Rand, p*p),
+		drops:  make([]*metrics.Counter, p),
+		dups:   make([]*metrics.Counter, p),
+		delays: make([]*metrics.Counter, p),
+	}
+}
+
 // outcome draws this message's fate from the first matching rule.
 func (fs *faultState) outcome(src, dst int, key matchKey, bytes int64) (drop, dup bool, delay time.Duration) {
 	rng := fs.rngs[src*fs.p+dst]

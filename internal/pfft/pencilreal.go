@@ -8,13 +8,16 @@ import (
 	"repro/internal/mpi"
 )
 
-// PencilReal is the real-field transform on the 2D pencil
-// decomposition — the structure of the synchronous CPU production code
-// of Yeung et al. [23] that Table 3 benchmarks against. Real data
-// makes the x extent n/2+1 after the r2c transform, which does not
-// divide evenly among the row groups; like the production codes, the
-// row transpose therefore uses variable-count exchanges (Alltoallv)
-// over near-equal x spans.
+// PencilRealRef is the reference real-field transform on the 2D
+// pencil decomposition — the structure of the synchronous CPU
+// production code of Yeung et al. [23] that Table 3 benchmarks
+// against, kept as an independently-derived cross-check for the
+// production PencilReal engine (it allocates per call and transforms
+// in x, y, z order, so it is numerically but not bitwise comparable).
+// Real data makes the x extent n/2+1 after the r2c transform, which
+// does not divide evenly among the row groups; like the production
+// codes, the row transpose therefore uses variable-count exchanges
+// (Alltoallv) over near-equal x spans.
 //
 // Layouts (x fastest unless stated):
 //
@@ -24,7 +27,7 @@ import (
 //
 // with my = n/Pr, mz = n/Pc, my2 = n/Pc and wx this rank's share of
 // the nxh = n/2+1 half-spectrum bins.
-type PencilReal struct {
+type PencilRealRef struct {
 	commY *mpi.Comm // size Pr: completes x↔y
 	commZ *mpi.Comm // size Pc: completes y↔z
 	n     int
@@ -68,16 +71,16 @@ func splitSpan(total, parts int) []span {
 	return out
 }
 
-// NewPencilReal builds the transform. commY must have size Pr and
+// NewPencilRealRef builds the transform. commY must have size Pr and
 // commZ size Pc; Pr and Pc must divide N; N must be even.
-func NewPencilReal(commY, commZ *mpi.Comm, n int) *PencilReal {
+func NewPencilRealRef(commY, commZ *mpi.Comm, n int) *PencilRealRef {
 	if n%2 != 0 {
-		panic(fmt.Sprintf("pfft: PencilReal requires even N, got %d", n))
+		panic(fmt.Sprintf("pfft: PencilRealRef requires even N, got %d", n))
 	}
 	pr, pc := commY.Size(), commZ.Size()
 	g := grid.NewPencil2D(n, pr, pc, commY.Rank(), commZ.Rank())
 	nxh := n/2 + 1
-	f := &PencilReal{
+	f := &PencilRealRef{
 		commY: commY, commZ: commZ, n: n, nxh: nxh, pr: pr, pc: pc,
 		my: g.MY(), mz: g.MZ(), my2: g.MY2(),
 		xsp: splitSpan(nxh, pr),
@@ -110,17 +113,17 @@ func wxMax(spans []span) int {
 }
 
 // wx is this rank's half-spectrum share.
-func (f *PencilReal) wx() int { return f.xsp[f.commY.Rank()].width() }
+func (f *PencilRealRef) wx() int { return f.xsp[f.commY.Rank()].width() }
 
 // PhysicalLen is the real element count of one local physical pencil.
-func (f *PencilReal) PhysicalLen() int { return f.mz * f.my * f.n }
+func (f *PencilRealRef) PhysicalLen() int { return f.mz * f.my * f.n }
 
 // FourierLen is the complex element count of one local spectral pencil.
-func (f *PencilReal) FourierLen() int { return f.my2 * f.wx() * f.n }
+func (f *PencilRealRef) FourierLen() int { return f.my2 * f.wx() * f.n }
 
 // PhysicalToFourier transforms phys (layout A, real) into four
 // (layout C, complex), unnormalized.
-func (f *PencilReal) PhysicalToFourier(four []complex128, phys []float64) {
+func (f *PencilRealRef) PhysicalToFourier(four []complex128, phys []float64) {
 	if len(phys) != f.PhysicalLen() || len(four) != f.FourierLen() {
 		panic(fmt.Sprintf("pfft: pencil real wants %d/%d, got %d/%d",
 			f.PhysicalLen(), f.FourierLen(), len(phys), len(four)))
@@ -199,7 +202,7 @@ func (f *PencilReal) PhysicalToFourier(four []complex128, phys []float64) {
 }
 
 // FourierToPhysical is the inverse sequence, with 1/N³ normalization.
-func (f *PencilReal) FourierToPhysical(phys []float64, four []complex128) {
+func (f *PencilRealRef) FourierToPhysical(phys []float64, four []complex128) {
 	if len(phys) != f.PhysicalLen() || len(four) != f.FourierLen() {
 		panic(fmt.Sprintf("pfft: pencil real wants %d/%d, got %d/%d",
 			f.PhysicalLen(), f.FourierLen(), len(phys), len(four)))

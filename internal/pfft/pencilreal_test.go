@@ -20,13 +20,13 @@ func pencilComms(c *mpi.Comm, pc int) (commY, commZ *mpi.Comm, yG, zG int) {
 	return commY, commZ, yG, zG
 }
 
-func TestPencilRealRoundTrip(t *testing.T) {
+func TestPencilRealRefRoundTrip(t *testing.T) {
 	n := 12
 	for _, grids := range [][2]int{{2, 2}, {3, 2}, {2, 3}} {
 		pr, pc := grids[0], grids[1]
 		mpi.Run(pr*pc, func(c *mpi.Comm) {
 			commY, commZ, _, _ := pencilComms(c, pc)
-			f := NewPencilReal(commY, commZ, n)
+			f := NewPencilRealRef(commY, commZ, n)
 			rng := rand.New(rand.NewSource(int64(c.Rank()) + 3))
 			phys := make([]float64, f.PhysicalLen())
 			for i := range phys {
@@ -47,7 +47,7 @@ func TestPencilRealRoundTrip(t *testing.T) {
 	}
 }
 
-func TestPencilRealMatchesLocalReference(t *testing.T) {
+func TestPencilRealRefMatchesLocalReference(t *testing.T) {
 	// Transform a known global real field and compare every spectral
 	// coefficient against the local full 3D reference.
 	n := 8
@@ -71,7 +71,7 @@ func TestPencilRealMatchesLocalReference(t *testing.T) {
 	results := map[int][]complex128{}
 	mpi.Run(pr*pc, func(c *mpi.Comm) {
 		commY, commZ, yG, zG := pencilComms(c, pc)
-		f := NewPencilReal(commY, commZ, n)
+		f := NewPencilRealRef(commY, commZ, n)
 		my, mz := n/pr, n/pc
 		phys := make([]float64, f.PhysicalLen())
 		// Layout A: [mz][my][nx]; global y = yG·my+iy, z = zG·mz+iz.
@@ -110,7 +110,7 @@ func TestPencilRealMatchesLocalReference(t *testing.T) {
 	}
 }
 
-func TestPencilRealUnevenXSplit(t *testing.T) {
+func TestPencilRealRefUnevenXSplit(t *testing.T) {
 	// nxh = 7 for n=12 split over pr=3: spans of 3,2,2 — every rank
 	// must still round-trip exactly.
 	n := 12
@@ -121,7 +121,7 @@ func TestPencilRealUnevenXSplit(t *testing.T) {
 	}
 	mpi.Run(pr*pc, func(c *mpi.Comm) {
 		commY, commZ, _, _ := pencilComms(c, pc)
-		f := NewPencilReal(commY, commZ, n)
+		f := NewPencilRealRef(commY, commZ, n)
 		phys := make([]float64, f.PhysicalLen())
 		for i := range phys {
 			phys[i] = float64(i%13) - 6
@@ -139,12 +139,12 @@ func TestPencilRealUnevenXSplit(t *testing.T) {
 	})
 }
 
-func TestPencilRealParseval(t *testing.T) {
+func TestPencilRealRefParseval(t *testing.T) {
 	n := 8
 	pr, pc := 2, 2
 	mpi.Run(pr*pc, func(c *mpi.Comm) {
 		commY, commZ, _, _ := pencilComms(c, pc)
-		f := NewPencilReal(commY, commZ, n)
+		f := NewPencilRealRef(commY, commZ, n)
 		rng := rand.New(rand.NewSource(int64(c.Rank()) + 9))
 		phys := make([]float64, f.PhysicalLen())
 		var e float64

@@ -1,0 +1,251 @@
+package pfft
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/exchange"
+	"repro/internal/hw"
+	"repro/internal/mpi"
+	"repro/internal/pool"
+	"repro/internal/tuning"
+)
+
+// Real is the interface of the distributed real-field DNS transforms:
+// real physical fields, conjugate-symmetric half-spectra, 1/N³
+// normalization on the inverse. SlabReal and PencilReal implement it
+// with bitwise-identical results for every valid decomposition.
+type Real interface {
+	FourierToPhysical(phys []float64, four []complex128)
+	PhysicalToFourier(four []complex128, phys []float64)
+	FourierLen() int
+	PhysicalLen() int
+	Workers() int
+	Close()
+}
+
+// trialRunner is the tuned constructor's view of a candidate engine:
+// one collective exchange trial per transpose direction.
+type trialRunner interface {
+	runTrialYZ(st exchange.Strategy, four []complex128)
+	runTrialZY(st exchange.Strategy, four []complex128)
+	FourierLen() int
+	Close()
+}
+
+// runTrialYZ adapts SlabReal's y→z trial to the trialRunner interface.
+func (f *SlabReal) runTrialYZ(st exchange.Strategy, four []complex128) { f.runTrial(st, four) }
+
+// setStrategies pins the per-direction winners on a trial engine.
+func (f *SlabReal) setStrategies(yz, zy exchange.Strategy) {
+	f.stratYZ, f.stratZY = yz, zy
+	f.setStrategyGauges()
+}
+
+func (f *PencilReal) setStrategies(yz, zy exchange.Strategy) {
+	f.stratYZ, f.stratZY = yz, zy
+	f.setStrategyGauges()
+}
+
+// NewRealTuned builds the DNS transform for decomposition d, searching
+// cfg.Space with the whole-step trial protocol and persisting the
+// winner in the tuning cache:
+//
+//   - d slab (the zero value): exactly NewSlabRealTuned — strategy ×
+//     workers × wire-precision search under the "slab" cache key.
+//   - d an explicit Pr×Pc pencil: the grid is fixed, the strategy and
+//     worker dimensions are searched, under a per-grid cache key
+//     ("pencil-PRxPC").
+//   - d DecompAuto: the decomposition itself becomes a tune dimension
+//     — candidates are cfg.Space.Decomps (DecompAuto entries expanded,
+//     invalid entries dropped), or every valid decomposition of (N, P)
+//     when the space leaves the dimension empty — under the "real"
+//     cache key. Slab, when valid, is enumerated first, so the
+//     max-over-ranks tie-break never abandons it for a statistical
+//     wash; at P > N only pencil grids are valid and the search picks
+//     among them.
+//
+// Trials are exchange-only (per-rank FFT work is identical across
+// decompositions), timed per transpose direction and memoized per
+// (engine, direction, strategy), so a candidate pair costs two trial
+// runs, not four. A cache hit constructs the cached point directly
+// with zero trial exchanges. The pencil engine is double-precision
+// only, so pencil candidates ignore the wire-precision dimension.
+// Collective.
+func NewRealTuned(comm *mpi.Comm, n, workers int, d tuning.Decomp, cfg tuning.Config) Real {
+	p := comm.Size()
+	switch {
+	case d.IsSlab():
+		return NewSlabRealTuned(comm, n, workers, cfg)
+	case d.IsPencil():
+		if !d.Valid(n, p) {
+			panic(fmt.Sprintf("pfft: decomposition %s invalid for N=%d P=%d (Pr·Pc=P, Pr|N, Pc|N, Pc ≤ N/2+1)",
+				d, n, p))
+		}
+		return tunedReal(comm, n, workers, "pencil-"+d.String(), []tuning.Decomp{d}, cfg)
+	case d.IsAuto():
+		decomps := expandDecomps(cfg.Space.Decomps, n, p)
+		if len(decomps) == 0 {
+			panic(fmt.Sprintf("pfft: no valid decomposition for N=%d P=%d", n, p))
+		}
+		return tunedReal(comm, n, workers, "real", decomps, cfg)
+	default:
+		panic(fmt.Sprintf("pfft: malformed decomposition %+v", d))
+	}
+}
+
+// expandDecomps resolves the space's decomposition dimension against
+// (n, p): empty means every valid decomposition, DecompAuto entries
+// expand likewise, and invalid entries are dropped.
+func expandDecomps(ds []tuning.Decomp, n, p int) []tuning.Decomp {
+	if len(ds) == 0 {
+		return tuning.Decompositions(n, p)
+	}
+	seen := map[tuning.Decomp]bool{}
+	var out []tuning.Decomp
+	add := func(d tuning.Decomp) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, d := range ds {
+		if d.IsAuto() {
+			for _, e := range tuning.Decompositions(n, p) {
+				add(e)
+			}
+		} else if d.Valid(n, p) {
+			add(d)
+		}
+	}
+	return out
+}
+
+// realPoints enumerates cfg.Space over an explicit decomposition list:
+// NP and PerSlab are foreign dimensions here (canonicalized away), and
+// pencil points collapse the wire-precision dimension (the pencil
+// engine is double-precision only). Space tie-break order is kept.
+func realPoints(space tuning.Space, workers int, decomps []tuning.Decomp) []tuning.Point {
+	space.Decomps = decomps
+	type rk struct {
+		pr, pc   int
+		st, stZY exchange.Strategy
+		workers  int
+		single   bool
+	}
+	seen := map[rk]bool{}
+	var out []tuning.Point
+	for _, pt := range space.Points(0, workers) {
+		pt.NP, pt.PerSlab = 0, false
+		if pt.Decomp().IsPencil() {
+			pt.Single = false
+		}
+		k := rk{pt.Pr, pt.Pc, pt.Strategy, pt.StrategyZY, pt.Workers, pt.Single}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, pt)
+	}
+	return out
+}
+
+// realFromPoint constructs the engine a tuned point describes, with
+// its per-direction strategies pinned — the zero-trial cache-hit path.
+func realFromPoint(comm *mpi.Comm, n int, pt tuning.Point) Real {
+	if d := pt.Decomp(); d.IsPencil() {
+		commY, commZ := gridComms(comm, d)
+		return NewPencilReal(commY, commZ, n, pt.Workers, exchange.Pair{YZ: pt.Strategy, ZY: pt.StrategyZY})
+	}
+	eng := newSlabReal(comm, n, pt.Workers, pt.Strategy, 0, 0, pt.Single)
+	eng.stratZY = pt.StrategyZY
+	eng.setStrategyGauges()
+	return eng
+}
+
+// gridComms splits comm into the Pr-rank column (commY) and Pc-rank
+// row (commZ) communicators of a Pr×Pc grid. Collective.
+func gridComms(comm *mpi.Comm, d tuning.Decomp) (commY, commZ *mpi.Comm) {
+	row, col := comm.CartGrid(d.Pr, d.Pc)
+	return col, row
+}
+
+// tunedReal runs the decomposition × strategy × workers search under
+// the given cache key. Every rank enumerates the same candidate list,
+// builds trial engines lazily in candidate order (keeping the
+// collective construction sequence symmetric), memoizes one trial per
+// (engine, direction, strategy), and resolves the sum-of-directions
+// cost table through the max-over-ranks protocol. Collective.
+func tunedReal(comm *mpi.Comm, n, workers int, engineKey string, decomps []tuning.Decomp, cfg tuning.Config) Real {
+	key := tuning.Key{
+		Engine:   engineKey,
+		N:        n,
+		P:        comm.Size(),
+		Maxprocs: runtime.GOMAXPROCS(0),
+		Machine:  hw.Fingerprint(),
+	}
+	if pt, ok := cfg.Lookup(comm, key); ok {
+		return realFromPoint(comm, n, pt)
+	}
+	pts := realPoints(cfg.Space, workers, decomps)
+	type group struct {
+		d       tuning.Decomp
+		workers int
+		single  bool
+	}
+	type dirKey struct {
+		g  group
+		st exchange.Strategy
+		zy bool
+	}
+	engines := map[group]trialRunner{}
+	trials := map[group][]complex128{}
+	times := map[dirKey]float64{}
+	mine := make([]float64, len(pts))
+	for i, pt := range pts {
+		g := group{pt.Decomp(), pt.Workers, pt.Single}
+		eng := engines[g]
+		if eng == nil {
+			if g.d.IsPencil() {
+				commY, commZ := gridComms(comm, g.d)
+				eng = NewPencilReal(commY, commZ, n, g.workers, exchange.Both(exchange.Staged))
+			} else {
+				eng = newSlabReal(comm, n, g.workers, exchange.Staged, 0, 0, g.single)
+			}
+			engines[g] = eng
+			trials[g] = pool.GetComplex(eng.FourierLen())
+		}
+		trial := trials[g]
+		kyz := dirKey{g, pt.Strategy, false}
+		if _, ok := times[kyz]; !ok {
+			st := pt.Strategy
+			times[kyz] = tuning.TrialBest(comm, tuning.Trials, func() { eng.runTrialYZ(st, trial) })
+		}
+		kzy := dirKey{g, pt.StrategyZY, true}
+		if _, ok := times[kzy]; !ok {
+			st := pt.StrategyZY
+			times[kzy] = tuning.TrialBest(comm, tuning.Trials, func() { eng.runTrialZY(st, trial) })
+		}
+		mine[i] = times[kyz] + times[kzy]
+	}
+	win, cost := tuning.ResolveTimes(comm, mine)
+	pt := pts[win]
+	cfg.Store(comm, key, pt, cost)
+	winner := group{pt.Decomp(), pt.Workers, pt.Single}
+	keep := engines[winner]
+	for g, e := range engines {
+		pool.PutComplex(trials[g])
+		if e != keep {
+			e.Close()
+		}
+	}
+	switch eng := keep.(type) {
+	case *SlabReal:
+		eng.setStrategies(pt.Strategy, pt.StrategyZY)
+		return eng
+	default:
+		peng := keep.(*PencilReal)
+		peng.setStrategies(pt.Strategy, pt.StrategyZY)
+		return peng
+	}
+}

@@ -30,12 +30,19 @@ type phaseMetrics struct {
 }
 
 func newPhaseMetrics(c *mpi.Comm) *phaseMetrics {
-	r := c.Metrics()
+	return newPhaseMetricsAt(c.Metrics(), c.Rank())
+}
+
+// newPhaseMetricsAt labels the histograms with an explicit rank:
+// sub-communicators share the world's registry, so engines spanning a
+// process grid pass a grid-global rank instead of a sub-communicator
+// rank that would collide across groups.
+func newPhaseMetricsAt(r *metrics.Registry, rank int) *phaseMetrics {
 	return &phaseMetrics{
-		fft:    r.HistogramRank("phase.fft", c.Rank()),
-		pack:   r.HistogramRank("phase.pack", c.Rank()),
-		a2a:    r.HistogramRank("phase.a2a", c.Rank()),
-		unpack: r.HistogramRank("phase.unpack", c.Rank()),
+		fft:    r.HistogramRank("phase.fft", rank),
+		pack:   r.HistogramRank("phase.pack", rank),
+		a2a:    r.HistogramRank("phase.a2a", rank),
+		unpack: r.HistogramRank("phase.unpack", rank),
 	}
 }
 
@@ -160,9 +167,15 @@ type SlabReal struct {
 	mid    []complex128 // [my][nz][nxh] intermediate
 	a2a    *mpi.A2APlan[complex128]
 	exch   *mpi.ExchangePlan[complex128]
-	strat  exchange.Strategy // pinned concrete strategy (never Auto)
-	met    *phaseMetrics
-	closed bool
+	// The pinned concrete strategies (never Auto), one per transpose
+	// direction: stratYZ moves the Fourier slab into the physical
+	// layout (FourierToPhysical), stratZY the reverse. The two
+	// directions stream mirrored access patterns, so the autotuner
+	// measures and pins them independently.
+	stratYZ exchange.Strategy
+	stratZY exchange.Strategy
+	met     *phaseMetrics
+	closed  bool
 
 	// Asynchrony-tolerant state (strat == exchange.AT only; exch stays
 	// nil): each transpose direction gets its own bounded plan so the
@@ -271,10 +284,14 @@ func NewSlabRealSingle(comm *mpi.Comm, n, workers int) *SlabReal {
 }
 
 // NewSlabRealTuned builds the DNS transform by searching cfg.Space —
-// the whole-step tune space over (exchange strategy × workers × wire
-// precision; the slab engine has no pencils, so the NP and PerSlab
-// dimensions collapse) — with the barrier-fenced best-of-k max-over-
-// ranks trial protocol, and pins the collectively-agreed winner. When
+// the whole-step tune space over (y→z strategy × z→y strategy ×
+// workers × wire precision; the slab engine has no pencils, so the
+// NP, PerSlab and decomposition dimensions collapse) — with the
+// barrier-fenced best-of-k max-over-ranks trial protocol, and pins
+// the collectively-agreed winner. The two transpose directions are
+// timed independently and each candidate pair is scored as the sum of
+// its per-direction times, so the cross-product costs only
+// 2×|strategies| trial runs per engine, not |strategies|². When
 // cfg.Cache holds a decision for this (N, P, GOMAXPROCS, machine) key
 // the trials are skipped entirely and the cached point is constructed
 // directly — a warm production restart performs zero trial exchanges
@@ -290,18 +307,31 @@ func NewSlabRealTuned(comm *mpi.Comm, n, workers int, cfg tuning.Config) *SlabRe
 		Machine:  hw.Fingerprint(),
 	}
 	if pt, ok := cfg.Lookup(comm, key); ok {
-		return newSlabReal(comm, n, pt.Workers, pt.Strategy, 0, 0, pt.Single)
+		eng := newSlabReal(comm, n, pt.Workers, pt.Strategy, 0, 0, pt.Single)
+		eng.stratZY = pt.StrategyZY
+		eng.setStrategyGauges()
+		return eng
 	}
 	pts := slabPoints(cfg.Space, workers)
 	// One trial engine per distinct (workers, single) pair, built
 	// lazily in candidate order so every rank constructs (a collective)
 	// in the same sequence; within an engine the strategies reuse the
-	// prebuilt bodies exactly as the strategy autotuner does.
+	// prebuilt bodies exactly as the strategy autotuner does. Each
+	// (engine, direction, strategy) is measured once and memoized; a
+	// candidate pair's cost is the sum of its two direction times. The
+	// memo misses occur in identical candidate order on every rank, so
+	// the collective trial sequence stays symmetric.
 	type group struct {
 		workers int
 		single  bool
 	}
+	type dirKey struct {
+		g  group
+		st exchange.Strategy
+		zy bool
+	}
 	engines := map[group]*SlabReal{}
+	times := map[dirKey]float64{}
 	trial := pool.GetComplex(grid.NewSlab(n, comm.Size(), comm.Rank()).MZ() * n * (n/2 + 1))
 	mine := make([]float64, len(pts))
 	for i, pt := range pts {
@@ -311,8 +341,17 @@ func NewSlabRealTuned(comm *mpi.Comm, n, workers int, cfg tuning.Config) *SlabRe
 			eng = newSlabReal(comm, n, g.workers, exchange.Staged, 0, 0, g.single)
 			engines[g] = eng
 		}
-		st := pt.Strategy
-		mine[i] = tuning.TrialBest(comm, tuning.Trials, func() { eng.runTrial(st, trial) })
+		kyz := dirKey{g, pt.Strategy, false}
+		if _, ok := times[kyz]; !ok {
+			st := pt.Strategy
+			times[kyz] = tuning.TrialBest(comm, tuning.Trials, func() { eng.runTrial(st, trial) })
+		}
+		kzy := dirKey{g, pt.StrategyZY, true}
+		if _, ok := times[kzy]; !ok {
+			st := pt.StrategyZY
+			times[kzy] = tuning.TrialBest(comm, tuning.Trials, func() { eng.runTrialZY(st, trial) })
+		}
+		mine[i] = times[kyz] + times[kzy]
 	}
 	pool.PutComplex(trial)
 	win, cost := tuning.ResolveTimes(comm, mine)
@@ -324,30 +363,31 @@ func NewSlabRealTuned(comm *mpi.Comm, n, workers int, cfg tuning.Config) *SlabRe
 			e.Close()
 		}
 	}
-	keep.strat = pt.Strategy
-	comm.Metrics().GaugeRank("exchange.strategy", comm.Rank()).Set(pt.Strategy.Code())
+	keep.stratYZ, keep.stratZY = pt.Strategy, pt.StrategyZY
+	keep.setStrategyGauges()
 	return keep
 }
 
-// slabPoints enumerates cfg.Space for the slab engine: the NP and
-// PerSlab dimensions do not exist here, so points differing only in
-// them are canonicalized (NP 0, PerSlab false) and deduplicated,
-// preserving the space's tie-break order.
+// slabPoints enumerates cfg.Space for the slab engine: the NP,
+// PerSlab and decomposition dimensions do not exist here, so points
+// differing only in them are canonicalized (NP 0, PerSlab false,
+// Pr/Pc 0) and deduplicated, preserving the space's tie-break order.
 func slabPoints(space tuning.Space, workers int) []tuning.Point {
 	type slabKey struct {
 		st      exchange.Strategy
+		stZY    exchange.Strategy
 		workers int
 		single  bool
 	}
 	seen := map[slabKey]bool{}
 	var out []tuning.Point
 	for _, pt := range space.Points(0, workers) {
-		k := slabKey{pt.Strategy, pt.Workers, pt.Single}
+		k := slabKey{pt.Strategy, pt.StrategyZY, pt.Workers, pt.Single}
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
-		pt.NP, pt.PerSlab = 0, false
+		pt.NP, pt.PerSlab, pt.Pr, pt.Pc = 0, false, 0, 0
 		out = append(out, pt)
 	}
 	return out
@@ -421,11 +461,21 @@ func newSlabReal(comm *mpi.Comm, n, workers int, strat exchange.Strategy, maxSta
 	}
 	f.buildBodies()
 	if strat == exchange.Auto {
-		strat = f.autotune()
+		f.stratYZ, f.stratZY = f.autotune()
+	} else {
+		f.stratYZ, f.stratZY = strat, strat
 	}
-	f.strat = strat
-	comm.Metrics().GaugeRank("exchange.strategy", comm.Rank()).Set(strat.Code())
+	f.setStrategyGauges()
 	return f
+}
+
+// setStrategyGauges publishes the pinned per-direction strategies:
+// exchange.strategy carries the y→z code (the PR-5 gauge, unchanged),
+// exchange.strategy.zy the z→y code.
+func (f *SlabReal) setStrategyGauges() {
+	r := f.comm.Metrics()
+	r.GaugeRank("exchange.strategy", f.comm.Rank()).Set(f.stratYZ.Code())
+	r.GaugeRank("exchange.strategy.zy", f.comm.Rank()).Set(f.stratZY.Code())
 }
 
 // buildBodies precomputes the team worker closures once, so transform
@@ -695,7 +745,7 @@ func (f *SlabReal) transposeYZ() {
 		f.transposeYZ32()
 		return
 	}
-	switch f.strat {
+	switch f.stratYZ {
 	case exchange.Staged:
 		t := time.Now()
 		f.team.ForWorkers(f.s.MZ(), f.packYZBody)
@@ -731,7 +781,7 @@ func (f *SlabReal) transposeZY() {
 		f.transposeZY32()
 		return
 	}
-	switch f.strat {
+	switch f.stratZY {
 	case exchange.Staged:
 		t := time.Now()
 		f.team.ForWorkers(f.s.MY(), f.packZYBody)
@@ -768,12 +818,12 @@ func (f *SlabReal) transposeZY() {
 func (f *SlabReal) transposeYZ32() {
 	t := time.Now()
 	f.team.ForWorkers(f.s.MZ(), f.narrowFourBody)
-	if f.strat == exchange.Staged {
+	if f.stratYZ == exchange.Staged {
 		f.team.ForWorkers(f.s.MZ(), f.pack32YZBody)
 	}
 	f.met.pack.ObserveSince(t)
 	t = time.Now()
-	switch f.strat {
+	switch f.stratYZ {
 	case exchange.Staged:
 		f.a2a32.Do()
 	case exchange.Fused:
@@ -783,7 +833,7 @@ func (f *SlabReal) transposeYZ32() {
 	}
 	f.met.a2a.ObserveSince(t)
 	t = time.Now()
-	if f.strat == exchange.Staged {
+	if f.stratYZ == exchange.Staged {
 		f.team.ForWorkers(f.s.MY(), f.unp32YZBody)
 	}
 	f.team.ForWorkers(f.s.MY(), f.widenMidBody)
@@ -798,12 +848,12 @@ func (f *SlabReal) transposeYZ32() {
 func (f *SlabReal) transposeZY32() {
 	t := time.Now()
 	f.team.ForWorkers(f.s.MY(), f.narrowMidBody)
-	if f.strat == exchange.Staged {
+	if f.stratZY == exchange.Staged {
 		f.team.ForWorkers(f.s.MY(), f.pack32ZYBody)
 	}
 	f.met.pack.ObserveSince(t)
 	t = time.Now()
-	switch f.strat {
+	switch f.stratZY {
 	case exchange.Staged:
 		f.a2a32.Do()
 	case exchange.Fused:
@@ -813,7 +863,7 @@ func (f *SlabReal) transposeZY32() {
 	}
 	f.met.a2a.ObserveSince(t)
 	t = time.Now()
-	if f.strat == exchange.Staged {
+	if f.stratZY == exchange.Staged {
 		f.team.ForWorkers(f.s.MZ(), f.unp32ZYBody)
 	}
 	f.team.ForWorkers(f.s.MZ(), f.widenFourBody)
@@ -841,9 +891,19 @@ func (f *SlabReal) PhysicalToFourier(four []complex128, phys []float64) {
 	f.curFour, f.curPhys = nil, nil
 }
 
-// Strategy reports the pinned transpose-exchange strategy (never
+// Strategy reports the pinned y→z transpose-exchange strategy (never
 // exchange.Auto: autotuned plans report the winner).
-func (f *SlabReal) Strategy() exchange.Strategy { return f.strat }
+func (f *SlabReal) Strategy() exchange.Strategy { return f.stratYZ }
+
+// StrategyZY reports the pinned z→y transpose-exchange strategy; it
+// can differ from Strategy because the two directions stream mirrored
+// access patterns and are tuned independently.
+func (f *SlabReal) StrategyZY() exchange.Strategy { return f.stratZY }
+
+// StrategyPair reports both pinned strategies as an exchange.Pair.
+func (f *SlabReal) StrategyPair() exchange.Pair {
+	return exchange.Pair{YZ: f.stratYZ, ZY: f.stratZY}
+}
 
 // Single reports whether the transform ships its exchanges through the
 // single-precision wire pipeline.
@@ -889,26 +949,41 @@ func (f *SlabReal) ExchangeYZ(four []complex128) {
 	f.curFour = nil
 }
 
-// autotune times every concrete exchange strategy on this plan's
-// actual geometry, team and wire precision through the shared trial
-// protocol (tuning.TrialBest / tuning.ResolveTimes): each rank's
-// best-of-k times are allgathered and the strategy whose slowest rank
-// is fastest wins (ties to the earlier candidate, so Staged is never
-// beaten by a statistical wash). Every rank computes the same winner
-// from the same gathered table — no extra agreement round is needed.
+// autotune times every concrete exchange strategy, per transpose
+// direction, on this plan's actual geometry, team and wire precision
+// through the shared trial protocol (tuning.TrialBest /
+// tuning.ResolveTimes): each rank's best-of-k per-direction times are
+// summed into the y→z × z→y candidate cross-product, the table is
+// allgathered, and the pair whose slowest rank is fastest wins (ties
+// to the earlier candidate, so Staged/Staged is never beaten by a
+// statistical wash). Every rank computes the same winner from the
+// same gathered table — no extra agreement round is needed.
 // Collective; runs at plan time only, using a pooled trial slab
 // released before returning.
-func (f *SlabReal) autotune() exchange.Strategy {
+func (f *SlabReal) autotune() (yz, zy exchange.Strategy) {
 	cands := exchange.Concrete
+	nc := len(cands)
 	trial := pool.GetComplex(f.FourierLen())
-	mine := make([]float64, len(cands))
+	tyz := make([]float64, nc)
+	tzy := make([]float64, nc)
 	for i, st := range cands {
 		st := st
-		mine[i] = tuning.TrialBest(f.comm, tuning.Trials, func() { f.runTrial(st, trial) })
+		tyz[i] = tuning.TrialBest(f.comm, tuning.Trials, func() { f.runTrial(st, trial) })
+	}
+	for i, st := range cands {
+		st := st
+		tzy[i] = tuning.TrialBest(f.comm, tuning.Trials, func() { f.runTrialZY(st, trial) })
 	}
 	pool.PutComplex(trial)
+	// Cross-product table in tuning.Space order: y→z varies fastest.
+	mine := make([]float64, nc*nc)
+	for j := range cands {
+		for i := range cands {
+			mine[j*nc+i] = tyz[i] + tzy[j]
+		}
+	}
 	win, _ := tuning.ResolveTimes(f.comm, mine)
-	return cands[win]
+	return cands[win%nc], cands[win/nc]
 }
 
 // runTrial executes one y→z exchange of the trial slab under st, on
@@ -941,6 +1016,41 @@ func (f *SlabReal) runTrial(st exchange.Strategy, four []complex128) {
 		f.exch.Do(four, f.fusedYZFn)
 	default:
 		f.exch.Do(four, f.chunkedYZFn)
+	}
+	f.curFour = nil
+}
+
+// runTrialZY executes one z→y exchange (the physical-side buffer back
+// into the trial Fourier slab) under st, on the wire precision the
+// plan was built for. Timed separately from runTrial because the
+// mirrored access pattern can favor a different strategy. Collective.
+func (f *SlabReal) runTrialZY(st exchange.Strategy, four []complex128) {
+	f.curFour = four
+	if f.single {
+		f.team.ForWorkers(f.s.MY(), f.narrowMidBody)
+		switch st {
+		case exchange.Staged:
+			f.team.ForWorkers(f.s.MY(), f.pack32ZYBody)
+			f.a2a32.Do()
+			f.team.ForWorkers(f.s.MZ(), f.unp32ZYBody)
+		case exchange.Fused:
+			f.exch32.Do(f.mid32, f.fused32ZYFn)
+		default:
+			f.exch32.Do(f.mid32, f.chunked32ZYFn)
+		}
+		f.team.ForWorkers(f.s.MZ(), f.widenFourBody)
+		f.curFour = nil
+		return
+	}
+	switch st {
+	case exchange.Staged:
+		f.team.ForWorkers(f.s.MY(), f.packZYBody)
+		f.a2a.Do()
+		f.team.ForWorkers(f.s.MZ(), f.unpZYBody)
+	case exchange.Fused:
+		f.exch.Do(f.mid, f.fusedZYFn)
+	default:
+		f.exch.Do(f.mid, f.chunkedZYFn)
 	}
 	f.curFour = nil
 }

@@ -228,3 +228,67 @@ func TestStragglerStudyTable(t *testing.T) {
 		t.Errorf("k=2 speedup %0.3f, EXPERIMENTS.md says 1.095", s)
 	}
 }
+
+// TestPencilCrossover18432 regenerates the EXPERIMENTS.md
+// slab-vs-pencil table at the paper's largest production geometry
+// (18432³, 6 tasks/node) so the committed numbers cannot drift from
+// the model, and pins the three regimes the 2D decomposition is built
+// for: slab wins while its messages are fat, the crossover lands at
+// the P = N wall where slab P2P messages collapse to ~220 KB, and
+// past the wall only pencil layouts exist and scaling continues.
+func TestPencilCrossover18432(t *testing.T) {
+	const n = 18432
+	m := SummitA2A()
+	ps := []int{1536, 3072, 6144, 12288, 18432, 36864, 73728, 147456}
+	rows := m.Crossover(n, 6, 3, ps)
+	byP := map[int]CrossoverRow{}
+	for _, r := range rows {
+		if r.Pr == 0 || r.Pencil <= 0 {
+			t.Fatalf("P=%d: no valid pencil grid", r.P)
+		}
+		byP[r.P] = r
+	}
+	// Regime 1: while slab messages are fat, the single exchange beats
+	// the pencil's two (it moves every byte once, not twice).
+	for _, p := range []int{1536, 3072, 6144} {
+		r := byP[p]
+		if r.Slab <= 0 || r.Slab >= r.Pencil {
+			t.Errorf("P=%d: slab %.3fs should beat pencil %.3fs", p, r.Slab, r.Pencil)
+		}
+	}
+	// P=12288 does not divide N: already past the wall despite P < N.
+	if r := byP[12288]; r.Slab != 0 {
+		t.Errorf("P=12288: slab layout should not exist (12288 ∤ 18432), got %.3fs", r.Slab)
+	}
+	// Regime 2: at P = N the slab's P2P message has collapsed to
+	// 4·nv·N bytes (~221 KB) and its bandwidth with it — the pencil's
+	// fatter sub-messages win before the wall is even hit.
+	if r := byP[n]; r.Slab <= 0 || r.Pencil >= r.Slab {
+		t.Errorf("P=N=%d: pencil %.3fs should beat slab %.3fs", n, r.Pencil, r.Slab)
+	}
+	// Regime 3: past the wall there is no slab layout and pencil
+	// scaling continues monotonically.
+	prev := byP[n].Pencil
+	for _, p := range []int{36864, 73728, 147456} {
+		r := byP[p]
+		if r.Slab != 0 {
+			t.Errorf("P=%d > N: slab layout should not exist, got %.3fs", p, r.Slab)
+		}
+		if r.Pencil >= prev {
+			t.Errorf("P=%d: pencil %.3fs not faster than previous %.3fs", p, r.Pencil, prev)
+		}
+		prev = r.Pencil
+	}
+	// EXPERIMENTS.md pins: the crossover row and the 2× past-the-wall
+	// row (seconds per transpose, ±0.5%).
+	pin := func(p int, want float64) {
+		if got := byP[p].Pencil; math.Abs(got-want)/want > 0.005 {
+			t.Errorf("P=%d pencil %.4fs, EXPERIMENTS.md says %.4fs", p, got, want)
+		}
+	}
+	pin(18432, 4.9521)
+	pin(36864, 2.5307)
+	if got := byP[18432].Slab; math.Abs(got-6.5049)/6.5049 > 0.005 {
+		t.Errorf("P=18432 slab %.4fs, EXPERIMENTS.md says 6.5049s", got)
+	}
+}

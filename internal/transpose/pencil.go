@@ -1,0 +1,448 @@
+package transpose
+
+// Pencil-decomposition layouts and transpose kernels.
+//
+// A pencil decomposition distributes the N³ field over a Pr×Pc
+// process grid: rank (yG, zG) owns the y range [yG·My, (yG+1)·My) and
+// z range [zG·Mz, (zG+1)·Mz) of the physical field, with the x axis
+// complete — an N/Pr × N/Pc × N pencil. Unlike the slab layout this
+// scales past P = N ranks: only Pr and Pc individually must divide N.
+//
+// The distributed transform then needs two transpose-exchanges instead
+// of the slab's one, each over a sub-communicator of the process grid
+// and each expressible as the same staged Pack/A2A/Unpack triple or
+// fused zero-copy gather as the slab exchange:
+//
+//   - the column exchange (within a column group of Pc ranks sharing
+//     yG) trades the local z chunk for a full z extent by splitting
+//     the Hermitian-reduced x axis over the group — x-complete
+//     XSpec = [My][Mz][Nxh] ↔ z-complete B = [My][Wc][Nz];
+//   - the row exchange (within a row group of Pr ranks sharing zG)
+//     trades the local y chunk for a full y extent by splitting the
+//     (already column-split) z axis over the group — z-complete
+//     B = [My][Wc][Nz] ↔ y-complete C = [Mz2][Wc][Ny].
+//
+// The forward per-axis FFT order is therefore x (r2c, on the pencil),
+// z (after the column exchange), y (after the row exchange) — exactly
+// the slab engine's order, which is what makes the pencil transform
+// bitwise-identical to the slab transform: the fft batches gather
+// every line into contiguous scratch, so per-line results do not
+// depend on the memory layout the line was read from, and identical
+// axis order means identical per-line inputs.
+//
+// Nxh = N/2+1 is in general not divisible by Pc, so the x axis splits
+// unevenly: SplitSpan gives the first Nxh%Pc column groups one extra
+// element. Kernels take the per-group spans from the layout; the
+// staged pack blocks are padded to the widest span so the persistent
+// all-to-all keeps its even-block shape.
+
+// Span is a half-open index range [Lo, Hi).
+type Span struct{ Lo, Hi int }
+
+// Width returns the number of indices in the span.
+func (s Span) Width() int { return s.Hi - s.Lo }
+
+// SplitSpan divides [0, total) into parts contiguous spans, the first
+// total%parts spans one element wider — the standard uneven-split
+// convention, identical on every rank.
+func SplitSpan(total, parts int) []Span {
+	q, r := total/parts, total%parts
+	spans := make([]Span, parts)
+	lo := 0
+	for i := range spans {
+		w := q
+		if i < r {
+			w++
+		}
+		spans[i] = Span{Lo: lo, Hi: lo + w}
+		lo += w
+	}
+	return spans
+}
+
+// PencilLayout captures one rank's geometry in a Pr×Pc pencil
+// decomposition of an N³ real field, as seen from grid position
+// (YRank, ZRank).
+type PencilLayout struct {
+	// N is the transform size per axis, Nxh = N/2+1 the
+	// Hermitian-reduced x extent.
+	N, Nxh int
+	// Pr×Pc is the process grid; YRank indexes the rank's row group
+	// position (its column communicator rank), ZRank its column group
+	// position (its row communicator rank).
+	Pr, Pc       int
+	YRank, ZRank int
+	// My = N/Pr and Mz = N/Pc are the physical pencil's local y and z
+	// extents. Mz2 = N/Pr is the local z extent of the y-complete
+	// spectral layout C (z re-splits over the row group).
+	My, Mz, Mz2 int
+	// XSpans is the uneven split of [0, Nxh) over the Pc column
+	// groups; Wc = XSpans[ZRank].Width() is this rank's x width in
+	// the z- and y-complete layouts, XLo its offset, WcMax the widest
+	// group's width.
+	XSpans  []Span
+	Wc, XLo int
+	WcMax   int
+	// BlockC and BlockR are the per-peer staged block sizes of the
+	// column and row exchanges. BlockC is padded to WcMax so the
+	// column all-to-all keeps even blocks despite the uneven x split;
+	// only the leading My·Mz·width(peer) elements of each block are
+	// meaningful.
+	BlockC, BlockR int
+	// PadXLen is len(XSpec) rounded up to a multiple of Pc: My·Mz·Nxh
+	// need not divide evenly by the column group size, and the fused
+	// exchange plans require a group-divisible published length. The
+	// padding tail is never read.
+	PadXLen int
+}
+
+// NewPencilLayout builds the layout for grid position (yRank, zRank)
+// of a Pr×Pc decomposition of an N³ field. It panics when the
+// decomposition cannot lay out the field: Pr and Pc must divide N and
+// every column group must own a non-empty x span (Pc ≤ N/2+1).
+func NewPencilLayout(n, pr, pc, yRank, zRank int) *PencilLayout {
+	if n <= 0 || n%2 != 0 {
+		panic("transpose: pencil layout needs even N > 0")
+	}
+	if pr <= 0 || pc <= 0 || n%pr != 0 || n%pc != 0 {
+		panic("transpose: pencil grid dims must divide N")
+	}
+	nxh := n/2 + 1
+	if pc > nxh {
+		panic("transpose: Pc exceeds N/2+1 (empty x spans)")
+	}
+	if yRank < 0 || yRank >= pr || zRank < 0 || zRank >= pc {
+		panic("transpose: pencil grid position out of range")
+	}
+	l := &PencilLayout{
+		N: n, Nxh: nxh,
+		Pr: pr, Pc: pc,
+		YRank: yRank, ZRank: zRank,
+		My: n / pr, Mz: n / pc, Mz2: n / pr,
+		XSpans: SplitSpan(nxh, pc),
+	}
+	l.Wc = l.XSpans[zRank].Width()
+	l.XLo = l.XSpans[zRank].Lo
+	l.WcMax = l.XSpans[0].Width()
+	l.BlockC = l.My * l.Mz * l.WcMax
+	l.BlockR = l.My * l.Wc * l.Mz2
+	xlen := l.My * l.Mz * l.Nxh
+	l.PadXLen = (xlen + pc - 1) / pc * pc
+	return l
+}
+
+// XSpecLen, BLen and CLen are the (unpadded) element counts of the
+// three exchange layouts.
+func (l *PencilLayout) XSpecLen() int { return l.My * l.Mz * l.Nxh }
+func (l *PencilLayout) BLen() int     { return l.My * l.Wc * l.N }
+func (l *PencilLayout) CLen() int     { return l.Mz2 * l.Wc * l.N }
+
+// --- column exchange (x-complete ↔ z-complete, within a column group) ----
+
+// PencilGatherColFwdRange gathers y-planes [iyLo,iyHi) of the
+// z-complete layout dst=[My][Wc][Nz] directly from every column-group
+// peer's x-complete layout srcs[s]=[My][Mz][Nxh] (padded): peer s's z
+// chunk lands in dst's z range [s·Mz,(s+1)·Mz), and dst keeps only
+// this rank's x span. Distinct iy ranges write disjoint dst elements.
+//
+//psdns:hotpath
+func PencilGatherColFwdRange[T any](l *PencilLayout, dst []T, srcs [][]T, iyLo, iyHi int) {
+	for s := 0; s < l.Pc; s++ {
+		PencilGatherColFwdPeer(l, dst, srcs[s], s, iyLo, iyHi)
+	}
+}
+
+// PencilGatherColFwdPeer gathers peer s's contribution to y-planes
+// [iyLo,iyHi) of the z-complete layout.
+//
+//psdns:hotpath
+func PencilGatherColFwdPeer[T any](l *PencilLayout, dst, src []T, s, iyLo, iyHi int) {
+	n, nxh, mz, wc, xlo := l.N, l.Nxh, l.Mz, l.Wc, l.XLo
+	for iy := iyLo; iy < iyHi; iy++ {
+		for ix := 0; ix < wc; ix++ {
+			srcOff := (iy*mz)*nxh + xlo + ix
+			dstOff := (iy*wc+ix)*n + s*mz
+			for iz := 0; iz < mz; iz++ {
+				dst[dstOff+iz] = src[srcOff]
+				srcOff += nxh
+			}
+		}
+	}
+}
+
+// PencilGatherColInvRange gathers y-planes [iyLo,iyHi) of the
+// x-complete layout dst=[My][Mz][Nxh] from every column-group peer's
+// z-complete layout srcs[s]=[My][Wc(s)][Nz]: peer s contributes x span
+// XSpans[s], and only this rank's z chunk [ZRank·Mz, …) is read from
+// each peer. Distinct iy ranges write disjoint dst elements.
+//
+//psdns:hotpath
+func PencilGatherColInvRange[T any](l *PencilLayout, dst []T, srcs [][]T, iyLo, iyHi int) {
+	for s := 0; s < l.Pc; s++ {
+		PencilGatherColInvPeer(l, dst, srcs[s], s, iyLo, iyHi)
+	}
+}
+
+// PencilGatherColInvPeer gathers peer s's x span into y-planes
+// [iyLo,iyHi) of the x-complete layout.
+//
+//psdns:hotpath
+func PencilGatherColInvPeer[T any](l *PencilLayout, dst, src []T, s, iyLo, iyHi int) {
+	n, nxh, mz := l.N, l.Nxh, l.Mz
+	sp := l.XSpans[s]
+	ws := sp.Width()
+	zBase := l.ZRank * mz
+	for iy := iyLo; iy < iyHi; iy++ {
+		for iz := 0; iz < mz; iz++ {
+			srcOff := (iy*ws)*n + zBase + iz
+			dstOff := (iy*mz+iz)*nxh + sp.Lo
+			for ix := 0; ix < ws; ix++ {
+				dst[dstOff+ix] = src[srcOff]
+				srcOff += n
+			}
+		}
+	}
+}
+
+// PencilPackColFwdRange packs y-planes [iyLo,iyHi) of the x-complete
+// layout src=[My][Mz][Nxh] into per-destination blocks: block d holds
+// [My][Mz][Width(d)] — destination d's x span, row by row — padded to
+// BlockC. Distinct iy ranges write disjoint pack elements.
+//
+//psdns:hotpath
+func PencilPackColFwdRange[T any](l *PencilLayout, pack, src []T, iyLo, iyHi int) {
+	nxh, mz := l.Nxh, l.Mz
+	for d := 0; d < l.Pc; d++ {
+		sp := l.XSpans[d]
+		wd := sp.Width()
+		base := d * l.BlockC
+		for iy := iyLo; iy < iyHi; iy++ {
+			for iz := 0; iz < mz; iz++ {
+				row := (iy*mz + iz)
+				copy(pack[base+row*wd:base+(row+1)*wd], src[row*nxh+sp.Lo:row*nxh+sp.Hi])
+			}
+		}
+	}
+}
+
+// PencilUnpackColFwdRange unpacks received column blocks into
+// y-planes [iyLo,iyHi) of the z-complete layout dst=[My][Wc][Nz]:
+// recv block s (layout [My][Mz][Wc], padded to BlockC) carries peer
+// s's z chunk of this rank's x span.
+//
+//psdns:hotpath
+func PencilUnpackColFwdRange[T any](l *PencilLayout, dst, recv []T, iyLo, iyHi int) {
+	n, mz, wc := l.N, l.Mz, l.Wc
+	for s := 0; s < l.Pc; s++ {
+		base := s * l.BlockC
+		for iy := iyLo; iy < iyHi; iy++ {
+			for ix := 0; ix < wc; ix++ {
+				srcOff := base + (iy*mz)*wc + ix
+				dstOff := (iy*wc+ix)*n + s*mz
+				for iz := 0; iz < mz; iz++ {
+					dst[dstOff+iz] = recv[srcOff]
+					srcOff += wc
+				}
+			}
+		}
+	}
+}
+
+// PencilPackColInvRange packs y-planes [iyLo,iyHi) of the z-complete
+// layout src=[My][Wc][Nz] into per-destination blocks: block d holds
+// [My][Wc][Mz] — destination d's z chunk, contiguous per (iy, ix) —
+// padded to BlockC. Distinct iy ranges write disjoint pack elements.
+//
+//psdns:hotpath
+func PencilPackColInvRange[T any](l *PencilLayout, pack, src []T, iyLo, iyHi int) {
+	n, mz, wc := l.N, l.Mz, l.Wc
+	for d := 0; d < l.Pc; d++ {
+		base := d * l.BlockC
+		for iy := iyLo; iy < iyHi; iy++ {
+			for ix := 0; ix < wc; ix++ {
+				srcOff := (iy*wc+ix)*n + d*mz
+				dstOff := base + (iy*wc+ix)*mz
+				copy(pack[dstOff:dstOff+mz], src[srcOff:srcOff+mz])
+			}
+		}
+	}
+}
+
+// PencilUnpackColInvRange unpacks received column blocks into
+// y-planes [iyLo,iyHi) of the x-complete layout dst=[My][Mz][Nxh]:
+// recv block s (layout [My][Width(s)][Mz], padded to BlockC) carries
+// peer s's x span of this rank's z chunk.
+//
+//psdns:hotpath
+func PencilUnpackColInvRange[T any](l *PencilLayout, dst, recv []T, iyLo, iyHi int) {
+	nxh, mz := l.Nxh, l.Mz
+	for s := 0; s < l.Pc; s++ {
+		sp := l.XSpans[s]
+		ws := sp.Width()
+		base := s * l.BlockC
+		for iy := iyLo; iy < iyHi; iy++ {
+			for iz := 0; iz < mz; iz++ {
+				srcOff := base + (iy*ws)*mz + iz
+				dstOff := (iy*mz+iz)*nxh + sp.Lo
+				for ix := 0; ix < ws; ix++ {
+					dst[dstOff+ix] = recv[srcOff]
+					srcOff += mz
+				}
+			}
+		}
+	}
+}
+
+// --- row exchange (z-complete ↔ y-complete, within a row group) ----------
+
+// PencilGatherRowFwdRange gathers z-planes [izLo,izHi) of the
+// y-complete layout dst=[Mz2][Wc][Ny] directly from every row-group
+// peer's z-complete layout srcs[s]=[My][Wc][Nz]: peer s's y chunk
+// lands in dst's y range [s·My,(s+1)·My), and only this rank's
+// re-split z chunk [YRank·Mz2, …) is read from each peer. Distinct iz
+// ranges write disjoint dst elements.
+//
+//psdns:hotpath
+func PencilGatherRowFwdRange[T any](l *PencilLayout, dst []T, srcs [][]T, izLo, izHi int) {
+	for s := 0; s < l.Pr; s++ {
+		PencilGatherRowFwdPeer(l, dst, srcs[s], s, izLo, izHi)
+	}
+}
+
+// PencilGatherRowFwdPeer gathers peer s's contribution to z-planes
+// [izLo,izHi) of the y-complete layout.
+//
+//psdns:hotpath
+func PencilGatherRowFwdPeer[T any](l *PencilLayout, dst, src []T, s, izLo, izHi int) {
+	n, my, mz2, wc := l.N, l.My, l.Mz2, l.Wc
+	zBase := l.YRank * mz2
+	for iz := izLo; iz < izHi; iz++ {
+		for ix := 0; ix < wc; ix++ {
+			srcOff := ix*n + zBase + iz
+			dstOff := (iz*wc+ix)*n + s*my
+			for iy := 0; iy < my; iy++ {
+				dst[dstOff+iy] = src[srcOff]
+				srcOff += wc * n
+			}
+		}
+	}
+}
+
+// PencilGatherRowInvRange gathers y-planes [iyLo,iyHi) of the
+// z-complete layout dst=[My][Wc][Nz] from every row-group peer's
+// y-complete layout srcs[s]=[Mz2][Wc][Ny]: peer s's z chunk lands in
+// dst's z range [s·Mz2,(s+1)·Mz2), and only this rank's y chunk
+// [YRank·My, …) is read from each peer. Distinct iy ranges write
+// disjoint dst elements.
+//
+//psdns:hotpath
+func PencilGatherRowInvRange[T any](l *PencilLayout, dst []T, srcs [][]T, iyLo, iyHi int) {
+	for s := 0; s < l.Pr; s++ {
+		PencilGatherRowInvPeer(l, dst, srcs[s], s, iyLo, iyHi)
+	}
+}
+
+// PencilGatherRowInvPeer gathers peer s's contribution to y-planes
+// [iyLo,iyHi) of the z-complete layout.
+//
+//psdns:hotpath
+func PencilGatherRowInvPeer[T any](l *PencilLayout, dst, src []T, s, iyLo, iyHi int) {
+	n, my, mz2, wc := l.N, l.My, l.Mz2, l.Wc
+	yBase := l.YRank * my
+	for iy := iyLo; iy < iyHi; iy++ {
+		for ix := 0; ix < wc; ix++ {
+			srcOff := ix*n + yBase + iy
+			dstOff := (iy*wc+ix)*n + s*mz2
+			for iz := 0; iz < mz2; iz++ {
+				dst[dstOff+iz] = src[srcOff]
+				srcOff += wc * n
+			}
+		}
+	}
+}
+
+// PencilPackRowFwdRange packs y-planes [iyLo,iyHi) of the z-complete
+// layout src=[My][Wc][Nz] into per-destination blocks: block d holds
+// [My][Wc][Mz2] — destination d's re-split z chunk, contiguous per
+// (iy, ix). Distinct iy ranges write disjoint pack elements.
+//
+//psdns:hotpath
+func PencilPackRowFwdRange[T any](l *PencilLayout, pack, src []T, iyLo, iyHi int) {
+	n, mz2, wc := l.N, l.Mz2, l.Wc
+	for d := 0; d < l.Pr; d++ {
+		base := d * l.BlockR
+		for iy := iyLo; iy < iyHi; iy++ {
+			for ix := 0; ix < wc; ix++ {
+				srcOff := (iy*wc+ix)*n + d*mz2
+				dstOff := base + (iy*wc+ix)*mz2
+				copy(pack[dstOff:dstOff+mz2], src[srcOff:srcOff+mz2])
+			}
+		}
+	}
+}
+
+// PencilUnpackRowFwdRange unpacks received row blocks into z-planes
+// [izLo,izHi) of the y-complete layout dst=[Mz2][Wc][Ny]: recv block s
+// (layout [My][Wc][Mz2]) carries peer s's y chunk of this rank's
+// re-split z chunk.
+//
+//psdns:hotpath
+func PencilUnpackRowFwdRange[T any](l *PencilLayout, dst, recv []T, izLo, izHi int) {
+	n, my, mz2, wc := l.N, l.My, l.Mz2, l.Wc
+	for s := 0; s < l.Pr; s++ {
+		base := s * l.BlockR
+		for iz := izLo; iz < izHi; iz++ {
+			for ix := 0; ix < wc; ix++ {
+				srcOff := base + ix*mz2 + iz
+				dstOff := (iz*wc+ix)*n + s*my
+				for iy := 0; iy < my; iy++ {
+					dst[dstOff+iy] = recv[srcOff]
+					srcOff += wc * mz2
+				}
+			}
+		}
+	}
+}
+
+// PencilPackRowInvRange packs z-planes [izLo,izHi) of the y-complete
+// layout src=[Mz2][Wc][Ny] into per-destination blocks: block d holds
+// [Mz2][Wc][My] — destination d's y chunk, contiguous per (iz, ix).
+// Distinct iz ranges write disjoint pack elements.
+//
+//psdns:hotpath
+func PencilPackRowInvRange[T any](l *PencilLayout, pack, src []T, izLo, izHi int) {
+	n, my, wc := l.N, l.My, l.Wc
+	for d := 0; d < l.Pr; d++ {
+		base := d * l.BlockR
+		for iz := izLo; iz < izHi; iz++ {
+			for ix := 0; ix < wc; ix++ {
+				srcOff := (iz*wc+ix)*n + d*my
+				dstOff := base + (iz*wc+ix)*my
+				copy(pack[dstOff:dstOff+my], src[srcOff:srcOff+my])
+			}
+		}
+	}
+}
+
+// PencilUnpackRowInvRange unpacks received row blocks into y-planes
+// [iyLo,iyHi) of the z-complete layout dst=[My][Wc][Nz]: recv block s
+// (layout [Mz2][Wc][My]) carries peer s's re-split z chunk of this
+// rank's y chunk.
+//
+//psdns:hotpath
+func PencilUnpackRowInvRange[T any](l *PencilLayout, dst, recv []T, iyLo, iyHi int) {
+	n, my, mz2, wc := l.N, l.My, l.Mz2, l.Wc
+	for s := 0; s < l.Pr; s++ {
+		base := s * l.BlockR
+		for iy := iyLo; iy < iyHi; iy++ {
+			for ix := 0; ix < wc; ix++ {
+				srcOff := base + ix*my + iy
+				dstOff := (iy*wc+ix)*n + s*mz2
+				for iz := 0; iz < mz2; iz++ {
+					dst[dstOff+iz] = recv[srcOff]
+					srcOff += wc * my
+				}
+			}
+		}
+	}
+}

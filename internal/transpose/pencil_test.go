@@ -1,0 +1,273 @@
+package transpose
+
+import (
+	"fmt"
+	"testing"
+)
+
+// global assigns every (ix, iy, iz) coordinate a unique value so any
+// misrouted element is caught exactly.
+func pencilVal(ix, iy, iz int) complex128 {
+	return complex(float64(ix*1_000_000+iy*1_000+iz), float64(ix-iy+iz))
+}
+
+func TestSplitSpan(t *testing.T) {
+	spans := SplitSpan(7, 4)
+	want := []Span{{0, 2}, {2, 4}, {4, 6}, {6, 7}}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("SplitSpan(7,4)[%d] = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+	total := 0
+	for _, s := range SplitSpan(9, 2) {
+		total += s.Width()
+	}
+	if total != 9 {
+		t.Fatalf("SplitSpan widths sum to %d, want 9", total)
+	}
+}
+
+// The pencil kernels must route every element correctly for even and
+// uneven x splits, and the staged pack→exchange→unpack triple must be
+// bitwise-identical to the fused gather in both exchanges and both
+// directions.
+func TestPencilKernelsRouteAndAgree(t *testing.T) {
+	const n = 12
+	grids := []struct{ pr, pc int }{{1, 1}, {2, 2}, {3, 2}, {2, 3}, {1, 4}, {4, 1}, {6, 2}, {2, 4}}
+	for _, g := range grids {
+		t.Run(fmt.Sprintf("%dx%d", g.pr, g.pc), func(t *testing.T) {
+			pr, pc := g.pr, g.pc
+			lays := make([][]*PencilLayout, pr)
+			xspec := make([][][]complex128, pr) // [yG][zG] x-complete
+			for yG := 0; yG < pr; yG++ {
+				lays[yG] = make([]*PencilLayout, pc)
+				xspec[yG] = make([][]complex128, pc)
+				for zG := 0; zG < pc; zG++ {
+					l := NewPencilLayout(n, pr, pc, yG, zG)
+					lays[yG][zG] = l
+					buf := make([]complex128, l.PadXLen)
+					for iy := 0; iy < l.My; iy++ {
+						for iz := 0; iz < l.Mz; iz++ {
+							for ix := 0; ix < l.Nxh; ix++ {
+								buf[(iy*l.Mz+iz)*l.Nxh+ix] =
+									pencilVal(ix, yG*l.My+iy, zG*l.Mz+iz)
+							}
+						}
+					}
+					xspec[yG][zG] = buf
+				}
+			}
+
+			// Column exchange forward: x-complete → z-complete.
+			bFused := make([][][]complex128, pr)
+			for yG := 0; yG < pr; yG++ {
+				bFused[yG] = make([][]complex128, pc)
+				srcs := make([][]complex128, pc)
+				for zG := 0; zG < pc; zG++ {
+					srcs[zG] = xspec[yG][zG]
+				}
+				for zG := 0; zG < pc; zG++ {
+					l := lays[yG][zG]
+					dst := make([]complex128, l.BLen())
+					PencilGatherColFwdRange(l, dst, srcs, 0, l.My)
+					for iy := 0; iy < l.My; iy++ {
+						for ix := 0; ix < l.Wc; ix++ {
+							for iz := 0; iz < n; iz++ {
+								got := dst[(iy*l.Wc+ix)*n+iz]
+								want := pencilVal(l.XLo+ix, yG*l.My+iy, iz)
+								if got != want {
+									t.Fatalf("col fwd (%d,%d) B[%d,%d,%d] = %v, want %v",
+										yG, zG, iy, ix, iz, got, want)
+								}
+							}
+						}
+					}
+					bFused[yG][zG] = dst
+				}
+				// Staged triple must match the fused gather bitwise.
+				packs := make([][]complex128, pc)
+				for zG := 0; zG < pc; zG++ {
+					l := lays[yG][zG]
+					packs[zG] = make([]complex128, pc*l.BlockC)
+					PencilPackColFwdRange(l, packs[zG], xspec[yG][zG], 0, l.My)
+				}
+				for zG := 0; zG < pc; zG++ {
+					l := lays[yG][zG]
+					recv := make([]complex128, pc*l.BlockC)
+					for s := 0; s < pc; s++ {
+						copy(recv[s*l.BlockC:(s+1)*l.BlockC],
+							packs[s][zG*l.BlockC:(zG+1)*l.BlockC])
+					}
+					dst := make([]complex128, l.BLen())
+					PencilUnpackColFwdRange(l, dst, recv, 0, l.My)
+					for i := range dst {
+						if dst[i] != bFused[yG][zG][i] {
+							t.Fatalf("col fwd staged (%d,%d) differs at %d", yG, zG, i)
+						}
+					}
+				}
+			}
+
+			// Row exchange forward: z-complete → y-complete.
+			cFused := make([][][]complex128, pr)
+			for yG := 0; yG < pr; yG++ {
+				cFused[yG] = make([][]complex128, pc)
+			}
+			for zG := 0; zG < pc; zG++ {
+				srcs := make([][]complex128, pr)
+				for yG := 0; yG < pr; yG++ {
+					srcs[yG] = bFused[yG][zG]
+				}
+				for yG := 0; yG < pr; yG++ {
+					l := lays[yG][zG]
+					dst := make([]complex128, l.CLen())
+					PencilGatherRowFwdRange(l, dst, srcs, 0, l.Mz2)
+					for iz := 0; iz < l.Mz2; iz++ {
+						for ix := 0; ix < l.Wc; ix++ {
+							for iy := 0; iy < n; iy++ {
+								got := dst[(iz*l.Wc+ix)*n+iy]
+								want := pencilVal(l.XLo+ix, iy, yG*l.Mz2+iz)
+								if got != want {
+									t.Fatalf("row fwd (%d,%d) C[%d,%d,%d] = %v, want %v",
+										yG, zG, iz, ix, iy, got, want)
+								}
+							}
+						}
+					}
+					cFused[yG][zG] = dst
+				}
+				packs := make([][]complex128, pr)
+				for yG := 0; yG < pr; yG++ {
+					l := lays[yG][zG]
+					packs[yG] = make([]complex128, pr*l.BlockR)
+					PencilPackRowFwdRange(l, packs[yG], bFused[yG][zG], 0, l.My)
+				}
+				for yG := 0; yG < pr; yG++ {
+					l := lays[yG][zG]
+					recv := make([]complex128, pr*l.BlockR)
+					for s := 0; s < pr; s++ {
+						copy(recv[s*l.BlockR:(s+1)*l.BlockR],
+							packs[s][yG*l.BlockR:(yG+1)*l.BlockR])
+					}
+					dst := make([]complex128, l.CLen())
+					PencilUnpackRowFwdRange(l, dst, recv, 0, l.Mz2)
+					for i := range dst {
+						if dst[i] != cFused[yG][zG][i] {
+							t.Fatalf("row fwd staged (%d,%d) differs at %d", yG, zG, i)
+						}
+					}
+				}
+			}
+
+			// Row exchange inverse: y-complete → z-complete recovers B.
+			for zG := 0; zG < pc; zG++ {
+				srcs := make([][]complex128, pr)
+				for yG := 0; yG < pr; yG++ {
+					srcs[yG] = cFused[yG][zG]
+				}
+				for yG := 0; yG < pr; yG++ {
+					l := lays[yG][zG]
+					dst := make([]complex128, l.BLen())
+					PencilGatherRowInvRange(l, dst, srcs, 0, l.My)
+					for i := range dst {
+						if dst[i] != bFused[yG][zG][i] {
+							t.Fatalf("row inv (%d,%d) differs from B at %d", yG, zG, i)
+						}
+					}
+				}
+				packs := make([][]complex128, pr)
+				for yG := 0; yG < pr; yG++ {
+					l := lays[yG][zG]
+					packs[yG] = make([]complex128, pr*l.BlockR)
+					PencilPackRowInvRange(l, packs[yG], cFused[yG][zG], 0, l.Mz2)
+				}
+				for yG := 0; yG < pr; yG++ {
+					l := lays[yG][zG]
+					recv := make([]complex128, pr*l.BlockR)
+					for s := 0; s < pr; s++ {
+						copy(recv[s*l.BlockR:(s+1)*l.BlockR],
+							packs[s][yG*l.BlockR:(yG+1)*l.BlockR])
+					}
+					dst := make([]complex128, l.BLen())
+					PencilUnpackRowInvRange(l, dst, recv, 0, l.My)
+					for i := range dst {
+						if dst[i] != bFused[yG][zG][i] {
+							t.Fatalf("row inv staged (%d,%d) differs at %d", yG, zG, i)
+						}
+					}
+				}
+			}
+
+			// Column exchange inverse: z-complete → x-complete recovers
+			// the original (meaningful prefix of the) x-complete layout.
+			for yG := 0; yG < pr; yG++ {
+				srcs := make([][]complex128, pc)
+				for zG := 0; zG < pc; zG++ {
+					srcs[zG] = bFused[yG][zG]
+				}
+				for zG := 0; zG < pc; zG++ {
+					l := lays[yG][zG]
+					dst := make([]complex128, l.PadXLen)
+					PencilGatherColInvRange(l, dst, srcs, 0, l.My)
+					for i := 0; i < l.XSpecLen(); i++ {
+						if dst[i] != xspec[yG][zG][i] {
+							t.Fatalf("col inv (%d,%d) differs from xspec at %d", yG, zG, i)
+						}
+					}
+				}
+				packs := make([][]complex128, pc)
+				for zG := 0; zG < pc; zG++ {
+					l := lays[yG][zG]
+					packs[zG] = make([]complex128, pc*l.BlockC)
+					PencilPackColInvRange(l, packs[zG], bFused[yG][zG], 0, l.My)
+				}
+				for zG := 0; zG < pc; zG++ {
+					l := lays[yG][zG]
+					recv := make([]complex128, pc*l.BlockC)
+					for s := 0; s < pc; s++ {
+						copy(recv[s*l.BlockC:(s+1)*l.BlockC],
+							packs[s][zG*l.BlockC:(zG+1)*l.BlockC])
+					}
+					dst := make([]complex128, l.PadXLen)
+					PencilUnpackColInvRange(l, dst, recv, 0, l.My)
+					for i := 0; i < l.XSpecLen(); i++ {
+						if dst[i] != xspec[yG][zG][i] {
+							t.Fatalf("col inv staged (%d,%d) differs at %d", yG, zG, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNewPencilLayoutValidation(t *testing.T) {
+	for _, bad := range []struct{ n, pr, pc, y, z int }{
+		{11, 1, 1, 0, 0},  // odd n
+		{12, 5, 1, 0, 0},  // pr does not divide n
+		{12, 1, 5, 0, 0},  // pc does not divide n
+		{12, 2, 12, 0, 0}, // pc > n/2+1... 12 > 7
+		{12, 2, 2, 2, 0},  // yRank out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPencilLayout(%+v) did not panic", bad)
+				}
+			}()
+			NewPencilLayout(bad.n, bad.pr, bad.pc, bad.y, bad.z)
+		}()
+	}
+	l := NewPencilLayout(12, 3, 4, 1, 3)
+	if l.My != 4 || l.Mz != 3 || l.Mz2 != 4 || l.Nxh != 7 {
+		t.Fatalf("layout dims = %+v", l)
+	}
+	// nxh=7 over pc=4: spans 2,2,2,1; rank z=3 owns the short span.
+	if l.Wc != 1 || l.XLo != 6 || l.WcMax != 2 {
+		t.Fatalf("x split = Wc %d XLo %d WcMax %d", l.Wc, l.XLo, l.WcMax)
+	}
+	if l.PadXLen != (4*3*7+3)/4*4 {
+		t.Fatalf("PadXLen = %d", l.PadXLen)
+	}
+}

@@ -9,11 +9,14 @@ import (
 	"repro/internal/mpi"
 )
 
-// SchemaVersion is the tuning-cache file schema. A file carrying any
-// other version is ignored wholesale (treated as all-miss and
-// rewritten on the next Store), so a schema change can never replay a
-// decision recorded under different semantics.
-const SchemaVersion = 1
+// SchemaVersion is the tuning-cache file schema. Schema 1 (one
+// strategy for both transpose directions, no decomposition) is read
+// with an explicit backward-compatible decode — StrategyZY = Strategy,
+// slab decomposition — so PR-8 caches keep their warm restarts. A file
+// carrying any other foreign version is ignored wholesale (treated as
+// all-miss and rewritten on the next Store), so an unknown schema can
+// never replay a decision recorded under different semantics.
+const SchemaVersion = 2
 
 // DefaultDir is where tuned constructors persist their winners unless
 // pointed elsewhere.
@@ -71,17 +74,35 @@ func Open(dir string) *Cache {
 }
 
 // load reads the cache file, returning an empty file on any error or
-// schema mismatch.
+// foreign schema. Schema-1 files are upgraded in memory: their single
+// strategy applied to both directions, decomposition slab.
 func (c *Cache) load() cacheFile {
 	var f cacheFile
 	data, err := os.ReadFile(c.path)
 	if err != nil {
 		return cacheFile{Schema: SchemaVersion}
 	}
-	if json.Unmarshal(data, &f) != nil || f.Schema != SchemaVersion {
+	if json.Unmarshal(data, &f) != nil {
 		return cacheFile{Schema: SchemaVersion}
 	}
-	return f
+	switch f.Schema {
+	case SchemaVersion:
+		return f
+	case 1:
+		// Schema 1 predates strategy_zy/pr/pc: absent JSON fields
+		// decode to zero, which is already the slab decomposition but
+		// the wrong zy strategy (Staged regardless of the winner).
+		// Mirror the recorded strategy into both directions.
+		for i := range f.Entries {
+			f.Entries[i].Point.StrategyZY = f.Entries[i].Point.Strategy
+			f.Entries[i].Point.Pr = 0
+			f.Entries[i].Point.Pc = 0
+		}
+		f.Schema = SchemaVersion
+		return f
+	default:
+		return cacheFile{Schema: SchemaVersion}
+	}
 }
 
 // Lookup returns the persisted winner for key, if any.
@@ -141,13 +162,13 @@ func (c *Cache) Store(key Key, pt Point, cost float64) {
 
 // --- collective cache protocol ------------------------------------------
 
-// Point broadcast encoding: [hit, strategy, perSlab, np, workers,
-// single] as float64 slots through the world's Allgather, rank 0's row
-// being authoritative. The in-process ranks share one filesystem, but
-// routing every decision through rank 0 keeps the protocol correct for
-// any transport: ranks never each read a file that a concurrent Store
-// might be replacing.
-const encLen = 6
+// Point broadcast encoding: [hit, strategyYZ, strategyZY, perSlab,
+// np, workers, single, pr, pc] as float64 slots through the world's
+// Allgather, rank 0's row being authoritative. The in-process ranks
+// share one filesystem, but routing every decision through rank 0
+// keeps the protocol correct for any transport: ranks never each read
+// a file that a concurrent Store might be replacing.
+const encLen = 9
 
 func encodePoint(pt Point, hit bool) [encLen]float64 {
 	b2f := func(b bool) float64 {
@@ -157,8 +178,9 @@ func encodePoint(pt Point, hit bool) [encLen]float64 {
 		return 0
 	}
 	return [encLen]float64{
-		b2f(hit), float64(pt.Strategy), b2f(pt.PerSlab),
-		float64(pt.NP), float64(pt.Workers), b2f(pt.Single),
+		b2f(hit), float64(pt.Strategy), float64(pt.StrategyZY),
+		b2f(pt.PerSlab), float64(pt.NP), float64(pt.Workers),
+		b2f(pt.Single), float64(pt.Pr), float64(pt.Pc),
 	}
 }
 
@@ -167,11 +189,14 @@ func decodePoint(enc []float64) (Point, bool) {
 		return Point{}, false
 	}
 	return Point{
-		Strategy: exchange.Strategy(int(enc[1])),
-		PerSlab:  enc[2] != 0,
-		NP:       int(enc[3]),
-		Workers:  int(enc[4]),
-		Single:   enc[5] != 0,
+		Strategy:   exchange.Strategy(int(enc[1])),
+		StrategyZY: exchange.Strategy(int(enc[2])),
+		PerSlab:    enc[3] != 0,
+		NP:         int(enc[4]),
+		Workers:    int(enc[5]),
+		Single:     enc[6] != 0,
+		Pr:         int(enc[7]),
+		Pc:         int(enc[8]),
 	}, true
 }
 

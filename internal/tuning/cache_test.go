@@ -120,32 +120,38 @@ func TestNilCacheIsAlwaysMiss(t *testing.T) {
 	c.Store(testKey(), Point{}, 0) // must not panic
 }
 
-// The zero space searches exactly the concrete strategies at the
-// engine defaults, strategies varying fastest, Staged first — the
-// ordering the Resolve tie-break depends on.
+// The zero space searches exactly the concrete strategies per
+// direction at the engine defaults, yz strategies varying fastest,
+// Staged/Staged first — the ordering the Resolve tie-break depends on.
 func TestSpacePointsDefaultsAndOrder(t *testing.T) {
 	var s Space
 	pts := s.Points(3, 2)
-	if len(pts) != len(exchange.Concrete) {
-		t.Fatalf("default space has %d points, want %d", len(pts), len(exchange.Concrete))
+	nc := len(exchange.Concrete)
+	if len(pts) != nc*nc {
+		t.Fatalf("default space has %d points, want %d", len(pts), nc*nc)
 	}
 	for i, pt := range pts {
-		want := Point{Strategy: exchange.Concrete[i], NP: 3, Workers: 2}
+		want := Point{
+			Strategy:   exchange.Concrete[i%nc],
+			StrategyZY: exchange.Concrete[i/nc],
+			NP:         3, Workers: 2,
+		}
 		if pt != want {
 			t.Fatalf("point %d = %+v, want %+v", i, pt, want)
 		}
 	}
 
 	s = Space{
-		Strategies: []exchange.Strategy{exchange.Staged, exchange.Fused},
-		PerSlab:    []bool{true, false},
-		Workers:    []int{1, 4},
+		Strategies:   []exchange.Strategy{exchange.Staged, exchange.Fused},
+		StrategiesZY: []exchange.Strategy{exchange.Staged},
+		PerSlab:      []bool{true, false},
+		Workers:      []int{1, 4},
 	}
 	pts = s.Points(3, 2)
 	if len(pts) != 8 {
 		t.Fatalf("got %d points, want 8", len(pts))
 	}
-	// Strategy varies fastest, then PerSlab, then Workers.
+	// YZ strategy varies fastest, then PerSlab, then Workers.
 	want := []Point{
 		{Strategy: exchange.Staged, PerSlab: true, NP: 3, Workers: 1},
 		{Strategy: exchange.Fused, PerSlab: true, NP: 3, Workers: 1},
@@ -157,9 +163,24 @@ func TestSpacePointsDefaultsAndOrder(t *testing.T) {
 		{Strategy: exchange.Fused, PerSlab: false, NP: 3, Workers: 4},
 	}
 	for i := range want {
-		if pts[i] != want[i] {
-			t.Fatalf("point %d = %+v, want %+v", i, pts[i], want[i])
+		w := want[i]
+		w.StrategyZY = exchange.Staged
+		if pts[i] != w {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], w)
 		}
+	}
+
+	// A decomposition axis multiplies the space, slab points first.
+	s = Space{
+		Strategies: []exchange.Strategy{exchange.Staged},
+		Decomps:    []Decomp{DecompSlab, Pencil(2, 4)},
+	}
+	pts = s.Points(3, 2)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if !pts[0].Decomp().IsSlab() || pts[1].Decomp() != Pencil(2, 4) {
+		t.Fatalf("decomp order = %v, %v; want slab, 2x4", pts[0].Decomp(), pts[1].Decomp())
 	}
 }
 

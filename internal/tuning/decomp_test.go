@@ -1,0 +1,178 @@
+package tuning
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exchange"
+)
+
+func TestDecompParseString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Decomp
+	}{
+		{"slab", DecompSlab},
+		{"SLAB", DecompSlab},
+		{"auto", DecompAuto},
+		{"2x4", Pencil(2, 4)},
+		{"16X2", Pencil(16, 2)},
+		{" 4x8 ", Pencil(4, 8)},
+	}
+	for _, c := range cases {
+		got, err := ParseDecomp(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseDecomp(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		back, err := ParseDecomp(got.String())
+		if err != nil || back != got {
+			t.Fatalf("String/Parse roundtrip for %v failed: %v, %v", got, back, err)
+		}
+	}
+	for _, bad := range []string{"", "pencil", "0x4", "2x-1", "2x", "x4", "2x4x8"} {
+		if d, err := ParseDecomp(bad); err == nil {
+			t.Fatalf("ParseDecomp(%q) = %v, want error", bad, d)
+		}
+	}
+}
+
+func TestDecompValid(t *testing.T) {
+	cases := []struct {
+		d    Decomp
+		n, p int
+		want bool
+	}{
+		{DecompSlab, 16, 4, true},
+		{DecompSlab, 16, 32, false},  // slab wall: P > N
+		{DecompSlab, 12, 5, false},   // p must divide n
+		{Pencil(4, 8), 16, 32, true}, // past the slab wall
+		{Pencil(8, 4), 16, 32, true},
+		{Pencil(16, 2), 16, 32, true},
+		{Pencil(2, 16), 16, 32, false}, // pc > n/2+1: empty x spans
+		{Pencil(2, 4), 16, 8, true},
+		{Pencil(2, 4), 16, 16, false}, // pr*pc != p
+		{Pencil(3, 2), 16, 6, false},  // pr must divide n
+		{Pencil(2, 3), 12, 6, true},
+		{DecompAuto, 16, 4, false}, // auto is a request, not a layout
+	}
+	for _, c := range cases {
+		if got := c.d.Valid(c.n, c.p); got != c.want {
+			t.Fatalf("%v.Valid(%d, %d) = %v, want %v", c.d, c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestDecompositionsEnumeration(t *testing.T) {
+	// P ≤ N with p | n: slab first, then pencils ascending in Pr.
+	got := Decompositions(16, 8)
+	want := []Decomp{DecompSlab, Pencil(1, 8), Pencil(2, 4), Pencil(4, 2), Pencil(8, 1)}
+	if len(got) != len(want) {
+		t.Fatalf("Decompositions(16, 8) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Decompositions(16, 8)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// P > N: no slab; (2,16) is excluded (x-span would be empty) and
+	// (32,1) is excluded (32 does not divide 16).
+	got = Decompositions(16, 32)
+	want = []Decomp{Pencil(4, 8), Pencil(8, 4), Pencil(16, 2)}
+	if len(got) != len(want) {
+		t.Fatalf("Decompositions(16, 32) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Decompositions(16, 32)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, d := range got {
+		if !d.Valid(16, 32) {
+			t.Fatalf("enumerated decomposition %v is not valid", d)
+		}
+	}
+}
+
+// A schema-1 cache file (PR 8) must keep its warm restarts: the single
+// recorded strategy decodes into both directions with a slab layout.
+func TestCacheSchema1Fallback(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	v1 := map[string]any{
+		"schema": 1,
+		"entries": []map[string]any{{
+			"key": key,
+			"point": map[string]any{
+				"strategy": int(exchange.Fused),
+				"per_slab": true,
+				"np":       3,
+				"workers":  2,
+				"single":   false,
+			},
+			"cost_seconds": 0.5,
+		}},
+	}
+	data, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tuning.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Open(dir).Lookup(key)
+	if !ok {
+		t.Fatal("schema-1 cache missed; want backward-compatible hit")
+	}
+	want := Point{
+		Strategy: exchange.Fused, StrategyZY: exchange.Fused,
+		PerSlab: true, NP: 3, Workers: 2,
+	}
+	if got != want {
+		t.Fatalf("schema-1 decode = %+v, want %+v", got, want)
+	}
+	// A store on top upgrades the file to the current schema without
+	// dropping the migrated entry.
+	key2 := key
+	key2.N = 128
+	pt2 := Point{Strategy: exchange.Staged, StrategyZY: exchange.ChunkedFused, Pr: 2, Pc: 4}
+	Open(dir).Store(key2, pt2, 0.1)
+	data, err = os.ReadFile(filepath.Join(dir, "tuning.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != SchemaVersion {
+		t.Fatalf("rewritten schema = %d, want %d", f.Schema, SchemaVersion)
+	}
+	if got, ok := Open(dir).Lookup(key); !ok || got != want {
+		t.Fatalf("migrated entry after store = %+v ok=%v, want %+v", got, ok, want)
+	}
+	if got, ok := Open(dir).Lookup(key2); !ok || got != pt2 {
+		t.Fatalf("new entry = %+v ok=%v, want %+v", got, ok, pt2)
+	}
+}
+
+// A pencil point survives the cache and the collective encoding.
+func TestCachePencilPointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	pt := Point{
+		Strategy: exchange.Fused, StrategyZY: exchange.Staged,
+		Workers: 2, Pr: 4, Pc: 8,
+	}
+	Open(dir).Store(key, pt, 0.2)
+	got, ok := Open(dir).Lookup(key)
+	if !ok || got != pt {
+		t.Fatalf("lookup = %+v ok=%v, want %+v", got, ok, pt)
+	}
+	enc := encodePoint(pt, true)
+	dec, ok := decodePoint(enc[:])
+	if !ok || dec != pt {
+		t.Fatalf("encode/decode = %+v ok=%v, want %+v", dec, ok, pt)
+	}
+}

@@ -25,10 +25,17 @@ import "repro/internal/exchange"
 // pencils, so it ignores NP and PerSlab); the unused dimensions keep
 // their defaults and ride along unchanged.
 type Point struct {
-	// Strategy is the transpose-exchange strategy (always concrete:
-	// Auto is a request to search, AT changes the answer and is never
-	// a tuning point).
+	// Strategy is the transpose-exchange strategy for the yz
+	// (Fourier→physical) direction (always concrete: Auto is a
+	// request to search, AT changes the answer and is never a tuning
+	// point).
 	Strategy exchange.Strategy `json:"strategy"`
+	// StrategyZY is the strategy for the zy (physical→Fourier)
+	// direction. The two transposes move the same bytes through
+	// different access patterns, so their winners can differ; schema-1
+	// caches recorded one strategy for both and decode with
+	// StrategyZY = Strategy.
+	StrategyZY exchange.Strategy `json:"strategy_zy"`
 	// PerSlab selects one whole-slab exchange over per-pencil
 	// exchanges (the async engine's Granularity).
 	PerSlab bool `json:"per_slab"`
@@ -39,7 +46,15 @@ type Point struct {
 	// Single stages exchange payloads through complex64 buffers,
 	// halving the bytes on the wire for ~1e-7 relative rounding.
 	Single bool `json:"single"`
+	// Pr and Pc record the winning decomposition: zero means slab,
+	// otherwise the field is pencil-decomposed over a Pr×Pc process
+	// grid (Pr row groups over y/z, Pc column groups over z/x).
+	Pr int `json:"pr,omitempty"`
+	Pc int `json:"pc,omitempty"`
 }
+
+// Decomp returns the point's decomposition dimension.
+func (pt Point) Decomp() Decomp { return Decomp{Pr: pt.Pr, Pc: pt.Pc} }
 
 // Space is the cartesian tune space: every combination of the listed
 // dimension values is a candidate Point. Empty dimensions default to
@@ -47,11 +62,21 @@ type Point struct {
 // concrete strategy list), so the zero Space searches exchange
 // strategies only — exactly the PR-5 autotuner.
 type Space struct {
+	// Strategies is the candidate list for the yz direction. When
+	// StrategiesZY is empty it serves both directions and the two are
+	// tuned as a cross product of the same list.
 	Strategies []exchange.Strategy
-	PerSlab    []bool
-	NP         []int
-	Workers    []int
-	Single     []bool
+	// StrategiesZY is the candidate list for the zy direction.
+	StrategiesZY []exchange.Strategy
+	PerSlab      []bool
+	NP           []int
+	Workers      []int
+	Single       []bool
+	// Decomps lists candidate decompositions (DecompSlab and/or
+	// pencil grids). Empty means slab only — engines that cannot run
+	// pencil-decomposed never see a pencil point. Use
+	// Decompositions(n, p) for every valid layout.
+	Decomps []Decomp
 }
 
 // withDefaults fills empty dimensions: concrete strategies, and the
@@ -59,6 +84,9 @@ type Space struct {
 func (s Space) withDefaults(np, workers int) Space {
 	if len(s.Strategies) == 0 {
 		s.Strategies = exchange.Concrete
+	}
+	if len(s.StrategiesZY) == 0 {
+		s.StrategiesZY = s.Strategies
 	}
 	if len(s.PerSlab) == 0 {
 		s.PerSlab = []bool{false}
@@ -72,27 +100,37 @@ func (s Space) withDefaults(np, workers int) Space {
 	if len(s.Single) == 0 {
 		s.Single = []bool{false}
 	}
+	if len(s.Decomps) == 0 {
+		s.Decomps = []Decomp{DecompSlab}
+	}
 	return s
 }
 
-// Points enumerates the space in deterministic order, strategies
-// varying fastest. Resolve ties break toward the earlier point, so
-// listing the safe defaults first (Staged, double precision) keeps the
-// tuner conservative under a statistical wash, exactly as the strategy
+// Points enumerates the space in deterministic order, yz strategies
+// varying fastest, then zy strategies, with decompositions slowest.
+// Resolve ties break toward the earlier point, so listing the safe
+// defaults first (slab, Staged, double precision) keeps the tuner
+// conservative under a statistical wash, exactly as the strategy
 // autotuner is. np and workers are the engine defaults substituted
 // into empty dimensions.
 func (s Space) Points(np, workers int) []Point {
 	s = s.withDefaults(np, workers)
 	var pts []Point
-	for _, sg := range s.Single {
-		for _, w := range s.Workers {
-			for _, n := range s.NP {
-				for _, ps := range s.PerSlab {
-					for _, st := range s.Strategies {
-						pts = append(pts, Point{
-							Strategy: st, PerSlab: ps, NP: n,
-							Workers: w, Single: sg,
-						})
+	for _, d := range s.Decomps {
+		for _, sg := range s.Single {
+			for _, w := range s.Workers {
+				for _, n := range s.NP {
+					for _, ps := range s.PerSlab {
+						for _, stz := range s.StrategiesZY {
+							for _, st := range s.Strategies {
+								pts = append(pts, Point{
+									Strategy: st, StrategyZY: stz,
+									PerSlab: ps, NP: n,
+									Workers: w, Single: sg,
+									Pr: d.Pr, Pc: d.Pc,
+								})
+							}
+						}
 					}
 				}
 			}
